@@ -1,0 +1,131 @@
+// E7 — Interrupt handling: inline in whatever process was running vs
+// dedicated handler processes.
+//
+// Paper: "Each interrupt handler will be assigned its own process in which
+// to execute, rather than being forced to inhabit whatever user process was
+// running when the interrupt occurred. ... the system interrupt interceptor
+// will simply turn each interrupt into a wakeup of the corresponding
+// process."
+//
+// Workload: compute-bound victim processes while a device delivers periodic
+// interrupts. We report the time stolen from the victims, handler latency,
+// and victim progress under both strategies.
+
+#include "bench/common.h"
+#include "src/proc/traffic_controller.h"
+
+namespace multics {
+namespace {
+
+struct InterruptRun {
+  uint64_t victim_stolen = 0;
+  uint64_t victim_steps = 0;
+  double handler_latency_mean = 0;
+  double handler_latency_p99 = 0;
+  uint64_t handled = 0;
+  Cycles elapsed = 0;
+};
+
+InterruptRun RunStrategy(InterruptStrategy strategy, Cycles handler_work, int interrupts) {
+  Machine machine(MachineConfig{});
+  TrafficController tc(&machine, 8);
+  tc.SetInterruptStrategy(strategy);
+
+  // Device interrupts arrive every 1000 cycles on line 2.
+  for (int i = 1; i <= interrupts; ++i) {
+    machine.events().ScheduleAfter(static_cast<Cycles>(i) * 1000,
+                                   [&machine] { (void)machine.interrupts().Assert(2); });
+  }
+
+  uint64_t handled = 0;
+  if (strategy == InterruptStrategy::kDedicatedProcesses) {
+    ChannelId chan = tc.channels().Create(0);
+    auto handler = std::make_unique<FnTask>([&handled, chan, handler_work](TaskContext& ctx) {
+      if (!ctx.Await(chan)) {
+        return TaskState::kBlocked;
+      }
+      ctx.Charge(handler_work, "interrupt_handler");
+      ctx.controller().RecordInterruptLatency(ctx.last_message().data);
+      ++handled;
+      return TaskState::kReady;
+    });
+    CHECK(tc.CreateProcess("int2_handler", Principal{"IO", "SysDaemon", "z"}, {}, kRingKernel,
+                           std::move(handler), /*dedicated=*/true)
+              .ok());
+    CHECK(tc.RegisterInterruptProcess(2, chan) == Status::kOk);
+  } else {
+    CHECK(tc.RegisterInlineHandler(2, handler_work) == Status::kOk);
+  }
+
+  // Four compute-bound victims.
+  std::vector<Process*> victims;
+  uint64_t victim_steps = 0;
+  for (int v = 0; v < 4; ++v) {
+    auto victim = tc.CreateProcess(
+        "victim" + std::to_string(v), Principal{"User", "Proj", "a"}, {}, kRingUser,
+        std::make_unique<FnTask>([&victim_steps](TaskContext& ctx) {
+          ctx.Charge(400, "victim_cpu");
+          ++victim_steps;
+          return TaskState::kReady;
+        }));
+    CHECK(victim.ok());
+    victims.push_back(victim.value());
+  }
+
+  const Cycles deadline = static_cast<Cycles>(interrupts) * 1000 + 50'000;
+  tc.RunUntil(deadline);
+
+  InterruptRun run;
+  for (Process* victim : victims) {
+    run.victim_stolen += victim->accounting().stolen_by_interrupts;
+  }
+  run.victim_steps = victim_steps;
+  if (tc.interrupt_latency().count() > 0) {
+    run.handler_latency_mean = tc.interrupt_latency().mean();
+    run.handler_latency_p99 = tc.interrupt_latency().Percentile(0.99);
+  }
+  run.handled =
+      strategy == InterruptStrategy::kDedicatedProcesses ? handled
+                                                         : tc.interrupt_latency().count();
+  run.elapsed = machine.clock().now();
+  return run;
+}
+
+void Run() {
+  PrintHeader("E7: interrupt handlers inline vs as dedicated processes",
+              "dedicated handlers stop inhabiting (and taxing) arbitrary user processes");
+
+  Table table({"strategy", "handler work", "handled", "stolen from victims",
+               "victim steps done", "handler latency mean", "p99"});
+  constexpr int kInterrupts = 100;
+  for (Cycles work : {200u, 1000u, 4000u}) {
+    for (InterruptStrategy strategy :
+         {InterruptStrategy::kInlineInCurrentProcess, InterruptStrategy::kDedicatedProcesses}) {
+      InterruptRun run = RunStrategy(strategy, work, kInterrupts);
+      table.AddRow({strategy == InterruptStrategy::kInlineInCurrentProcess
+                        ? "inline (in current process)"
+                        : "dedicated process",
+                    Fmt(static_cast<uint64_t>(work)), Fmt(run.handled),
+                    Fmt(run.victim_stolen), Fmt(run.victim_steps),
+                    Fmt(run.handler_latency_mean), Fmt(run.handler_latency_p99)});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nInline handling charges the full handler body to whichever victim's\n"
+      "virtual processor took the interrupt (stolen column); the dedicated-process\n"
+      "design leaves the victims untouched at a small latency cost (the wakeup and\n"
+      "dispatch of the handler process), and the handler coordinates through the\n"
+      "same IPC every other process uses. The last pair is offered-load 4x over\n"
+      "capacity: the dedicated design sheds load by queueing wakeups (handled <\n"
+      "asserted) while inline handling consumes the whole machine in ring 0.\n");
+}
+
+}  // namespace
+}  // namespace multics
+
+int main() {
+  multics::Run();
+  return 0;
+}

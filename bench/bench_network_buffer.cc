@@ -1,0 +1,126 @@
+// E5 — Network input buffering: the old circular buffer vs the VM-backed
+// infinite buffer.
+//
+// Paper: "The infinite buffer scheme is much simpler than the old circular
+// buffer which had to be used over and over again, with attendant problems
+// of old messages not being removed before a complete circuit of the buffer
+// was made."
+//
+// Workload: bursty remote traffic (geometric burst sizes) against a consumer
+// that drains slowly, for several circular capacities and burst intensities.
+// We report messages lost to wraparound (circular) vs zero (infinite), plus
+// the resident-page footprint of each scheme.
+
+#include "bench/common.h"
+#include "src/base/random.h"
+
+namespace multics {
+namespace {
+
+struct BufferOutcome {
+  uint64_t delivered = 0;
+  uint64_t lost = 0;
+  uint32_t peak_resident_pages = 0;
+  uint64_t sequence_gaps = 0;  // Loss as the *consumer* perceives it.
+};
+
+BufferOutcome Drive(InputBuffer& buffer, double burst_intensity, int bursts, uint64_t seed) {
+  Rng rng(seed);
+  BufferOutcome outcome;
+  uint64_t sequence = 0;
+  uint64_t expected = 0;
+  for (int burst = 0; burst < bursts; ++burst) {
+    uint64_t size = 1 + rng.NextGeometric(1.0 / (8.0 * burst_intensity));
+    for (uint64_t i = 0; i < size; ++i) {
+      (void)buffer.Enqueue(NetMessage{sequence++, std::string(48, 'm')});
+    }
+    outcome.peak_resident_pages = std::max(outcome.peak_resident_pages,
+                                           buffer.resident_pages());
+    // The consumer drains a modest fixed amount between bursts.
+    for (int i = 0; i < 6; ++i) {
+      auto message = buffer.Dequeue();
+      if (!message.ok()) {
+        break;
+      }
+      ++outcome.delivered;
+      if (message->sequence != expected) {
+        ++outcome.sequence_gaps;
+      }
+      expected = message->sequence + 1;
+    }
+  }
+  while (true) {
+    auto message = buffer.Dequeue();
+    if (!message.ok()) {
+      break;
+    }
+    ++outcome.delivered;
+    if (message->sequence != expected) {
+      ++outcome.sequence_gaps;
+    }
+    expected = message->sequence + 1;
+  }
+  outcome.lost = buffer.messages_lost();
+  return outcome;
+}
+
+void Run() {
+  PrintHeader("E5: circular vs VM-backed infinite network input buffer",
+              "circular buffer overwrites unconsumed messages; infinite buffer never does");
+
+  Table table({"buffer", "burst intensity", "delivered", "lost (overwritten)",
+               "consumer-visible gaps", "peak resident pages"});
+
+  constexpr int kBursts = 400;
+  for (double intensity : {0.5, 1.0, 2.0, 4.0}) {
+    {
+      CircularBuffer circular(2048);  // 2 pages, reused "over and over".
+      BufferOutcome outcome = Drive(circular, intensity, kBursts, 7);
+      table.AddRow({"circular (2048 words)", Fmt(intensity, 1), Fmt(outcome.delivered),
+                    Fmt(outcome.lost), Fmt(outcome.sequence_gaps),
+                    Fmt(static_cast<uint64_t>(circular.resident_pages()))});
+    }
+    {
+      InfiniteBuffer infinite([](uint32_t) { return Status::kOk; });
+      BufferOutcome outcome = Drive(infinite, intensity, kBursts, 7);
+      table.AddRow({"infinite (VM-backed)", Fmt(intensity, 1), Fmt(outcome.delivered),
+                    Fmt(outcome.lost), Fmt(outcome.sequence_gaps),
+                    Fmt(static_cast<uint64_t>(outcome.peak_resident_pages))});
+    }
+  }
+  table.Print();
+
+  // End-to-end through the kernel's net gates, both configurations.
+  std::printf("\nEnd-to-end through the kernel network gates (one bursty connection):\n");
+  Table e2e({"configuration", "buffer", "packets in", "lost"});
+  for (bool infinite : {false, true}) {
+    KernelConfiguration config = KernelConfiguration::Kernelized6180();
+    config.infinite_net_buffers = infinite;
+    KernelParams params;
+    params.config = config;
+    params.circular_buffer_words = 512;
+    params.machine.core_frames = 64;
+    Kernel kernel(params);
+    auto user = kernel.BootstrapProcess("u", Principal{"Net", "Daemon", "a"}, {});
+    CHECK(user.ok());
+    auto conn = kernel.NetOpen(*user.value(), "host:mit-dm");
+    CHECK(conn.ok());
+    for (int i = 0; i < 200; ++i) {
+      CHECK(kernel.network().InjectFromRemote(conn.value(), std::string(64, 'x')) ==
+            Status::kOk);
+    }
+    kernel.machine().events().RunUntilIdle();
+    e2e.AddRow({config.Name() + (infinite ? "" : " (circular override)"),
+                infinite ? "infinite" : "circular", Fmt(kernel.network().packets_in()),
+                Fmt(kernel.network().total_lost())});
+  }
+  e2e.Print();
+}
+
+}  // namespace
+}  // namespace multics
+
+int main() {
+  multics::Run();
+  return 0;
+}

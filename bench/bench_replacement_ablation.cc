@@ -1,0 +1,98 @@
+// Ablation — replacement policies under the same reference strings.
+//
+// The paper's policy/mechanism split (E6) makes the replacement policy a
+// swappable, less-trusted component; this harness shows what swapping it
+// actually does: fault counts for clock / FIFO / aging-LRU (and the gated
+// and malicious variants) across locality regimes, on identical workloads.
+
+#include "bench/common.h"
+#include "src/base/random.h"
+#include "src/mem/page_control_sequential.h"
+#include "src/mem/policy_gate.h"
+
+namespace multics {
+namespace {
+
+struct AblationResult {
+  uint64_t faults = 0;
+  uint64_t evictions = 0;
+  Cycles cycles = 0;
+};
+
+AblationResult RunPolicy(const std::string& policy_name, double zipf_s, uint32_t pages,
+                         int references) {
+  Machine machine(MachineConfig{.core_frames = 32});
+  CoreMap core_map(32);
+  PagingDevice bulk = MakeBulkStore(64, &machine);
+  PagingDevice disk = MakeDisk(8192, &machine);
+  ActiveSegmentTable ast(8);
+  PageMechanismGates gates(&machine, &core_map);
+
+  std::unique_ptr<ReplacementPolicy> owned = MakePolicy(policy_name);
+  GatedClockPolicy gated(&gates);
+  MaliciousPolicy malicious(&gates, 77);
+  ReplacementPolicy* policy = owned.get();
+  if (policy_name == "gated-clock") {
+    policy = &gated;
+  } else if (policy_name == "malicious") {
+    policy = &malicious;
+  }
+  CHECK(policy != nullptr);
+
+  SequentialPageControl pc(&machine, &core_map, &bulk, &disk, policy);
+  auto seg = ast.Activate(1, pages, {});
+  CHECK(seg.ok());
+
+  Rng rng(2026);
+  const Cycles start = machine.clock().now();
+  for (int i = 0; i < references; ++i) {
+    PageNo page = static_cast<PageNo>(zipf_s > 0 ? rng.NextZipf(pages, zipf_s)
+                                                 : rng.NextBelow(pages));
+    CHECK(pc.EnsureResident(seg.value(), page, AccessMode::kRead) == Status::kOk);
+    seg.value()->page_table.entries[page].used = true;
+  }
+  AblationResult result;
+  result.faults = pc.metrics().faults;
+  result.evictions = pc.metrics().core_evictions;
+  result.cycles = machine.clock().now() - start;
+  return result;
+}
+
+void Run() {
+  PrintHeader("Ablation: replacement policies (the swappable half of the E6 split)",
+              "locality-sensitive policies (clock/LRU) beat FIFO; a hostile policy "
+              "only costs time");
+
+  Table table({"policy", "workload", "faults", "evictions", "cycles"});
+  struct Workload {
+    const char* name;
+    double zipf_s;
+    uint32_t pages;
+  };
+  const Workload workloads[] = {
+      {"high locality (zipf 1.4, 96p)", 1.4, 96},
+      {"low locality (uniform, 96p)", 0.0, 96},
+      {"tight fit (zipf 1.2, 40p)", 1.2, 40},
+  };
+  constexpr int kReferences = 3000;
+  for (const Workload& workload : workloads) {
+    for (const char* policy : {"clock", "aging-lru", "fifo", "gated-clock", "malicious"}) {
+      AblationResult r = RunPolicy(policy, workload.zipf_s, workload.pages, kReferences);
+      table.AddRow({policy, workload.name, Fmt(r.faults), Fmt(r.evictions), Fmt(r.cycles)});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nGated-clock tracks direct clock fault-for-fault (the ring boundary costs\n"
+      "crossings, not decisions); the malicious policy's extra faults are the\n"
+      "denial-of-use ceiling on what a corrupt policy can inflict.\n");
+}
+
+}  // namespace
+}  // namespace multics
+
+int main() {
+  multics::Run();
+  return 0;
+}

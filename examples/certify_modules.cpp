@@ -1,0 +1,138 @@
+// Certifying the kernel's modules the footnote-6 way: record a source model
+// for every module at build time, then audit the installed object code
+// against it — "a task much simpler than certifying the compiler correct for
+// all possible source programs."
+//
+// We take models of the system library as built, verify the installed
+// segments bit-for-bit, then let a (privileged, compromised) installer slip
+// a trapdoor into one module and show the audit catching it.
+//
+// Run: ./build/examples/certify_modules
+
+#include <cstdio>
+
+#include "src/init/bootstrap.h"
+#include "src/link/verifier.h"
+
+using namespace multics;
+
+namespace {
+
+// Reads an installed segment into a word vector with dumper authority.
+std::vector<Word> ReadInstalled(Kernel& kernel, const std::string& path) {
+  auto uid = kernel.hierarchy().ResolvePath(Path::Parse(path).value());
+  CHECK(uid.ok());
+  ActiveSegment* seg = kernel.store().Activate(uid.value()).value();
+  std::vector<Word> words(seg->pages * kPageWords);
+  for (WordOffset i = 0; i < words.size(); ++i) {
+    words[i] = kernel.DumpReadWord(uid.value(), i).value_or(0);
+  }
+  return words;
+}
+
+VerifyReport Audit(Kernel& kernel, const std::string& path, const ObjectModel& model) {
+  std::vector<Word> installed = ReadInstalled(kernel, path);
+  WordReader reader = [&installed](WordOffset offset) -> Result<Word> {
+    if (offset >= installed.size()) {
+      return Status::kOutOfRange;
+    }
+    return installed[offset];
+  };
+  auto report = VerifyObject(reader, static_cast<uint32_t>(installed.size()), model);
+  CHECK(report.ok());
+  return report.value();
+}
+
+}  // namespace
+
+int main() {
+  KernelParams params;
+  params.config = KernelConfiguration::Kernelized6180();
+  Kernel kernel(params);
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  auto boot = Bootstrap::Run(kernel, options);
+  CHECK(boot.ok());
+
+  // The build's own images — the "source models" the certifier records.
+  // (These mirror what Bootstrap installs; in a real shop the build system
+  // emits them.)
+  std::vector<Word> math_text(64);
+  for (size_t i = 0; i < math_text.size(); ++i) {
+    math_text[i] = 0x1000 + i;
+  }
+  auto math_model = ObjectModel::FromTrustedImage(ObjectBuilder()
+                                                      .SetText(std::move(math_text))
+                                                      .AddSymbol("sqrt", 10)
+                                                      .AddSymbol("sin", 20)
+                                                      .AddSymbol("cos", 30)
+                                                      .AddSymbol("exp", 40)
+                                                      .Build());
+  std::vector<Word> fmt_text(32);
+  for (size_t i = 0; i < fmt_text.size(); ++i) {
+    fmt_text[i] = 0x2000 + i;
+  }
+  auto fmt_model = ObjectModel::FromTrustedImage(ObjectBuilder()
+                                                     .SetText(std::move(fmt_text))
+                                                     .AddSymbol("format", 8)
+                                                     .AddSymbol("ioa_", 12)
+                                                     .AddLink("math_", "sqrt")
+                                                     .AddLink("math_", "exp")
+                                                     .Build());
+  CHECK(math_model.ok() && fmt_model.ok());
+
+  std::printf("Auditing installed kernel-library modules against their source models:\n");
+  for (const auto& [path, model] :
+       {std::make_pair(std::string(">system_library>math_"), &math_model.value()),
+        std::make_pair(std::string(">system_library>fmt_"), &fmt_model.value())}) {
+    VerifyReport report = Audit(kernel, path, *model);
+    std::printf("  %-28s %s\n", path.c_str(),
+                report.matches ? "MATCHES the certified build" : "DISCREPANT");
+  }
+
+  // A compromised installer patches a trapdoor entry into math_: an extra
+  // definition pointing into its own text.
+  std::printf("\n[compromised installer patches math_ in place]\n");
+  auto init = kernel.BootstrapProcess("rogue_installer",
+                                      Principal{"Installer", "SysDaemon", "z"},
+                                      MlsLabel::SystemHigh());
+  CHECK(init.ok());
+  init.value()->set_ring(kRingSupervisor);
+  {
+    std::vector<Word> trapdoored_text(64);
+    for (size_t i = 0; i < trapdoored_text.size(); ++i) {
+      trapdoored_text[i] = 0x1000 + i;
+    }
+    std::vector<Word> tampered = ObjectBuilder()
+                                     .SetText(std::move(trapdoored_text))
+                                     .AddSymbol("sqrt", 10)
+                                     .AddSymbol("sin", 20)
+                                     .AddSymbol("cos", 30)
+                                     .AddSymbol("exp", 40)
+                                     .AddSymbol("maintenance_", 60)  // The trapdoor.
+                                     .Build();
+    auto root = kernel.RootDir(*init.value());
+    CHECK(root.ok());
+    auto lib = kernel.Initiate(*init.value(), root.value(), "system_library");
+    CHECK(lib.ok());
+    auto obj = kernel.Initiate(*init.value(), lib->segno, "math_");
+    CHECK(obj.ok());
+    // Note: even the rogue's SegSetLength through the gate would bounce off
+    // the ACL; the patch below uses raw installer authority (the threat the
+    // audit exists to catch).
+    for (WordOffset i = 0; i < tampered.size(); ++i) {
+      CHECK(kernel.KernelWriteWord(*init.value(), obj->segno, i, tampered[i]) == Status::kOk);
+    }
+  }
+
+  VerifyReport report = Audit(kernel, ">system_library>math_", math_model.value());
+  std::printf("Re-audit of >system_library>math_: %s\n",
+              report.matches ? "matches (BAD - audit failed!)" : "DISCREPANT, as it must be");
+  for (const std::string& discrepancy : report.discrepancies) {
+    std::printf("  - %s\n", discrepancy.c_str());
+  }
+  std::printf("\nThe certifier never had to reason about the compiler (or installer) in\n"
+              "general — only about whether these specific bits match these specific\n"
+              "models. That is footnote 6's whole argument.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// A scripted interactive session with the user-ring command environment —
+// the everyday face of the system the paper insists the kernel must still
+// support in full: "the full set of functional capabilities that seem
+// desirable in a general-purpose system."
+//
+// Run: ./build/examples/command_session
+
+#include <cstdio>
+
+#include "src/init/bootstrap.h"
+#include "src/userring/shell.h"
+
+using namespace multics;
+
+int main() {
+  KernelParams params;
+  params.config = KernelConfiguration::Kernelized6180();
+  Kernel kernel(params);
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  CHECK(Bootstrap::Run(kernel, options).ok());
+
+  auto jones = kernel.BootstrapProcess(
+      "jones", Principal{"Jones", "Faculty", "a"},
+      MlsLabel{SensitivityLevel::kSecret, CategorySet::Of({1})});
+  CHECK(jones.ok());
+  Shell shell(&kernel, jones.value());
+
+  const char* script[] = {
+      "who",
+      "cwd >udd>Faculty>Jones",
+      "create_dir projects 16",
+      "cwd >udd>Faculty>Jones>projects",
+      "create_segment compiler_notes",
+      "set compiler_notes 0 1975",
+      "print compiler_notes 0",
+      "add_name compiler_notes notes",
+      "set_acl compiler_notes Smith.Faculty.* r",
+      "list_acl compiler_notes",
+      "link mathlib >system_library>math_",
+      "status mathlib",
+      "list",
+      "truncate compiler_notes 2",
+      "set compiler_notes 1024 42",
+      "print compiler_notes 1024",
+      "initiate >system_library>math_",
+      "terminate math_",
+      "rename compiler_notes design_notes",
+      "status design_notes",
+      "delete mathlib",
+      "list",
+      "cwd >udd>Faculty>Jones",
+      "delete projects",  // Fails: not empty. Denials are ordinary output.
+      "who",
+  };
+
+  for (const char* line : script) {
+    std::printf("! %s\n", line);
+    CommandResult result = shell.Execute(line);
+    std::printf("%s", result.Text().c_str());
+  }
+
+  std::printf("\nSession complete. Gate calls made: %llu; audit grants/denials: %llu/%llu\n",
+              static_cast<unsigned long long>(kernel.gates().total_calls()),
+              static_cast<unsigned long long>(kernel.audit().grants()),
+              static_cast<unsigned long long>(kernel.audit().denials()));
+  return 0;
+}

@@ -1,0 +1,112 @@
+// The paper's own example of the fourth category of non-kernel software:
+//
+//   "a team producing a new compiler might set up a program development
+//    subsystem with a common mechanism to control installation of new
+//    modules into the evolving compiler. Such a mechanism makes the group
+//    susceptible to undesired interaction in the same way that an
+//    uncertified supervisor does for the whole user community."
+//
+// Jones (the maintainer) owns the compiler directory; team members submit
+// modules through a mailbox (their mutual-consent common mechanism); only
+// the maintainer's review actually installs. A hostile member can spam or
+// vandalize the queue — denial *within the group* — but cannot write the
+// compiler or touch anyone outside the group.
+//
+// Run: ./build/examples/mutual_consent
+
+#include <cstdio>
+
+#include "src/init/bootstrap.h"
+#include "src/userring/initiator.h"
+#include "src/userring/mailbox.h"
+
+using namespace multics;
+
+int main() {
+  KernelParams params;
+  params.config = KernelConfiguration::Kernelized6180();
+  Kernel kernel(params);
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  CHECK(Bootstrap::Run(kernel, options).ok());
+
+  MlsLabel secret1{SensitivityLevel::kSecret, CategorySet::Of({1})};
+  auto jones = kernel.BootstrapProcess("jones", Principal{"Jones", "Faculty", "a"}, secret1);
+  auto smith = kernel.BootstrapProcess("smith", Principal{"Smith", "Faculty", "a"}, secret1);
+  CHECK(jones.ok() && smith.ok());
+
+  // Jones sets up the development subsystem: a compiler directory writable
+  // only by her, and an install-request mailbox the whole team shares.
+  UserInitiator jones_init(&kernel, jones.value());
+  auto home = jones_init.InitiateDirPath(">udd>Faculty>Jones");
+  CHECK(home.ok());
+  SegmentAttributes dir_attrs;
+  dir_attrs.acl.Set(AclEntry{"Jones", "Faculty", "*", kDirStatus | kDirModify | kDirAppend});
+  dir_attrs.acl.Set(AclEntry{"*", "Faculty", "*", kDirStatus});
+  CHECK(kernel.FsCreateDirectory(*jones.value(), home.value(), "new_compiler", dir_attrs).ok());
+  auto queue = Mailbox::Create(&kernel, jones.value(), home.value(), "install_queue",
+                               {{"Jones", "Faculty", "a"}, {"Smith", "Faculty", "a"}});
+  CHECK(queue.ok());
+  std::printf("Development subsystem up: >udd>Faculty>Jones>new_compiler (Jones-only)\n");
+  std::printf("Install queue: mailbox shared by Jones + Smith (the mutual consent)\n\n");
+
+  // Smith develops a module and submits an install request.
+  UserInitiator smith_init(&kernel, smith.value());
+  auto smith_home = smith_init.InitiateDirPath(">udd>Faculty>Jones");
+  CHECK(smith_home.ok());
+  auto smith_queue = Mailbox::Open(&kernel, smith.value(), smith_home.value(),
+                                   "install_queue");
+  CHECK(smith_queue.ok());
+  CHECK(smith_queue->Send("install parse_pass rev 7") == Status::kOk);
+  std::printf("[Smith]  submitted: install parse_pass rev 7\n");
+
+  // Smith cannot shortcut the mechanism: the compiler dir refuses him.
+  auto compiler_dir = kernel.Initiate(*smith.value(), smith_home.value(), "new_compiler");
+  CHECK(compiler_dir.ok());
+  SegmentAttributes module_attrs;
+  module_attrs.acl.Set(AclEntry{"*", "Faculty", "*", kModeRead | kModeExecute});
+  auto direct = kernel.FsCreateSegment(*smith.value(), compiler_dir->segno, "parse_pass",
+                                       module_attrs);
+  std::printf("[Smith]  direct write into new_compiler -> %s (the mechanism is the "
+              "only path)\n",
+              StatusName(direct.status()).data());
+
+  // The maintainer reviews the queue and performs the installation herself.
+  auto requests = queue->ReadNew();
+  CHECK(requests.ok());
+  for (const MailboxMessage& request : requests.value()) {
+    std::printf("[Jones]  reviewing request from %s: \"%s\"\n", request.sender.c_str(),
+                request.text.c_str());
+    auto dir = kernel.Initiate(*jones.value(), home.value(), "new_compiler");
+    CHECK(dir.ok());
+    CHECK(kernel.FsCreateSegment(*jones.value(), dir->segno, "parse_pass", module_attrs)
+              .ok());
+    std::printf("[Jones]  installed parse_pass into the compiler\n");
+  }
+
+  // A hostile member turns on the group: floods the queue and clobbers it.
+  std::printf("\n[Smith turns hostile]\n");
+  for (int i = 0; i < 30; ++i) {
+    CHECK(smith_queue->Send("spam " + std::to_string(i)) == Status::kOk);
+  }
+  CHECK(kernel.RunAs(*smith.value()) == Status::kOk);
+  CHECK(kernel.cpu().Write(smith_queue->segno(), 0, 0) == Status::kOk);
+  std::printf("[Smith]  flooded the queue and zeroed its counter (denial within the "
+              "group)\n");
+  std::printf("[Jones]  queue now reports %s new requests — the team mechanism is "
+              "wrecked\n",
+              queue->HasNew().value_or(false) ? "some" : "no");
+
+  // But the blast radius ends at the consent boundary.
+  auto compiler_probe = kernel.Initiate(*smith.value(), compiler_dir->segno, "parse_pass");
+  std::printf("[Smith]  read installed module: %s (r/e was granted — fine)\n",
+              StatusName(compiler_probe.status()).data());
+  CHECK(kernel.RunAs(*smith.value()) == Status::kOk);
+  Status clobber = kernel.cpu().Write(compiler_probe->segno, 0, 0xBAD);
+  std::printf("[Smith]  overwrite installed module -> %s\n", StatusName(clobber).data());
+  std::printf("\nKernel faults: %llu; the group must now police its own mechanism — "
+              "\"a user agrees to become party to such a common mechanism, then he must\n"
+              "satisfy himself of its trustworthiness.\"\n",
+              static_cast<unsigned long long>(kernel.kernel_faults()));
+  return 0;
+}

@@ -1,0 +1,125 @@
+// The kernelized developer flow: write a program as an object segment,
+// resolve its symbolic references through user-ring search rules, and snap
+// its links with the user-ring linker — no kernel linker gates exist at all.
+//
+// This is Janson's removal project [12,13] end to end: "linking procedures
+// together across protection boundaries... could be done without resort to a
+// mechanism common to both protection regions."
+//
+// Run: ./build/examples/user_ring_linking
+
+#include <cstdio>
+
+#include "src/init/bootstrap.h"
+#include "src/userring/user_linker.h"
+
+using namespace multics;
+
+namespace {
+
+// Installs an object image into a new segment in `dir`.
+SegNo Install(Kernel& kernel, Process& user, SegNo dir, const std::string& name,
+              const std::vector<Word>& image) {
+  SegmentAttributes attrs;
+  attrs.acl.Set(AclEntry{user.principal().person, user.principal().project, "*",
+                         kModeRead | kModeWrite | kModeExecute});
+  attrs.acl.Set(AclEntry{"*", "*", "*", kModeRead | kModeExecute});
+  auto created = kernel.FsCreateSegment(user, dir, name, attrs);
+  CHECK(created.ok()) << name << ": " << StatusName(created.status());
+  auto init = kernel.Initiate(user, dir, name);
+  CHECK(init.ok());
+  CHECK(kernel.SegSetLength(user, init->segno,
+                            PageOf(static_cast<WordOffset>(image.size())) + 1) == Status::kOk);
+  CHECK(kernel.RunAs(user) == Status::kOk);
+  for (WordOffset i = 0; i < image.size(); ++i) {
+    CHECK(kernel.cpu().Write(init->segno, i, image[i]) == Status::kOk);
+  }
+  return init->segno;
+}
+
+}  // namespace
+
+int main() {
+  KernelParams params;
+  params.config = KernelConfiguration::Kernelized6180();
+  Kernel kernel(params);
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  CHECK(Bootstrap::Run(kernel, options).ok());
+  std::printf("Kernel has %u gates; linker gates among them: %u\n", kernel.gates().count(),
+              kernel.gates().CountByCategory(GateCategory::kLinker));
+
+  auto jones = kernel.BootstrapProcess(
+      "jones", Principal{"Jones", "Faculty", "a"},
+      MlsLabel{SensitivityLevel::kSecret, CategorySet::Of({1})});
+  CHECK(jones.ok());
+  Process& user = *jones.value();
+
+  // The per-process user-ring runtime: initiator, names, search rules.
+  UserInitiator initiator(&kernel, &user);
+  ReferenceNameManager rnm;
+  SearchRules rules;
+  CHECK(rules.Set({">udd>Faculty>Jones", ">system_library"}) == Status::kOk);
+
+  auto home = initiator.InitiateDirPath(">udd>Faculty>Jones");
+  CHECK(home.ok());
+
+  // "Compile" a program: text plus two outward references into the system
+  // library (installed at bootstrap: math_$sqrt, fmt_$format).
+  std::vector<Word> program = ObjectBuilder()
+                                  .SetText(std::vector<Word>(48, 0xC0DE))
+                                  .AddSymbol("main", 0)
+                                  .AddSymbol("helper", 16)
+                                  .AddLink("math_", "sqrt")
+                                  .AddLink("fmt_", "format")
+                                  .Build();
+  SegNo prog = Install(kernel, user, home.value(), "my_prog", program);
+  std::printf("Installed >udd>Faculty>Jones>my_prog (%zu words, 2 unsnapped links)\n",
+              program.size());
+
+  // Link it, entirely in the user ring: symbol lookup reads through the
+  // user's own access, target resolution walks the user's search rules.
+  UserLinker linker(&kernel, &user, &initiator, &rules, &rnm);
+  auto result = linker.SnapAll(prog);
+  CHECK(result.ok());
+  std::printf("User-ring linker snapped %u links (user-ring path components walked: %llu)\n",
+              result->snapped, static_cast<unsigned long long>(initiator.components_walked()));
+
+  // Show where the links now point.
+  for (uint32_t i = 0; i < 2; ++i) {
+    auto snapped = linker.SnapOne(prog, i);
+    CHECK(snapped.ok());
+    std::printf("  link %u -> segno %u offset %u\n", i, snapped->first, snapped->second);
+  }
+  std::printf("Reference names now cached in the user ring: ");
+  for (const std::string& name : rnm.Names()) {
+    std::printf("%s ", name.c_str());
+  }
+  std::printf("\n");
+
+  // A second program reusing math_ resolves instantly from the cache.
+  std::vector<Word> second = ObjectBuilder()
+                                 .SetText(std::vector<Word>(16, 0xBEEF))
+                                 .AddSymbol("main", 0)
+                                 .AddLink("math_", "exp")
+                                 .Build();
+  SegNo prog2 = Install(kernel, user, home.value(), "my_prog2", second);
+  uint64_t walked_before = initiator.components_walked();
+  CHECK(linker.SnapAll(prog2).ok());
+  std::printf("Second program linked; extra path components walked: %llu (cache hit)\n",
+              static_cast<unsigned long long>(initiator.components_walked() - walked_before));
+
+  // And the punchline: a malformed "borrowed" object cannot hurt anything
+  // but the process that links it.
+  std::vector<Word> evil = ObjectBuilder()
+                               .SetText({1})
+                               .AddLink("math_", "sqrt")
+                               .Build();
+  evil[5] = 9'000'000;  // Wild links offset.
+  SegNo trap = Install(kernel, user, home.value(), "borrowed_trap", evil);
+  auto confined = linker.SnapAll(trap);
+  std::printf("Linking a malformed borrowed object: %s (kernel ring-0 faults: %llu)\n",
+              StatusName(confined.status()).data(),
+              static_cast<unsigned long long>(kernel.kernel_faults()));
+  return 0;
+}

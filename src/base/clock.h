@@ -1,0 +1,36 @@
+// Simulated time. Everything in the machine model is accounted in "cycles";
+// absolute wall-clock time is never used, so runs are deterministic.
+
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <cstdint>
+
+namespace multics {
+
+using Cycles = uint64_t;
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  Cycles now() const { return now_; }
+
+  void Advance(Cycles delta) { now_ += delta; }
+
+  // Used by the event queue when dispatching a future event.
+  void AdvanceTo(Cycles t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  Cycles now_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_BASE_CLOCK_H_

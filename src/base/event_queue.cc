@@ -1,0 +1,84 @@
+#include "src/base/event_queue.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace multics {
+
+uint64_t EventQueue::ScheduleAfter(Cycles delay, std::function<void()> fn) {
+  return ScheduleAt(clock_->now() + delay, std::move(fn));
+}
+
+uint64_t EventQueue::ScheduleAt(Cycles when, std::function<void()> fn) {
+  CHECK_GE(when, clock_->now());
+  uint64_t id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(uint64_t id) {
+  if (id == 0 || id >= next_id_ || IsCancelled(id)) {
+    return false;
+  }
+  // Lazy deletion: remember the id; skip it at dispatch time. We cannot know
+  // here whether the event already ran, so the caller contract is that Cancel
+  // of an already-dispatched id returns true but has no effect.
+  cancelled_.push_back(id);
+  if (live_count_ > 0) {
+    --live_count_;
+  }
+  return true;
+}
+
+bool EventQueue::IsCancelled(uint64_t id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+bool EventQueue::RunOne() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (IsCancelled(ev.id)) {
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.id),
+                       cancelled_.end());
+      continue;
+    }
+    --live_count_;
+    clock_->AdvanceTo(ev.when);
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventQueue::RunUntilIdle(uint64_t limit) {
+  uint64_t n = 0;
+  while (n < limit && RunOne()) {
+    ++n;
+  }
+  return n;
+}
+
+uint64_t EventQueue::RunUntil(Cycles deadline) {
+  uint64_t n = 0;
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (IsCancelled(top.id)) {
+      uint64_t id = top.id;
+      heap_.pop();
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), id), cancelled_.end());
+      continue;
+    }
+    if (top.when > deadline) {
+      break;
+    }
+    RunOne();
+    ++n;
+  }
+  clock_->AdvanceTo(deadline);
+  return n;
+}
+
+}  // namespace multics

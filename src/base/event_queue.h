@@ -1,0 +1,74 @@
+// Discrete-event core driving asynchronous activity in the simulation:
+// storage-device transfer completions, network packet arrivals, interrupt
+// assertions, and daemon-process wakeups all post events here.
+//
+// Events at equal timestamps dispatch in posting order (stable), which keeps
+// runs deterministic.
+
+#ifndef SRC_BASE_EVENT_QUEUE_H_
+#define SRC_BASE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/clock.h"
+
+namespace multics {
+
+class EventQueue {
+ public:
+  explicit EventQueue(SimClock* clock) : clock_(clock) {}
+
+  // Schedules `fn` to run `delay` cycles from now. Returns an id usable with
+  // Cancel().
+  uint64_t ScheduleAfter(Cycles delay, std::function<void()> fn);
+  uint64_t ScheduleAt(Cycles when, std::function<void()> fn);
+
+  // Cancels a pending event; returns false if it already ran or was cancelled.
+  bool Cancel(uint64_t id);
+
+  // Dispatches the earliest pending event, advancing the clock to its time.
+  // Returns false when the queue is empty.
+  bool RunOne();
+
+  // Dispatches events until the queue drains or `limit` events have run.
+  // Returns the number of events dispatched.
+  uint64_t RunUntilIdle(uint64_t limit = UINT64_MAX);
+
+  // Dispatches events with time <= deadline, then advances the clock to
+  // `deadline` (if it is later). Returns number dispatched.
+  uint64_t RunUntil(Cycles deadline);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t pending() const { return live_count_; }
+  SimClock* clock() const { return clock_; }
+
+ private:
+  struct Event {
+    Cycles when;
+    uint64_t seq;  // Tie-break: FIFO among same-time events.
+    uint64_t id;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  bool IsCancelled(uint64_t id) const;
+
+  SimClock* clock_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::vector<uint64_t> cancelled_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_BASE_EVENT_QUEUE_H_

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random generation for workloads and fuzzing.
+//
+// All simulated randomness in this repository flows through Xoshiro256**
+// seeded explicitly, so every test, bench, and experiment is reproducible
+// bit-for-bit from its seed.
+
+#ifndef SRC_BASE_RANDOM_H_
+#define SRC_BASE_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace multics {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform in [0.0, 1.0).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Zipf-like rank selection over [0, n): rank r chosen with weight
+  // 1/(r+1)^s. Used for locality-skewed reference strings.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  // Geometric: number of failures before first success with prob p.
+  uint64_t NextGeometric(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace multics
+
+#endif  // SRC_BASE_RANDOM_H_

@@ -1,0 +1,88 @@
+// Result<T>: value-or-Status return type used throughout the library.
+//
+// Usage:
+//   Result<SegmentNumber> r = kernel.Initiate(...);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+
+#ifndef SRC_BASE_RESULT_H_
+#define SRC_BASE_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "src/base/log.h"
+#include "src/base/status.h"
+
+namespace multics {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit so functions can `return Status::kNotFound;` or
+  // `return value;` directly.
+  Result(Status status) : payload_(status) {
+    CHECK(status != Status::kOk) << "Result<T> error constructor requires a non-OK status";
+  }
+  Result(T value) : payload_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    return ok() ? Status::kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    CHECK(ok()) << "Result::value() on error " << StatusName(status());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CHECK(ok()) << "Result::value() on error " << StatusName(status());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CHECK(ok()) << "Result::value() on error " << StatusName(status());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(payload_) : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+// Propagation helper: evaluates `expr` (a Status); returns it from the
+// enclosing function if it is not OK.
+#define MX_RETURN_IF_ERROR(expr)                      \
+  do {                                                \
+    ::multics::Status mx_status_ = (expr);            \
+    if (mx_status_ != ::multics::Status::kOk) {       \
+      return mx_status_;                              \
+    }                                                 \
+  } while (false)
+
+// Propagation helper for Result<T>: assigns the value into `lhs` or returns
+// the error. `lhs` may declare a new variable: MX_ASSIGN_OR_RETURN(auto x, F()).
+#define MX_ASSIGN_OR_RETURN(lhs, expr)              \
+  MX_ASSIGN_OR_RETURN_IMPL_(                        \
+      MX_RESULT_CONCAT_(mx_result_, __LINE__), lhs, expr)
+
+#define MX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)   \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#define MX_RESULT_CONCAT_INNER_(a, b) a##b
+#define MX_RESULT_CONCAT_(a, b) MX_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace multics
+
+#endif  // SRC_BASE_RESULT_H_

@@ -1,0 +1,56 @@
+// Measurement primitives used by the experiment harnesses: counters, running
+// moments, and percentile-capable sample sets. Benches report fault latencies,
+// jitter, gate-crossing counts, etc. through these.
+
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace multics {
+
+// Exact sample distribution. Stores every sample; fine at simulation scale.
+class Distribution {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  // q in [0, 1]; nearest-rank on the sorted samples.
+  double Percentile(double q) const;
+
+  std::string Summary() const;  // "n=... mean=... p50=... p99=... max=..."
+
+  void Clear();
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+// Named monotonic counters, used for structural metrics (gate crossings,
+// kernel instructions executed, pages moved, audit denials...).
+class CounterSet {
+ public:
+  void Increment(const std::string& name, uint64_t delta = 1);
+  uint64_t Get(const std::string& name) const;
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+  void Clear();
+
+ private:
+  std::vector<std::pair<std::string, uint64_t>> counters_;
+};
+
+}  // namespace multics
+
+#endif  // SRC_BASE_STATS_H_

@@ -1,0 +1,95 @@
+#include "src/base/status.h"
+
+#include <ostream>
+
+namespace multics {
+
+std::string_view StatusName(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "OK";
+    case Status::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::kNotFound:
+      return "NOT_FOUND";
+    case Status::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Status::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Status::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case Status::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case Status::kInternal:
+      return "INTERNAL";
+    case Status::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case Status::kAccessDenied:
+      return "ACCESS_DENIED";
+    case Status::kRingViolation:
+      return "RING_VIOLATION";
+    case Status::kNotAGate:
+      return "NOT_A_GATE";
+    case Status::kMlsReadViolation:
+      return "MLS_READ_VIOLATION";
+    case Status::kMlsWriteViolation:
+      return "MLS_WRITE_VIOLATION";
+    case Status::kAuthenticationFailed:
+      return "AUTHENTICATION_FAILED";
+    case Status::kNoSuchSegment:
+      return "NO_SUCH_SEGMENT";
+    case Status::kNoSuchDirectory:
+      return "NO_SUCH_DIRECTORY";
+    case Status::kNotADirectory:
+      return "NOT_A_DIRECTORY";
+    case Status::kIsADirectory:
+      return "IS_A_DIRECTORY";
+    case Status::kNameDuplication:
+      return "NAME_DUPLICATION";
+    case Status::kSegmentTooLong:
+      return "SEGMENT_TOO_LONG";
+    case Status::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
+    case Status::kSegmentDamaged:
+      return "SEGMENT_DAMAGED";
+    case Status::kDirectoryNotEmpty:
+      return "DIRECTORY_NOT_EMPTY";
+    case Status::kSegmentNotKnown:
+      return "SEGMENT_NOT_KNOWN";
+    case Status::kSegmentAlreadyKnown:
+      return "SEGMENT_ALREADY_KNOWN";
+    case Status::kNoFreeSegmentNumbers:
+      return "NO_FREE_SEGMENT_NUMBERS";
+    case Status::kReferenceNameBound:
+      return "REFERENCE_NAME_BOUND";
+    case Status::kNoSuchReferenceName:
+      return "NO_SUCH_REFERENCE_NAME";
+    case Status::kBadObjectFormat:
+      return "BAD_OBJECT_FORMAT";
+    case Status::kLinkageFault:
+      return "LINKAGE_FAULT";
+    case Status::kSymbolNotFound:
+      return "SYMBOL_NOT_FOUND";
+    case Status::kNoSuchProcess:
+      return "NO_SUCH_PROCESS";
+    case Status::kNoSuchChannel:
+      return "NO_SUCH_CHANNEL";
+    case Status::kProcessLimit:
+      return "PROCESS_LIMIT";
+    case Status::kChannelFull:
+      return "CHANNEL_FULL";
+    case Status::kDeviceError:
+      return "DEVICE_ERROR";
+    case Status::kConnectionClosed:
+      return "CONNECTION_CLOSED";
+    case Status::kBufferOverrun:
+      return "BUFFER_OVERRUN";
+  }
+  return "UNKNOWN";
+}
+
+std::ostream& operator<<(std::ostream& os, Status status) {
+  return os << StatusName(status);
+}
+
+}  // namespace multics

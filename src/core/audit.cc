@@ -1,0 +1,52 @@
+#include "src/core/audit.h"
+
+namespace multics {
+
+void AuditLog::Record(Cycles time, const std::string& principal, const std::string& operation,
+                      Uid uid, Status outcome) {
+  recent_.push_back(AuditRecord{time, principal, operation, uid, outcome});
+  if (recent_.size() > keep_recent_) {
+    recent_.pop_front();
+  }
+  if (outcome == Status::kOk) {
+    ++grants_;
+    return;
+  }
+  ++denials_;
+  switch (outcome) {
+    case Status::kMlsReadViolation:
+    case Status::kMlsWriteViolation:
+      ++mls_denials_;
+      break;
+    case Status::kAccessDenied:
+      ++acl_denials_;
+      break;
+    case Status::kRingViolation:
+    case Status::kNotAGate:
+      ++ring_denials_;
+      break;
+    default:
+      break;
+  }
+}
+
+uint64_t AuditLog::denials_with(Status status) const {
+  uint64_t n = 0;
+  for (const AuditRecord& record : recent_) {
+    if (record.outcome == status) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void AuditLog::Clear() {
+  recent_.clear();
+  grants_ = 0;
+  denials_ = 0;
+  mls_denials_ = 0;
+  acl_denials_ = 0;
+  ring_denials_ = 0;
+}
+
+}  // namespace multics

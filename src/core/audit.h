@@ -1,0 +1,54 @@
+// The audit log: every reference-monitor decision is recorded here. The
+// fault-injection experiments (E6, E10) use the log to demonstrate the
+// negative property the paper cares about — that misbehaving non-kernel code
+// produced *zero* unauthorized accesses, only denials.
+
+#ifndef SRC_CORE_AUDIT_H_
+#define SRC_CORE_AUDIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/base/clock.h"
+#include "src/base/status.h"
+#include "src/fs/branch.h"
+
+namespace multics {
+
+struct AuditRecord {
+  Cycles time = 0;
+  std::string principal;
+  std::string operation;
+  Uid uid = kInvalidUid;
+  Status outcome = Status::kOk;
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(uint32_t keep_recent = 1024) : keep_recent_(keep_recent) {}
+
+  void Record(Cycles time, const std::string& principal, const std::string& operation, Uid uid,
+              Status outcome);
+
+  uint64_t grants() const { return grants_; }
+  uint64_t denials() const { return denials_; }
+  uint64_t denials_with(Status status) const;
+
+  const std::deque<AuditRecord>& recent() const { return recent_; }
+
+  void Clear();
+
+ private:
+  uint32_t keep_recent_;
+  std::deque<AuditRecord> recent_;
+  uint64_t grants_ = 0;
+  uint64_t denials_ = 0;
+  uint64_t mls_denials_ = 0;
+  uint64_t acl_denials_ = 0;
+  uint64_t ring_denials_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_CORE_AUDIT_H_

@@ -1,0 +1,71 @@
+#include "src/core/gate.h"
+
+namespace multics {
+
+const char* GateCategoryName(GateCategory category) {
+  switch (category) {
+    case GateCategory::kAddressSpace:
+      return "address-space";
+    case GateCategory::kPathAddressing:
+      return "path-addressing";
+    case GateCategory::kNaming:
+      return "naming";
+    case GateCategory::kLinker:
+      return "linker";
+    case GateCategory::kFileSystem:
+      return "file-system";
+    case GateCategory::kSegment:
+      return "segment";
+    case GateCategory::kProcess:
+      return "process";
+    case GateCategory::kIpc:
+      return "ipc";
+    case GateCategory::kDeviceIo:
+      return "device-io";
+    case GateCategory::kNetwork:
+      return "network";
+    case GateCategory::kAdmin:
+      return "admin";
+  }
+  return "?";
+}
+
+Status GateTable::Register(const std::string& name, GateCategory category) {
+  if (Has(name)) {
+    return Status::kAlreadyExists;
+  }
+  gates_.push_back(GateInfo{name, category, 0});
+  return Status::kOk;
+}
+
+bool GateTable::Has(const std::string& name) const {
+  for (const GateInfo& gate : gates_) {
+    if (gate.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status GateTable::RecordCall(const std::string& name) {
+  for (GateInfo& gate : gates_) {
+    if (gate.name == name) {
+      ++gate.calls;
+      ++total_calls_;
+      return Status::kOk;
+    }
+  }
+  return Status::kNotAGate;
+}
+
+uint32_t GateTable::CountByCategory(GateCategory category) const {
+  uint32_t n = 0;
+  for (const GateInfo& gate : gates_) {
+    if (gate.category == category) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace multics

@@ -1,0 +1,129 @@
+#include "src/fs/acl.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace multics {
+
+Result<Principal> Parse3(const std::string& text) {
+  std::istringstream is(text);
+  std::string person;
+  std::string project;
+  std::string tag;
+  if (!std::getline(is, person, '.') || !std::getline(is, project, '.')) {
+    return Status::kInvalidArgument;
+  }
+  if (!std::getline(is, tag, '.')) {
+    tag = "a";
+  }
+  if (person.empty() || project.empty() || tag.empty()) {
+    return Status::kInvalidArgument;
+  }
+  return Principal{person, project, tag};
+}
+
+Result<Principal> Principal::Parse(const std::string& text) { return Parse3(text); }
+
+std::string SegmentModeString(uint8_t modes) {
+  std::string out = "---";
+  if (modes & kModeRead) {
+    out[0] = 'r';
+  }
+  if (modes & kModeWrite) {
+    out[1] = 'w';
+  }
+  if (modes & kModeExecute) {
+    out[2] = 'e';
+  }
+  return out;
+}
+
+std::string DirModeString(uint8_t modes) {
+  std::string out = "---";
+  if (modes & kDirStatus) {
+    out[0] = 's';
+  }
+  if (modes & kDirModify) {
+    out[1] = 'm';
+  }
+  if (modes & kDirAppend) {
+    out[2] = 'a';
+  }
+  return out;
+}
+
+Result<uint8_t> ParseSegmentModes(const std::string& text) {
+  uint8_t modes = kModeNull;
+  for (char c : text) {
+    switch (c) {
+      case 'r':
+        modes |= kModeRead;
+        break;
+      case 'w':
+        modes |= kModeWrite;
+        break;
+      case 'e':
+        modes |= kModeExecute;
+        break;
+      case '-':
+      case 'n':
+        break;
+      default:
+        return Status::kInvalidArgument;
+    }
+  }
+  return modes;
+}
+
+namespace {
+
+bool ComponentMatches(const std::string& pattern, const std::string& value) {
+  return pattern == "*" || pattern == value;
+}
+
+}  // namespace
+
+bool AclEntry::Matches(const Principal& principal) const {
+  return ComponentMatches(person, principal.person) &&
+         ComponentMatches(project, principal.project) && ComponentMatches(tag, principal.tag);
+}
+
+int AclEntry::Specificity() const {
+  return (person != "*" ? 4 : 0) + (project != "*" ? 2 : 0) + (tag != "*" ? 1 : 0);
+}
+
+void Acl::Set(const AclEntry& entry) {
+  for (auto& existing : entries_) {
+    if (existing.NamePart() == entry.NamePart()) {
+      existing.modes = entry.modes;
+      return;
+    }
+  }
+  entries_.push_back(entry);
+  std::stable_sort(entries_.begin(), entries_.end(), [](const AclEntry& a, const AclEntry& b) {
+    return a.Specificity() > b.Specificity();
+  });
+}
+
+Status Acl::Remove(const std::string& person, const std::string& project,
+                   const std::string& tag) {
+  const std::string name = person + "." + project + "." + tag;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->NamePart() == name) {
+      entries_.erase(it);
+      return Status::kOk;
+    }
+  }
+  return Status::kNotFound;
+}
+
+uint8_t Acl::EffectiveModes(const Principal& principal) const {
+  for (const AclEntry& entry : entries_) {
+    if (entry.Matches(principal)) {
+      return entry.modes;  // First (most specific) match wins, even if null.
+    }
+  }
+  return kModeNull;
+}
+
+}  // namespace multics

@@ -1,0 +1,63 @@
+// Branches: the per-segment metadata record the storage system keeps — ACL,
+// MLS label, ring brackets, gate attributes, length, and the disk page map
+// used while the segment is inactive. The branch is the object the security
+// kernel's reference monitor consults; user rings never touch one directly.
+
+#ifndef SRC_FS_BRANCH_H_
+#define SRC_FS_BRANCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fs/acl.h"
+#include "src/hw/ring.h"
+#include "src/mem/paging_device.h"
+#include "src/mls/label.h"
+
+namespace multics {
+
+using Uid = uint64_t;
+inline constexpr Uid kInvalidUid = 0;
+
+struct Branch {
+  Uid uid = kInvalidUid;
+  Uid parent = kInvalidUid;    // Containing directory (kInvalidUid for root).
+  bool is_directory = false;
+
+  uint32_t pages = 0;          // Current length.
+  uint32_t max_pages = kMaxSegmentPages;
+
+  Acl acl;
+  MlsLabel label;
+  RingBrackets brackets = UserBrackets();
+  bool gate = false;
+  uint32_t gate_entries = 0;
+
+  Principal author;
+  Cycles date_created = 0;
+  Cycles date_modified = 0;
+
+  // Disk addresses of each page while the segment is inactive
+  // (kInvalidDevAddr = zero page). Meaningless while active.
+  std::vector<DevAddr> disk_home;
+
+  // Directory quota: maximum pages chargeable below this directory.
+  // 0 means "no quota here; charge the nearest ancestor with one".
+  uint32_t quota_pages = 0;
+  uint32_t quota_used = 0;
+};
+
+// Attributes supplied at creation time.
+struct SegmentAttributes {
+  uint32_t max_pages = kMaxSegmentPages;
+  Acl acl;
+  MlsLabel label;
+  RingBrackets brackets = UserBrackets();
+  bool gate = false;
+  uint32_t gate_entries = 0;
+  Principal author;
+};
+
+}  // namespace multics
+
+#endif  // SRC_FS_BRANCH_H_

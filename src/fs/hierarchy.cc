@@ -1,0 +1,277 @@
+#include "src/fs/hierarchy.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace multics {
+namespace {
+
+constexpr int kMaxLinkDepth = 8;
+
+}  // namespace
+
+// --- Directory -----------------------------------------------------------------
+
+Status Directory::Add(DirEntry entry) {
+  if (!ValidEntryName(entry.name)) {
+    return Status::kInvalidArgument;
+  }
+  if (Find(entry.name) != nullptr) {
+    return Status::kNameDuplication;
+  }
+  entries_.push_back(std::move(entry));
+  return Status::kOk;
+}
+
+Status Directory::Remove(const std::string& name) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const DirEntry& e) { return e.name == name; });
+  if (it == entries_.end()) {
+    return Status::kNotFound;
+  }
+  entries_.erase(it);
+  return Status::kOk;
+}
+
+const DirEntry* Directory::Find(const std::string& name) const {
+  for (const DirEntry& entry : entries_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+uint32_t Directory::NameCountFor(Uid uid) const {
+  uint32_t count = 0;
+  for (const DirEntry& entry : entries_) {
+    if (!entry.is_link && entry.uid == uid) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+// --- Hierarchy -----------------------------------------------------------------
+
+Hierarchy::Hierarchy(SegmentStore* store) : store_(store) {}
+
+Status Hierarchy::Init() {
+  if (root_ != kInvalidUid) {
+    return Status::kFailedPrecondition;
+  }
+  SegmentAttributes attrs;
+  // Permissive root default; system initialization tightens it as policy
+  // demands. (An all-null root would brick every unprivileged process.)
+  attrs.acl.Set(AclEntry{"*", "*", "*", kDirStatus | kDirModify | kDirAppend});
+  attrs.label = MlsLabel::SystemLow();
+  attrs.author = Principal{"Initializer", "SysDaemon", "z"};
+  MX_ASSIGN_OR_RETURN(root_, store_->Create(attrs, /*is_directory=*/true, kInvalidUid));
+  directories_[root_] = Directory{};
+  return Status::kOk;
+}
+
+Result<Directory*> Hierarchy::GetDir(Uid dir_uid) {
+  auto it = directories_.find(dir_uid);
+  if (it == directories_.end()) {
+    if (!store_->Exists(dir_uid)) {
+      return Status::kNoSuchDirectory;
+    }
+    return Status::kNotADirectory;
+  }
+  return &it->second;
+}
+
+Result<const Directory*> Hierarchy::GetDir(Uid dir_uid) const {
+  auto it = directories_.find(dir_uid);
+  if (it == directories_.end()) {
+    if (!store_->Exists(dir_uid)) {
+      return Status::kNoSuchDirectory;
+    }
+    return Status::kNotADirectory;
+  }
+  return &it->second;
+}
+
+Result<Uid> Hierarchy::CreateSegment(Uid dir_uid, const std::string& name,
+                                     const SegmentAttributes& attrs) {
+  MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
+  if (dir->Find(name) != nullptr) {
+    return Status::kNameDuplication;
+  }
+  MX_ASSIGN_OR_RETURN(Uid uid, store_->Create(attrs, /*is_directory=*/false, dir_uid));
+  Status st = dir->Add(DirEntry{name, uid, false, {}});
+  if (st != Status::kOk) {
+    (void)store_->Delete(uid);
+    return st;
+  }
+  return uid;
+}
+
+Result<Uid> Hierarchy::CreateDirectory(Uid dir_uid, const std::string& name,
+                                       const SegmentAttributes& attrs, uint32_t quota_pages) {
+  MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
+  if (dir->Find(name) != nullptr) {
+    return Status::kNameDuplication;
+  }
+  MX_ASSIGN_OR_RETURN(Uid uid, store_->Create(attrs, /*is_directory=*/true, dir_uid));
+  MX_ASSIGN_OR_RETURN(Branch * branch, store_->Get(uid));
+  branch->quota_pages = quota_pages;
+  Status st = dir->Add(DirEntry{name, uid, false, {}});
+  if (st != Status::kOk) {
+    (void)store_->Delete(uid);
+    return st;
+  }
+  directories_[uid] = Directory{};
+  return uid;
+}
+
+Status Hierarchy::CreateLink(Uid dir_uid, const std::string& name,
+                             const std::string& target_path) {
+  MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
+  auto parsed = Path::Parse(target_path);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  return dir->Add(DirEntry{name, kInvalidUid, true, target_path});
+}
+
+Status Hierarchy::DeleteEntry(Uid dir_uid, const std::string& name) {
+  MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
+  const DirEntry* entry = dir->Find(name);
+  if (entry == nullptr) {
+    return Status::kNotFound;
+  }
+  if (entry->is_link) {
+    return dir->Remove(name);
+  }
+
+  Uid uid = entry->uid;
+  MX_ASSIGN_OR_RETURN(Branch * branch, store_->Get(uid));
+
+  if (dir->NameCountFor(uid) > 1) {
+    return dir->Remove(name);  // Just drop one of several names.
+  }
+
+  if (branch->is_directory) {
+    auto target = GetDir(uid);
+    if (!target.ok()) {
+      return target.status();
+    }
+    if (!target.value()->empty()) {
+      return Status::kDirectoryNotEmpty;
+    }
+    MX_RETURN_IF_ERROR(store_->Delete(uid));
+    directories_.erase(uid);
+    return dir->Remove(name);
+  }
+
+  MX_RETURN_IF_ERROR(store_->Delete(uid));
+  return dir->Remove(name);
+}
+
+Status Hierarchy::AddName(Uid dir_uid, const std::string& existing,
+                          const std::string& additional) {
+  MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
+  const DirEntry* entry = dir->Find(existing);
+  if (entry == nullptr) {
+    return Status::kNotFound;
+  }
+  if (entry->is_link) {
+    return Status::kInvalidArgument;
+  }
+  return dir->Add(DirEntry{additional, entry->uid, false, {}});
+}
+
+Status Hierarchy::Rename(Uid dir_uid, const std::string& from, const std::string& to) {
+  MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
+  const DirEntry* entry = dir->Find(from);
+  if (entry == nullptr) {
+    return Status::kNotFound;
+  }
+  if (dir->Find(to) != nullptr) {
+    return Status::kNameDuplication;
+  }
+  DirEntry copy = *entry;
+  copy.name = to;
+  MX_RETURN_IF_ERROR(dir->Remove(from));
+  return dir->Add(std::move(copy));
+}
+
+Result<DirEntry> Hierarchy::Lookup(Uid dir_uid, const std::string& name) const {
+  MX_ASSIGN_OR_RETURN(const Directory* dir, GetDir(dir_uid));
+  const DirEntry* entry = dir->Find(name);
+  if (entry == nullptr) {
+    return Status::kNotFound;
+  }
+  return *entry;
+}
+
+Result<Uid> Hierarchy::ResolvePath(const Path& path) const {
+  return ResolveWithDepth(path, kMaxLinkDepth);
+}
+
+Result<Uid> Hierarchy::ResolveWithDepth(const Path& path, int depth) const {
+  if (depth <= 0) {
+    return Status::kLinkageFault;
+  }
+  Uid current = root_;
+  for (size_t i = 0; i < path.components.size(); ++i) {
+    MX_ASSIGN_OR_RETURN(DirEntry entry, Lookup(current, path.components[i]));
+    if (entry.is_link) {
+      // Splice the link target in front of the remaining components.
+      MX_ASSIGN_OR_RETURN(Path target, Path::Parse(entry.link_target));
+      for (size_t j = i + 1; j < path.components.size(); ++j) {
+        target.components.push_back(path.components[j]);
+      }
+      return ResolveWithDepth(target, depth - 1);
+    }
+    current = entry.uid;
+  }
+  return current;
+}
+
+Result<std::vector<DirEntry>> Hierarchy::List(Uid dir_uid) const {
+  MX_ASSIGN_OR_RETURN(const Directory* dir, GetDir(dir_uid));
+  return dir->entries();
+}
+
+Result<Path> Hierarchy::PathOf(Uid uid) const {
+  if (uid == root_) {
+    return Path{};
+  }
+  std::vector<std::string> reversed;
+  Uid current = uid;
+  for (int depth = 0; depth < 64; ++depth) {
+    auto branch = const_cast<SegmentStore*>(store_)->Get(current);
+    if (!branch.ok()) {
+      return branch.status();
+    }
+    Uid parent = branch.value()->parent;
+    if (parent == kInvalidUid) {
+      break;
+    }
+    MX_ASSIGN_OR_RETURN(const Directory* dir, GetDir(parent));
+    std::string found;
+    for (const DirEntry& entry : dir->entries()) {
+      if (!entry.is_link && entry.uid == current) {
+        found = entry.name;
+        break;
+      }
+    }
+    if (found.empty()) {
+      return Status::kNotFound;
+    }
+    reversed.push_back(found);
+    current = parent;
+    if (current == root_) {
+      break;
+    }
+  }
+  Path path;
+  path.components.assign(reversed.rbegin(), reversed.rend());
+  return path;
+}
+
+}  // namespace multics

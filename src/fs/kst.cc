@@ -1,0 +1,70 @@
+#include "src/fs/kst.h"
+
+namespace multics {
+
+Result<SegNo> KnownSegmentTable::Assign(Uid uid) {
+  if (uid == kInvalidUid) {
+    return Status::kInvalidArgument;
+  }
+  if (auto it = by_uid_.find(uid); it != by_uid_.end()) {
+    ++by_segno_[it->second].usage;
+    return it->second;
+  }
+  // Linear scan from the cursor; wraps once.
+  for (SegNo probe = 0; probe <= last_ - first_; ++probe) {
+    SegNo candidate = first_ + (next_ - first_ + probe) % (last_ - first_ + 1);
+    if (!by_segno_.contains(candidate)) {
+      by_segno_[candidate] = Entry{uid, 1};
+      by_uid_[uid] = candidate;
+      next_ = candidate + 1 > last_ ? first_ : candidate + 1;
+      return candidate;
+    }
+  }
+  return Status::kNoFreeSegmentNumbers;
+}
+
+Result<Uid> KnownSegmentTable::UidOf(SegNo segno) const {
+  auto it = by_segno_.find(segno);
+  if (it == by_segno_.end()) {
+    return Status::kSegmentNotKnown;
+  }
+  return it->second.uid;
+}
+
+Result<SegNo> KnownSegmentTable::SegNoOf(Uid uid) const {
+  auto it = by_uid_.find(uid);
+  if (it == by_uid_.end()) {
+    return Status::kSegmentNotKnown;
+  }
+  return it->second;
+}
+
+uint32_t KnownSegmentTable::UsageCount(SegNo segno) const {
+  auto it = by_segno_.find(segno);
+  return it == by_segno_.end() ? 0 : it->second.usage;
+}
+
+Result<uint32_t> KnownSegmentTable::Release(SegNo segno) {
+  auto it = by_segno_.find(segno);
+  if (it == by_segno_.end()) {
+    return Status::kSegmentNotKnown;
+  }
+  if (--it->second.usage > 0) {
+    return it->second.usage;
+  }
+  by_uid_.erase(it->second.uid);
+  by_segno_.erase(it);
+  return 0u;
+}
+
+Status KnownSegmentTable::ForceRelease(SegNo segno) {
+  auto it = by_segno_.find(segno);
+  if (it == by_segno_.end()) {
+    return Status::kSegmentNotKnown;
+  }
+  by_uid_.erase(it->second.uid);
+  by_segno_.erase(it);
+  return Status::kOk;
+}
+
+}  // namespace multics

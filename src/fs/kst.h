@@ -1,0 +1,72 @@
+// The known segment table (KST): per-process map between segment numbers and
+// segment UIDs. This is the *common* (kernel) part left after Bratt's
+// split [14]: the reference-name half of the old KST — names, search rules,
+// pathname strings — moved to the user ring (src/userring/rnm.h), and what
+// the kernel must still hold shrinks to this table. Experiment E3 measures
+// that shrinkage.
+
+#ifndef SRC_FS_KST_H_
+#define SRC_FS_KST_H_
+
+#include <unordered_map>
+
+#include "src/base/result.h"
+#include "src/fs/branch.h"
+#include "src/hw/word.h"
+
+namespace multics {
+
+class KnownSegmentTable {
+ public:
+  // Segment numbers below `first` are reserved (kernel segments, stack...).
+  explicit KnownSegmentTable(SegNo first = 64, SegNo last = kMaxSegments - 1)
+      : first_(first), last_(last), next_(first) {}
+
+  // Makes `uid` known, assigning a segment number. Idempotent: repeated
+  // initiations of the same uid return the same number with a usage count
+  // (Multics' initiate_count), so independently-written user code can
+  // initiate and terminate the same segment without pulling the number out
+  // from under each other.
+  Result<SegNo> Assign(Uid uid);
+
+  Result<Uid> UidOf(SegNo segno) const;
+  Result<SegNo> SegNoOf(Uid uid) const;
+  bool IsKnown(Uid uid) const { return by_uid_.contains(uid); }
+  uint32_t UsageCount(SegNo segno) const;
+
+  // Decrements the usage count; returns the remaining count (0 means the
+  // entry is gone and the segment number free for reuse).
+  Result<uint32_t> Release(SegNo segno);
+  // Drops the entry regardless of count (process destruction).
+  Status ForceRelease(SegNo segno);
+
+  uint32_t size() const { return static_cast<uint32_t>(by_segno_.size()); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [segno, entry] : by_segno_) {
+      fn(segno, entry.uid);
+    }
+  }
+
+  // Approximate kernel-resident state, for the E3 size comparison.
+  size_t KernelStateBytes() const {
+    return by_segno_.size() * (sizeof(SegNo) + 2 * sizeof(Uid) + sizeof(uint32_t));
+  }
+
+ private:
+  struct Entry {
+    Uid uid = kInvalidUid;
+    uint32_t usage = 0;
+  };
+
+  SegNo first_;
+  SegNo last_;
+  SegNo next_;
+  std::unordered_map<SegNo, Entry> by_segno_;
+  std::unordered_map<Uid, SegNo> by_uid_;
+};
+
+}  // namespace multics
+
+#endif  // SRC_FS_KST_H_

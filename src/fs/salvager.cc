@@ -1,0 +1,155 @@
+#include "src/fs/salvager.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace multics {
+
+Result<SalvageReport> Salvager::Run(Hierarchy& hierarchy, bool repair) {
+  SalvageReport report;
+  SegmentStore& store = *hierarchy.store_;
+
+  // --- Pass 1: every directory entry must name a live branch; every live
+  // link must parse; every named branch must agree about its parent. -------
+  std::vector<Uid> ghost_directories;
+  for (auto& [dir_uid, directory] : hierarchy.directories_) {
+    if (!store.Exists(dir_uid)) {
+      ghost_directories.push_back(dir_uid);
+      continue;
+    }
+    ++report.directories_scanned;
+    std::vector<std::string> to_remove;
+    for (const DirEntry& entry : directory.entries()) {
+      ++report.entries_checked;
+      if (entry.is_link) {
+        if (!Path::Parse(entry.link_target).ok()) {
+          ++report.bad_links_removed;
+          to_remove.push_back(entry.name);
+        }
+        continue;
+      }
+      if (!store.Exists(entry.uid)) {
+        ++report.dangling_entries_removed;
+        to_remove.push_back(entry.name);
+        continue;
+      }
+      Branch* branch = store.Get(entry.uid).value();
+      if (branch->parent != dir_uid) {
+        ++report.parent_fixups;
+        if (repair) {
+          branch->parent = dir_uid;
+        }
+      }
+    }
+    if (repair) {
+      for (const std::string& name : to_remove) {
+        (void)directory.Remove(name);
+      }
+    }
+  }
+  if (repair) {
+    for (Uid ghost : ghost_directories) {
+      hierarchy.directories_.erase(ghost);
+    }
+  }
+
+  // --- Pass 2: reachability. Branches no directory names get reattached
+  // under >lost_found. ------------------------------------------------------
+  std::unordered_set<Uid> reachable;
+  reachable.insert(hierarchy.root_);
+  std::vector<Uid> stack{hierarchy.root_};
+  while (!stack.empty()) {
+    Uid dir = stack.back();
+    stack.pop_back();
+    auto it = hierarchy.directories_.find(dir);
+    if (it == hierarchy.directories_.end()) {
+      continue;
+    }
+    for (const DirEntry& entry : it->second.entries()) {
+      if (entry.is_link || !store.Exists(entry.uid)) {
+        continue;
+      }
+      if (reachable.insert(entry.uid).second && store.Get(entry.uid).value()->is_directory) {
+        stack.push_back(entry.uid);
+      }
+    }
+  }
+
+  std::vector<Uid> orphans;
+  store.ForEachBranch([&](Branch& branch) {
+    if (!reachable.contains(branch.uid)) {
+      orphans.push_back(branch.uid);
+    }
+  });
+  if (!orphans.empty() && repair) {
+    Uid lost_found = kInvalidUid;
+    auto existing = hierarchy.Lookup(hierarchy.root_, "lost_found");
+    if (existing.ok() && !existing->is_link) {
+      lost_found = existing->uid;
+    } else {
+      SegmentAttributes attrs;
+      attrs.acl.Set(AclEntry{"*", "SysDaemon", "*", kDirStatus | kDirModify | kDirAppend});
+      attrs.author = Principal{"Salvager", "SysDaemon", "z"};
+      auto created = hierarchy.CreateDirectory(hierarchy.root_, "lost_found", attrs);
+      if (!created.ok()) {
+        return created.status();
+      }
+      lost_found = created.value();
+    }
+    for (Uid orphan : orphans) {
+      if (orphan == lost_found) {
+        continue;
+      }
+      Branch* branch = store.Get(orphan).value();
+      Directory& dir = hierarchy.directories_[lost_found];
+      std::string name = "orphan_" + std::to_string(orphan);
+      if (dir.Find(name) == nullptr) {
+        (void)dir.Add(DirEntry{name, orphan, false, {}});
+      }
+      branch->parent = lost_found;
+      if (branch->is_directory && !hierarchy.directories_.contains(orphan)) {
+        hierarchy.directories_[orphan] = Directory{};
+      }
+      ++report.orphans_reattached;
+    }
+  } else {
+    report.orphans_reattached = static_cast<uint32_t>(orphans.size());
+  }
+
+  // --- Pass 3: recompute quota charges. Every segment's pages charge the
+  // nearest ancestor directory that carries a quota. ------------------------
+  std::unordered_map<Uid, uint32_t> charged;
+  store.ForEachBranch([&](Branch& branch) {
+    if (branch.is_directory || branch.pages == 0) {
+      return;
+    }
+    Uid current = branch.parent;
+    for (int depth = 0; depth < 64 && current != kInvalidUid; ++depth) {
+      auto parent = store.Get(current);
+      if (!parent.ok()) {
+        break;
+      }
+      if (parent.value()->quota_pages > 0) {
+        charged[current] += branch.pages;
+        break;
+      }
+      current = parent.value()->parent;
+    }
+  });
+  store.ForEachBranch([&](Branch& branch) {
+    if (!branch.is_directory || branch.quota_pages == 0) {
+      return;
+    }
+    uint32_t actual = charged.contains(branch.uid) ? charged[branch.uid] : 0;
+    if (branch.quota_used != actual) {
+      ++report.quota_corrections;
+      if (repair) {
+        branch.quota_used = actual;
+      }
+    }
+  });
+
+  return report;
+}
+
+}  // namespace multics

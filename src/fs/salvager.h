@@ -1,0 +1,40 @@
+// The salvager: the file-system consistency checker and repairer that every
+// Multics start ran after an unclean shutdown. The paper's review activity
+// keeps it honest company — "undesired" results from crashes must not turn
+// into "unauthorized" ones, so the storage system has to be brought back to
+// a state the reference monitor's assumptions hold in: every directory entry
+// points at a live branch, every branch is reachable, every quota cell
+// equals the sum of what is charged below it.
+
+#ifndef SRC_FS_SALVAGER_H_
+#define SRC_FS_SALVAGER_H_
+
+#include "src/fs/hierarchy.h"
+
+namespace multics {
+
+struct SalvageReport {
+  uint32_t directories_scanned = 0;
+  uint32_t entries_checked = 0;
+  uint32_t dangling_entries_removed = 0;  // Entries naming nonexistent branches.
+  uint32_t bad_links_removed = 0;         // Links whose target does not parse.
+  uint32_t orphans_reattached = 0;        // Live branches reachable from no directory.
+  uint32_t parent_fixups = 0;             // branch.parent disagreed with the entry.
+  uint32_t quota_corrections = 0;         // quota_used recomputed.
+
+  uint32_t total_repairs() const {
+    return dangling_entries_removed + bad_links_removed + orphans_reattached + parent_fixups +
+           quota_corrections;
+  }
+};
+
+class Salvager {
+ public:
+  // Scans (and, when `repair` is set, fixes) the hierarchy. Orphans are
+  // reattached under >lost_found, created on demand.
+  static Result<SalvageReport> Run(Hierarchy& hierarchy, bool repair);
+};
+
+}  // namespace multics
+
+#endif  // SRC_FS_SALVAGER_H_

@@ -1,0 +1,271 @@
+#include "src/fs/segment_store.h"
+
+#include "src/base/log.h"
+
+namespace multics {
+
+SegmentStore::SegmentStore(Machine* machine, ActiveSegmentTable* ast, PagingDevice* disk)
+    : machine_(machine), ast_(ast), disk_(disk) {}
+
+Result<Uid> SegmentStore::Create(const SegmentAttributes& attrs, bool is_directory, Uid parent) {
+  if (parent != kInvalidUid) {
+    auto it = branches_.find(parent);
+    if (it == branches_.end()) {
+      return Status::kNoSuchDirectory;
+    }
+    if (!it->second.is_directory) {
+      return Status::kNotADirectory;
+    }
+  }
+  Uid uid = next_uid_++;
+  Branch branch;
+  branch.uid = uid;
+  branch.parent = parent;
+  branch.is_directory = is_directory;
+  branch.pages = 0;
+  branch.max_pages = attrs.max_pages;
+  branch.acl = attrs.acl;
+  branch.label = attrs.label;
+  branch.brackets = attrs.brackets;
+  branch.gate = attrs.gate;
+  branch.gate_entries = attrs.gate_entries;
+  branch.author = attrs.author;
+  branch.date_created = machine_->clock().now();
+  branch.date_modified = branch.date_created;
+  branches_[uid] = std::move(branch);
+  return uid;
+}
+
+Result<Branch*> SegmentStore::Get(Uid uid) {
+  auto it = branches_.find(uid);
+  if (it == branches_.end()) {
+    return Status::kNoSuchSegment;
+  }
+  return &it->second;
+}
+
+Status SegmentStore::QuotaCharge(Uid parent, int64_t delta_pages) {
+  // Find the nearest ancestor directory carrying a quota.
+  Uid current = parent;
+  while (current != kInvalidUid) {
+    auto it = branches_.find(current);
+    if (it == branches_.end()) {
+      break;
+    }
+    Branch& dir = it->second;
+    if (dir.quota_pages > 0) {
+      int64_t next_used = static_cast<int64_t>(dir.quota_used) + delta_pages;
+      if (next_used < 0) {
+        next_used = 0;
+      }
+      if (next_used > static_cast<int64_t>(dir.quota_pages)) {
+        return Status::kQuotaExceeded;
+      }
+      dir.quota_used = static_cast<uint32_t>(next_used);
+      return Status::kOk;
+    }
+    current = dir.parent;
+  }
+  return Status::kOk;  // No quota anywhere up the chain: unlimited.
+}
+
+Result<ActiveSegment*> SegmentStore::Activate(Uid uid, bool wired) {
+  auto it = branches_.find(uid);
+  if (it == branches_.end()) {
+    return Status::kNoSuchSegment;
+  }
+  Branch& branch = it->second;
+
+  if (ActiveSegment* existing = ast_->Find(uid); existing != nullptr) {
+    return existing;
+  }
+
+  auto seg = ast_->Activate(uid, branch.pages, branch.disk_home);
+  if (!seg.ok() && seg.status() == Status::kResourceExhausted) {
+    MX_RETURN_IF_ERROR(EvictOneInactive());
+    seg = ast_->Activate(uid, branch.pages, branch.disk_home);
+  }
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  seg.value()->wired = wired;
+  return seg.value();
+}
+
+Status SegmentStore::DropRef(Uid uid) {
+  auto it = refs_.find(uid);
+  if (it == refs_.end() || it->second == 0) {
+    return Status::kFailedPrecondition;
+  }
+  --it->second;
+  return Status::kOk;
+}
+
+uint32_t SegmentStore::RefCount(Uid uid) const {
+  auto it = refs_.find(uid);
+  return it == refs_.end() ? 0 : it->second;
+}
+
+Status SegmentStore::Deactivate(Uid uid) { return DeactivateNow(uid); }
+
+Status SegmentStore::EvictOneInactive() {
+  // Prefer segments nobody has initiated; fall back to any unwired segment
+  // (its SDWs get invalidated through the hook and reload on segment fault).
+  Uid zero_ref_victim = kInvalidUid;
+  Uid any_victim = kInvalidUid;
+  ast_->ForEach([&](ActiveSegment* seg) {
+    if (seg->wired) {
+      return;
+    }
+    if (any_victim == kInvalidUid) {
+      any_victim = seg->uid;
+    }
+    if (zero_ref_victim == kInvalidUid && RefCount(seg->uid) == 0) {
+      zero_ref_victim = seg->uid;
+    }
+  });
+  Uid victim = zero_ref_victim != kInvalidUid ? zero_ref_victim : any_victim;
+  if (victim == kInvalidUid) {
+    return Status::kResourceExhausted;
+  }
+  return DeactivateNow(victim);
+}
+
+Status SegmentStore::DeactivateNow(Uid uid) {
+  ActiveSegment* seg = ast_->Find(uid);
+  if (seg == nullptr) {
+    return Status::kNotFound;
+  }
+  if (deactivate_hook_) {
+    deactivate_hook_(uid);  // Disconnect SDWs before the page table dies.
+  }
+  CHECK(page_control_ != nullptr);
+  MX_RETURN_IF_ERROR(page_control_->FlushSegment(seg));
+
+  auto it = branches_.find(uid);
+  CHECK(it != branches_.end());
+  Branch& branch = it->second;
+  branch.pages = seg->pages;
+  branch.disk_home.assign(seg->pages, kInvalidDevAddr);
+  for (PageNo p = 0; p < seg->pages; ++p) {
+    if (seg->location[p].level == PageLevel::kDisk) {
+      branch.disk_home[p] = seg->location[p].addr;
+    }
+  }
+  return ast_->Deactivate(uid);
+}
+
+Status SegmentStore::FreePageStorage(ActiveSegment* seg, PageNo page) {
+  PageLoc& loc = seg->location[page];
+  switch (loc.level) {
+    case PageLevel::kZero:
+      return Status::kOk;
+    case PageLevel::kCore: {
+      // Shrinking past a resident page: flush-style release of the frame.
+      PageTableEntry& pte = seg->page_table.entries[page];
+      pte.present = false;
+      // Page control owns the core map; route the release through a flush of
+      // just this page by marking it zero and letting FlushSegment skip it.
+      // Simpler and correct here: the caller must flush before shrinking.
+      return Status::kFailedPrecondition;
+    }
+    case PageLevel::kBulk:
+      return Status::kFailedPrecondition;
+    case PageLevel::kDisk: {
+      Status st = disk_->Free(loc.addr);
+      loc = PageLoc{PageLevel::kZero, kInvalidDevAddr};
+      return st;
+    }
+    case PageLevel::kInTransit:
+      return Status::kFailedPrecondition;
+  }
+  return Status::kInternal;
+}
+
+Status SegmentStore::SetLength(Uid uid, uint32_t pages) {
+  auto it = branches_.find(uid);
+  if (it == branches_.end()) {
+    return Status::kNoSuchSegment;
+  }
+  Branch& branch = it->second;
+  if (pages > branch.max_pages || pages > kMaxSegmentPages) {
+    return Status::kSegmentTooLong;
+  }
+  ActiveSegment* seg = ast_->Find(uid);
+  const uint32_t old_pages = seg != nullptr ? seg->pages : branch.pages;
+  if (pages == old_pages) {
+    return Status::kOk;
+  }
+
+  MX_RETURN_IF_ERROR(
+      QuotaCharge(branch.parent, static_cast<int64_t>(pages) - static_cast<int64_t>(old_pages)));
+
+  if (pages < old_pages) {
+    // Shrink: truncated pages must not be resident above disk. Flush first
+    // when the segment is active.
+    if (seg != nullptr) {
+      CHECK(page_control_ != nullptr);
+      Status st = page_control_->FlushSegment(seg);
+      if (st != Status::kOk) {
+        (void)QuotaCharge(branch.parent,
+                          static_cast<int64_t>(old_pages) - static_cast<int64_t>(pages));
+        return st;
+      }
+      for (PageNo p = pages; p < old_pages; ++p) {
+        (void)FreePageStorage(seg, p);
+      }
+      seg->Resize(pages);
+    } else {
+      for (PageNo p = pages; p < old_pages && p < branch.disk_home.size(); ++p) {
+        if (branch.disk_home[p] != kInvalidDevAddr) {
+          (void)disk_->Free(branch.disk_home[p]);
+        }
+      }
+      branch.disk_home.resize(pages);
+    }
+  } else {
+    if (seg != nullptr) {
+      seg->Resize(pages);
+    } else {
+      branch.disk_home.resize(pages, kInvalidDevAddr);
+    }
+  }
+
+  branch.pages = pages;
+  branch.date_modified = machine_->clock().now();
+  return Status::kOk;
+}
+
+Status SegmentStore::Delete(Uid uid) {
+  auto it = branches_.find(uid);
+  if (it == branches_.end()) {
+    return Status::kNoSuchSegment;
+  }
+  if (auto ref_it = refs_.find(uid); ref_it != refs_.end() && ref_it->second > 0) {
+    return Status::kFailedPrecondition;  // Still initiated somewhere.
+  }
+  if (ast_->Find(uid) != nullptr) {
+    MX_RETURN_IF_ERROR(DeactivateNow(uid));
+  }
+  Branch& branch = it->second;
+  for (DevAddr addr : branch.disk_home) {
+    if (addr != kInvalidDevAddr) {
+      (void)disk_->Free(addr);
+    }
+  }
+  (void)QuotaCharge(branch.parent, -static_cast<int64_t>(branch.pages));
+  branches_.erase(it);
+  return Status::kOk;
+}
+
+Status SegmentStore::DeactivateAll() {
+  // Shutdown: everything goes home to disk, wired or not, referenced or not.
+  std::vector<Uid> active;
+  ast_->ForEach([&](ActiveSegment* seg) { active.push_back(seg->uid); });
+  for (Uid uid : active) {
+    MX_RETURN_IF_ERROR(DeactivateNow(uid));
+  }
+  return Status::kOk;
+}
+
+}  // namespace multics

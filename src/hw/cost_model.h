@@ -1,0 +1,66 @@
+// Cycle-cost model of the simulated machine.
+//
+// The paper's performance claims are all *relative* ("cross-ring calls on the
+// 645 cost much more than intra-ring calls; on the 6180 they cost no more"),
+// so the cost model only has to get the relationships right. Constants are
+// drawn from the published shape of the two machines:
+//   * 6180: rings in hardware — a cross-ring call is an ordinary call plus a
+//     ring-register update, i.e. the same cost.
+//   * 645: rings simulated in software — every cross-ring transfer trapped to
+//     a supervisor routine that validated the gate, switched descriptor
+//     segments, and copied/validated arguments, tens of times the cost of a
+//     plain call.
+
+#ifndef SRC_HW_COST_MODEL_H_
+#define SRC_HW_COST_MODEL_H_
+
+#include "src/base/clock.h"
+
+namespace multics {
+
+struct CostModel {
+  // Basic machine operations.
+  Cycles memory_reference = 1;
+  Cycles instruction = 1;
+
+  // Procedure calls.
+  Cycles intra_ring_call = 15;
+  Cycles intra_ring_return = 10;
+
+  // 6180: hardware validates the gate and updates the ring register inline.
+  Cycles hardware_ring_call_extra = 0;
+  Cycles hardware_ring_return_extra = 0;
+
+  // 645: software fault into the ring-simulation supervisor.
+  Cycles software_ring_trap = 120;          // Fault + dispatch.
+  Cycles software_ring_validate = 180;      // Gate lookup + bracket checks.
+  Cycles software_ring_swap = 150;          // Descriptor-segment regeneration.
+  Cycles software_ring_arg_copy_per_word = 4;  // Argument copy/validation.
+
+  // Storage hierarchy (per-page transfer latencies).
+  Cycles bulk_store_read = 2'000;
+  Cycles bulk_store_write = 2'000;
+  Cycles disk_read = 20'000;
+  Cycles disk_write = 20'000;
+  Cycles io_start_overhead = 100;  // Connect + channel program setup.
+
+  // Process machinery.
+  Cycles vp_switch = 80;            // Level-1 virtual-processor switch.
+  Cycles process_switch = 300;      // Level-2 switch (address space swap).
+  Cycles wakeup = 30;               // IPC wakeup delivery.
+  Cycles block = 20;                // Process blocks on an event channel.
+
+  // Interrupts.
+  Cycles interrupt_entry = 50;      // Save state, enter interceptor.
+  Cycles interrupt_exit = 40;
+
+  // Fault handling overhead (entry to ring 0 fault handler).
+  Cycles fault_entry = 60;
+};
+
+// The default model; benches may scale pieces of it for sensitivity sweeps.
+inline CostModel DefaultCostModel() { return CostModel{}; }
+
+}  // namespace multics
+
+#endif  // SRC_HW_COST_MODEL_H_

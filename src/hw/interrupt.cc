@@ -1,0 +1,27 @@
+#include "src/hw/interrupt.h"
+
+namespace multics {
+
+Status InterruptController::Assert(InterruptLine line, uint64_t payload) {
+  if (line >= line_count_) {
+    return Status::kInvalidArgument;
+  }
+  pending_.push_back(InterruptEvent{line, payload, clock_ != nullptr ? clock_->now() : 0});
+  ++total_asserted_;
+  if (!masked_ && assert_hook_) {
+    assert_hook_();
+  }
+  return Status::kOk;
+}
+
+bool InterruptController::TakePending(InterruptEvent* out) {
+  if (masked_ || pending_.empty()) {
+    return false;
+  }
+  *out = pending_.front();
+  pending_.pop_front();
+  ++total_dispatched_;
+  return true;
+}
+
+}  // namespace multics

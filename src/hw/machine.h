@@ -1,0 +1,79 @@
+// The simulated machine: clock, event queue, cost model, core memory,
+// interrupt controller, and the ring-implementation mode (hardware 6180
+// versus software-simulated 645). Processors attach to a Machine.
+
+#ifndef SRC_HW_MACHINE_H_
+#define SRC_HW_MACHINE_H_
+
+#include <memory>
+
+#include "src/base/clock.h"
+#include "src/base/event_queue.h"
+#include "src/base/stats.h"
+#include "src/hw/core_memory.h"
+#include "src/hw/cost_model.h"
+#include "src/hw/interrupt.h"
+
+namespace multics {
+
+// Which machine generation implements the protection rings.
+enum class RingMode {
+  kHardware6180,  // Rings in hardware: cross-ring call costs an ordinary call.
+  kSoftware645,   // Rings simulated by supervisor software: cross-ring traps.
+};
+
+const char* RingModeName(RingMode mode);
+
+struct MachineConfig {
+  uint32_t core_frames = 1024;        // Primary memory size in pages.
+  uint32_t interrupt_lines = 32;
+  RingMode ring_mode = RingMode::kHardware6180;
+  CostModel costs = DefaultCostModel();
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config)
+      : config_(config),
+        events_(&clock_),
+        core_(config.core_frames),
+        interrupts_(config.interrupt_lines) {
+    interrupts_.AttachClock(&clock_);
+  }
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  EventQueue& events() { return events_; }
+  CoreMemory& core() { return core_; }
+  const CoreMemory& core() const { return core_; }
+  InterruptController& interrupts() { return interrupts_; }
+  const CostModel& costs() const { return config_.costs; }
+  RingMode ring_mode() const { return config_.ring_mode; }
+  void set_ring_mode(RingMode mode) { config_.ring_mode = mode; }
+
+  // Charge `n` cycles to the global clock under a named category. The
+  // categories feed the experiment harnesses (e.g. "ring_crossing",
+  // "page_io", "fault_path").
+  void Charge(Cycles n, const char* category) {
+    clock_.Advance(n);
+    charges_.Increment(category, n);
+  }
+
+  const CounterSet& charges() const { return charges_; }
+  CounterSet& charges_mutable() { return charges_; }
+
+ private:
+  MachineConfig config_;
+  SimClock clock_;
+  EventQueue events_;
+  CoreMemory core_;
+  InterruptController interrupts_;
+  CounterSet charges_;
+};
+
+}  // namespace multics
+
+#endif  // SRC_HW_MACHINE_H_

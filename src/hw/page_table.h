@@ -1,0 +1,32 @@
+// Page tables as seen by the simulated hardware. The entries are owned by
+// segment control (the active segment table); the processor walks them and
+// maintains the used/modified bits that replacement policies read.
+
+#ifndef SRC_HW_PAGE_TABLE_H_
+#define SRC_HW_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/word.h"
+
+namespace multics {
+
+struct PageTableEntry {
+  bool present = false;    // Page is in primary memory.
+  uint32_t frame = 0;      // Primary-memory frame index when present.
+  bool used = false;       // Set by hardware on any reference.
+  bool modified = false;   // Set by hardware on write.
+};
+
+struct PageTable {
+  std::vector<PageTableEntry> entries;
+
+  explicit PageTable(uint32_t pages = 0) : entries(pages) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(entries.size()); }
+};
+
+}  // namespace multics
+
+#endif  // SRC_HW_PAGE_TABLE_H_

@@ -1,0 +1,212 @@
+#include "src/hw/processor.h"
+
+namespace multics {
+namespace {
+
+// A fault that fails to resolve after this many retries is turned into an
+// error delivered to the running program.
+constexpr int kMaxFaultRetries = 4;
+
+const char* FaultNames[] = {"segment_fault", "page_fault",    "access_violation",
+                            "gate_violation", "linkage_fault", "out_of_bounds"};
+
+}  // namespace
+
+const char* FaultTypeName(FaultType type) { return FaultNames[static_cast<int>(type)]; }
+
+const char* RingModeName(RingMode mode) {
+  return mode == RingMode::kHardware6180 ? "hardware-6180" : "software-645";
+}
+
+Processor::Processor(Machine* machine) : machine_(machine) { ring_stack_.reserve(64); }
+
+Status Processor::CheckPermissionBits(const SegmentDescriptor& sdw, AccessMode mode) const {
+  switch (mode) {
+    case AccessMode::kRead:
+      return sdw.read ? Status::kOk : Status::kAccessDenied;
+    case AccessMode::kWrite:
+      return sdw.write ? Status::kOk : Status::kAccessDenied;
+    case AccessMode::kExecute:
+    case AccessMode::kCall:
+      return sdw.execute ? Status::kOk : Status::kAccessDenied;
+  }
+  return Status::kAccessDenied;
+}
+
+Result<FrameIndex> Processor::Resolve(SegNo segno, WordOffset offset, AccessMode mode) {
+  if (dseg_ == nullptr) {
+    return Status::kFailedPrecondition;
+  }
+  if (segno >= kMaxSegments) {
+    return Status::kNoSuchSegment;
+  }
+
+  // Segment-fault loop: an invalid SDW directs a fault to the supervisor,
+  // which activates the segment and connects its page table.
+  for (int attempt = 0;; ++attempt) {
+    const SegmentDescriptor& sdw = dseg_->Get(segno);
+    if (!sdw.valid) {
+      if (attempt >= kMaxFaultRetries) {
+        return Status::kNoSuchSegment;
+      }
+      ++segment_faults_;
+      machine_->Charge(machine_->costs().fault_entry, "fault_path");
+      Status st = faults_->HandleSegmentFault(segno);
+      if (st != Status::kOk) {
+        return st;
+      }
+      continue;
+    }
+
+    if (offset >= kMaxSegmentWords || PageOf(offset) >= sdw.length_pages) {
+      return Status::kOutOfRange;
+    }
+
+    // Ring brackets, then permission bits: both were hardware checks.
+    RingCheck check = CheckRingBrackets(ring_, sdw.brackets, mode);
+    if (check != RingCheck::kAllowed) {
+      return Status::kRingViolation;
+    }
+    MX_RETURN_IF_ERROR(CheckPermissionBits(sdw, mode));
+
+    if (sdw.page_table == nullptr || PageOf(offset) >= sdw.page_table->size()) {
+      return Status::kSegmentDamaged;
+    }
+
+    // Page-fault loop.
+    PageTableEntry& pte = sdw.page_table->entries[PageOf(offset)];
+    if (!pte.present) {
+      if (attempt >= kMaxFaultRetries) {
+        return Status::kInternal;
+      }
+      ++page_faults_;
+      machine_->Charge(machine_->costs().fault_entry, "fault_path");
+      Status st = faults_->HandlePageFault(segno, PageOf(offset), mode);
+      if (st != Status::kOk) {
+        return st;
+      }
+      continue;  // Re-validate from the top: the SDW may have been reloaded.
+    }
+
+    pte.used = true;
+    if (mode == AccessMode::kWrite) {
+      pte.modified = true;
+    }
+    machine_->Charge(machine_->costs().memory_reference, "memory_reference");
+    return pte.frame;
+  }
+}
+
+Result<Word> Processor::Read(SegNo segno, WordOffset offset) {
+  MX_ASSIGN_OR_RETURN(FrameIndex frame, Resolve(segno, offset, AccessMode::kRead));
+  return machine_->core().ReadWord(frame, PageOffsetOf(offset));
+}
+
+Status Processor::Write(SegNo segno, WordOffset offset, Word value) {
+  MX_ASSIGN_OR_RETURN(FrameIndex frame, Resolve(segno, offset, AccessMode::kWrite));
+  machine_->core().WriteWord(frame, PageOffsetOf(offset), value);
+  return Status::kOk;
+}
+
+Status Processor::Fetch(SegNo segno, WordOffset offset) {
+  MX_ASSIGN_OR_RETURN(FrameIndex frame, Resolve(segno, offset, AccessMode::kExecute));
+  (void)frame;
+  return Status::kOk;
+}
+
+Status Processor::Call(SegNo target, WordOffset entry_offset, uint32_t arg_words) {
+  if (dseg_ == nullptr) {
+    return Status::kFailedPrecondition;
+  }
+  if (ring_stack_.size() >= kMaxCallDepth) {
+    return Status::kResourceExhausted;  // Stack overflow, confined to the caller.
+  }
+  // Resolve the SDW (activating the target segment if needed) without the
+  // data-access ring test; calls have their own analysis below.
+  for (int attempt = 0;; ++attempt) {
+    const SegmentDescriptor& sdw = dseg_->Get(target);
+    if (!sdw.valid) {
+      if (attempt >= kMaxFaultRetries || target >= kMaxSegments) {
+        return Status::kNoSuchSegment;
+      }
+      ++segment_faults_;
+      machine_->Charge(machine_->costs().fault_entry, "fault_path");
+      MX_RETURN_IF_ERROR(faults_->HandleSegmentFault(target));
+      continue;
+    }
+
+    if (PageOf(entry_offset) >= sdw.length_pages) {
+      return Status::kOutOfRange;
+    }
+    MX_RETURN_IF_ERROR(CheckPermissionBits(sdw, AccessMode::kCall));
+
+    const CostModel& costs = machine_->costs();
+    RingCheck check = CheckRingBrackets(ring_, sdw.brackets, AccessMode::kCall);
+    switch (check) {
+      case RingCheck::kAllowed: {
+        // Intra-ring (or intra-bracket) call: no ring change.
+        ++intra_ring_calls_;
+        machine_->Charge(costs.intra_ring_call, "call_intra");
+        ring_stack_.push_back(ring_);
+        return Status::kOk;
+      }
+      case RingCheck::kGateRequired: {
+        if (!sdw.gate || entry_offset >= sdw.gate_entries) {
+          return Status::kNotAGate;
+        }
+        ++cross_ring_calls_;
+        RingNumber new_ring = TargetRingForCall(ring_, sdw.brackets);
+        if (machine_->ring_mode() == RingMode::kHardware6180) {
+          // Hardware rings: the call instruction validates the gate and
+          // updates the ring register — no extra cost over a plain call.
+          machine_->Charge(costs.intra_ring_call + costs.hardware_ring_call_extra,
+                           "call_cross");
+        } else {
+          // 645: trap into the ring-simulation supervisor, validate, swap
+          // descriptor segments, copy and validate arguments.
+          Cycles total = costs.intra_ring_call + costs.software_ring_trap +
+                         costs.software_ring_validate + costs.software_ring_swap +
+                         costs.software_ring_arg_copy_per_word * arg_words;
+          machine_->Charge(total, "call_cross");
+        }
+        ring_stack_.push_back(ring_);
+        ring_ = new_ring;
+        return Status::kOk;
+      }
+      case RingCheck::kOutwardCall: {
+        if (!allow_outward_calls_) {
+          return Status::kRingViolation;
+        }
+        ++cross_ring_calls_;
+        machine_->Charge(costs.intra_ring_call, "call_outward");
+        ring_stack_.push_back(ring_);
+        ring_ = sdw.brackets.write_limit;
+        return Status::kOk;
+      }
+      case RingCheck::kDenied:
+        return Status::kRingViolation;
+    }
+  }
+}
+
+Status Processor::Return() {
+  if (ring_stack_.empty()) {
+    return Status::kFailedPrecondition;
+  }
+  RingNumber caller_ring = ring_stack_.back();
+  ring_stack_.pop_back();
+  const CostModel& costs = machine_->costs();
+  if (caller_ring == ring_) {
+    machine_->Charge(costs.intra_ring_return, "return_intra");
+  } else if (machine_->ring_mode() == RingMode::kHardware6180) {
+    machine_->Charge(costs.intra_ring_return + costs.hardware_ring_return_extra, "return_cross");
+  } else {
+    machine_->Charge(costs.intra_ring_return + costs.software_ring_trap +
+                         costs.software_ring_swap,
+                     "return_cross");
+  }
+  ring_ = caller_ring;
+  return Status::kOk;
+}
+
+}  // namespace multics

@@ -1,0 +1,99 @@
+// The simulated processor: performs every access check the 6180 hardware
+// made (SDW validity, bounds, ring brackets, permission bits, gate entries),
+// takes segment and page faults through the attached FaultSink, maintains
+// used/modified bits, and charges cycles to the machine clock.
+//
+// The processor supports both ring implementations the paper contrasts:
+//   * RingMode::kHardware6180 — cross-ring calls cost the same as intra-ring
+//     calls (the ring register is updated by the call instruction);
+//   * RingMode::kSoftware645 — every cross-ring transfer traps to a simulated
+//     supervisor routine that validates the gate, regenerates the descriptor
+//     segment, and copies arguments, at a large multiple of the plain call.
+
+#ifndef SRC_HW_PROCESSOR_H_
+#define SRC_HW_PROCESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/hw/fault.h"
+#include "src/hw/machine.h"
+#include "src/hw/sdw.h"
+#include "src/hw/word.h"
+
+namespace multics {
+
+class Processor {
+ public:
+  explicit Processor(Machine* machine);
+
+  // Wires the processor to a process: its address space and the ring it runs
+  // in. The kernel swaps these on a process switch.
+  void AttachAddressSpace(DescriptorSegment* dseg) { dseg_ = dseg; }
+  DescriptorSegment* address_space() const { return dseg_; }
+  void SetFaultSink(FaultSink* sink) { faults_ = sink; }
+  void SetRing(RingNumber ring) { ring_ = ring; }
+  RingNumber ring() const { return ring_; }
+
+  // Whether outward calls (caller below the write bracket) are permitted;
+  // the 6180 hardware did not support them and neither do we by default.
+  void set_allow_outward_calls(bool allow) { allow_outward_calls_ = allow; }
+
+  // Data references. Each successful reference costs one memory cycle and
+  // may first take (and resolve) segment/page faults.
+  Result<Word> Read(SegNo segno, WordOffset offset);
+  Status Write(SegNo segno, WordOffset offset, Word value);
+
+  // Instruction-fetch access check (execute permission in the current ring).
+  Status Fetch(SegNo segno, WordOffset offset);
+
+  // Procedure call into `target` at `entry_offset`, carrying `arg_words`
+  // words of arguments. Performs the ring-bracket analysis: intra-ring calls
+  // transfer directly; inward calls require a gate entry and switch rings.
+  // On success the processor is left executing in the target ring; Return()
+  // restores the caller's ring.
+  Status Call(SegNo target, WordOffset entry_offset, uint32_t arg_words = 0);
+  Status Return();
+
+  uint32_t call_depth() const { return static_cast<uint32_t>(ring_stack_.size()); }
+
+  // The simulated stack is finite, like the real one; exceeding it is a
+  // fault delivered to the program, not a kernel problem.
+  static constexpr uint32_t kMaxCallDepth = 64;
+
+  // Fault/operation counters for the experiment harnesses.
+  uint64_t segment_faults() const { return segment_faults_; }
+  uint64_t page_faults() const { return page_faults_; }
+  uint64_t intra_ring_calls() const { return intra_ring_calls_; }
+  uint64_t cross_ring_calls() const { return cross_ring_calls_; }
+
+  Machine* machine() const { return machine_; }
+
+ private:
+  // Validates a reference and returns the frame holding the word, resolving
+  // segment and page faults along the way.
+  Result<FrameIndex> Resolve(SegNo segno, WordOffset offset, AccessMode mode);
+
+  Status CheckPermissionBits(const SegmentDescriptor& sdw, AccessMode mode) const;
+
+  Machine* machine_;
+  DescriptorSegment* dseg_ = nullptr;
+  NullFaultSink null_sink_;
+  FaultSink* faults_ = &null_sink_;
+  RingNumber ring_ = kRingUser;
+  bool allow_outward_calls_ = false;
+
+  // Ring of the caller for each frame of the (simulated) call stack.
+  std::vector<RingNumber> ring_stack_;
+
+  uint64_t segment_faults_ = 0;
+  uint64_t page_faults_ = 0;
+  uint64_t intra_ring_calls_ = 0;
+  uint64_t cross_ring_calls_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_HW_PROCESSOR_H_

@@ -1,0 +1,37 @@
+// Fundamental machine types for the simulated Honeywell 6180.
+//
+// The real machine had 36-bit words, 1024-word pages, and up to 256-page
+// segments addressed as (segment number, word offset) pairs. We keep those
+// geometric parameters and store words in uint64_t.
+
+#ifndef SRC_HW_WORD_H_
+#define SRC_HW_WORD_H_
+
+#include <cstdint>
+
+namespace multics {
+
+using Word = uint64_t;
+
+// Segment number within a process address space (index into the descriptor
+// segment).
+using SegNo = uint32_t;
+
+// Word offset within a segment.
+using WordOffset = uint32_t;
+
+// Page number within a segment.
+using PageNo = uint32_t;
+
+inline constexpr uint32_t kPageWords = 1024;
+inline constexpr uint32_t kMaxSegmentPages = 256;
+inline constexpr uint32_t kMaxSegmentWords = kPageWords * kMaxSegmentPages;
+inline constexpr SegNo kMaxSegments = 4096;  // Descriptor segment capacity.
+inline constexpr SegNo kInvalidSegNo = UINT32_MAX;
+
+inline constexpr PageNo PageOf(WordOffset offset) { return offset / kPageWords; }
+inline constexpr uint32_t PageOffsetOf(WordOffset offset) { return offset % kPageWords; }
+
+}  // namespace multics
+
+#endif  // SRC_HW_WORD_H_

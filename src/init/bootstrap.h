@@ -1,0 +1,56 @@
+// System initialization, both ways the paper compares (E8):
+//
+//   * Bootstrap — the traditional path: "letting the system bootstrap itself
+//     in a complex way each time it is loaded from a tape containing the
+//     separate pieces." Dozens of distinct privileged steps run in ring 0 on
+//     every start.
+//
+//   * Memory image — the removal project: "produce on a system tape a bit
+//     pattern which, when loaded into memory, manifests a fully initialized
+//     system." Generation happens once, offline, in the user environment of
+//     a previous system; loading exercises one trivial privileged mechanism.
+//
+// "One pattern of operation may be much simpler to certify than the other."
+
+#ifndef SRC_INIT_BOOTSTRAP_H_
+#define SRC_INIT_BOOTSTRAP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/kernel.h"
+
+namespace multics {
+
+struct UserSpec {
+  std::string person;
+  std::string project;
+  std::string password;
+  MlsLabel max_clearance;
+};
+
+struct InitReport {
+  uint32_t privileged_steps = 0;        // Distinct ring-0 operations executed.
+  Cycles ring0_cycles = 0;              // CPU spent in ring 0 during init.
+  std::vector<std::string> step_names;  // What ran, in order.
+  Process* init_process = nullptr;      // The initializer, for further setup.
+};
+
+struct BootstrapOptions {
+  std::vector<UserSpec> users;
+  bool install_library = true;  // >system_library with linkable objects.
+  uint32_t project_quota_pages = 64;
+};
+
+// Default users shared by examples, tests, and benches.
+std::vector<UserSpec> DefaultUsers();
+
+class Bootstrap {
+ public:
+  // Runs the full stepwise initialization on a freshly constructed kernel.
+  static Result<InitReport> Run(Kernel& kernel, const BootstrapOptions& options);
+};
+
+}  // namespace multics
+
+#endif  // SRC_INIT_BOOTSTRAP_H_

@@ -1,0 +1,49 @@
+// Memory-image initialization: generate once in the user environment of a
+// previous system, load trivially ever after. See src/init/bootstrap.h for
+// the contrast (experiment E8).
+
+#ifndef SRC_INIT_IMAGE_H_
+#define SRC_INIT_IMAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/init/bootstrap.h"
+
+namespace multics {
+
+struct ImageRecord {
+  std::string path;           // Absolute pathname.
+  bool is_directory = false;
+  bool is_link = false;
+  std::string link_target;
+  SegmentAttributes attrs;
+  uint32_t quota_pages = 0;
+  uint32_t pages = 0;
+  // Sparse content: (offset, word) pairs for the non-zero words.
+  std::vector<std::pair<WordOffset, Word>> content;
+};
+
+struct SystemImage {
+  std::vector<ImageRecord> records;  // Pre-order: every parent before its children.
+  std::vector<UserSpec> users;
+
+  size_t ApproxBytes() const;
+  uint32_t segment_count() const;
+  uint32_t directory_count() const;
+};
+
+class MemoryImage {
+ public:
+  // Walks the donor system (with backup-daemon authority) and serializes it.
+  // Runs "offline": it charges nothing to ring 0 of any target system.
+  static Result<SystemImage> Generate(Kernel& donor);
+
+  // Manifests the image on a freshly constructed kernel. The only
+  // privileged mechanism exercised is the loader's copy loop.
+  static Result<InitReport> Load(Kernel& fresh, const SystemImage& image);
+};
+
+}  // namespace multics
+
+#endif  // SRC_INIT_IMAGE_H_

@@ -1,0 +1,148 @@
+#include "src/link/binder.h"
+
+namespace multics {
+
+Status Binder::AddComponent(const std::string& name, const std::vector<Word>& image) {
+  if (name.empty() || name.size() > 32) {
+    return Status::kInvalidArgument;
+  }
+  for (const Component& existing : components_) {
+    if (existing.name == name) {
+      return Status::kNameDuplication;
+    }
+  }
+
+  WordReader reader = [&image](WordOffset offset) -> Result<Word> {
+    if (offset >= image.size()) {
+      return Status::kOutOfRange;
+    }
+    return image[offset];
+  };
+  Component component;
+  component.name = name;
+  MX_ASSIGN_OR_RETURN(component.header,
+                      ObjectReader::ReadHeader(reader, static_cast<uint32_t>(image.size()),
+                                               /*validate=*/true));
+  component.text.assign(
+      image.begin() + component.header.text_offset,
+      image.begin() + component.header.text_offset + component.header.text_length);
+  MX_ASSIGN_OR_RETURN(component.defs, ObjectReader::ReadDefs(reader, component.header));
+  for (uint32_t i = 0; i < component.header.links_count; ++i) {
+    MX_ASSIGN_OR_RETURN(LinkRef link, ObjectReader::ReadLink(reader, component.header, i));
+    component.links.push_back(std::move(link));
+  }
+
+  // Symbol names must stay unique across the bind, or resolution would be
+  // ambiguous in the merged definitions section.
+  for (const SymbolDef& def : component.defs) {
+    for (const Component& existing : components_) {
+      for (const SymbolDef& other : existing.defs) {
+        if (other.name == def.name) {
+          return Status::kNameDuplication;
+        }
+      }
+    }
+  }
+  components_.push_back(std::move(component));
+  return Status::kOk;
+}
+
+Result<BindResult> Binder::Bind() const {
+  if (components_.empty()) {
+    return Status::kFailedPrecondition;
+  }
+
+  // Pass 1: lay out the concatenated text and rebase every definition.
+  std::vector<Word> text;
+  std::vector<SymbolDef> defs;
+  std::vector<std::pair<std::string, WordOffset>> component_bases;
+  for (const Component& component : components_) {
+    WordOffset base = static_cast<WordOffset>(text.size());
+    component_bases.emplace_back(component.name, base);
+    text.insert(text.end(), component.text.begin(), component.text.end());
+    for (const SymbolDef& def : component.defs) {
+      defs.push_back(SymbolDef{def.name, def.value + base});
+    }
+  }
+
+  auto find_symbol = [&](const std::string& target_component,
+                         const std::string& symbol) -> Result<WordOffset> {
+    for (const Component& component : components_) {
+      if (component.name != target_component) {
+        continue;
+      }
+      WordOffset base = 0;
+      for (const auto& [name, component_base] : component_bases) {
+        if (name == component.name) {
+          base = component_base;
+        }
+      }
+      for (const SymbolDef& def : component.defs) {
+        if (def.name == symbol) {
+          return def.value + base;
+        }
+      }
+      return Status::kSymbolNotFound;
+    }
+    return Status::kNotFound;
+  };
+
+  // Pass 2: internalize links between components; keep the rest external.
+  BindResult result;
+  ObjectBuilder builder;
+  builder.SetText(std::move(text));
+  for (const SymbolDef& def : defs) {
+    builder.AddSymbol(def.name, def.value);
+    ++result.symbols;
+  }
+  std::vector<std::pair<uint32_t, WordOffset>> internal;  // (link index, offset)
+  uint32_t link_index = 0;
+  for (const Component& component : components_) {
+    for (const LinkRef& link : component.links) {
+      auto internal_target = find_symbol(link.target_segment, link.target_symbol);
+      if (internal_target.ok()) {
+        // Bound-in: the link is pre-snapped to the bound segment itself.
+        builder.AddLink(link.target_segment, link.target_symbol);
+        internal.emplace_back(link_index, internal_target.value());
+        ++result.internalized_links;
+      } else if (internal_target.status() == Status::kSymbolNotFound) {
+        // The component exists in the bind but lacks the symbol: a real
+        // error the binder must surface, not defer to run time.
+        return Status::kSymbolNotFound;
+      } else {
+        builder.AddLink(link.target_segment, link.target_symbol);
+        ++result.external_links;
+      }
+      ++link_index;
+    }
+  }
+
+  result.image = builder.Build();
+  result.components = static_cast<uint32_t>(components_.size());
+
+  // Mark the internalized links snapped in the serialized image.
+  WordReader reader = [&result](WordOffset offset) -> Result<Word> {
+    if (offset >= result.image.size()) {
+      return Status::kOutOfRange;
+    }
+    return result.image[offset];
+  };
+  WordWriter writer = [&result](WordOffset offset, Word value) -> Status {
+    if (offset >= result.image.size()) {
+      return Status::kOutOfRange;
+    }
+    result.image[offset] = value;
+    return Status::kOk;
+  };
+  MX_ASSIGN_OR_RETURN(ObjectHeader header,
+                      ObjectReader::ReadHeader(reader,
+                                               static_cast<uint32_t>(result.image.size()),
+                                               true));
+  for (const auto& [index, offset] : internal) {
+    MX_RETURN_IF_ERROR(
+        ObjectReader::WriteSnapped(writer, header, index, kBoundSelfSegNo, offset));
+  }
+  return result;
+}
+
+}  // namespace multics

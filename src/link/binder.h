@@ -1,0 +1,61 @@
+// The binder: the Multics `bind` tool, rebuilt for this object format.
+//
+// Binding combines several object segments into one bound object: text
+// sections are concatenated, definitions merged (with offsets rebased), and
+// every link whose target is another bound component is *internalized* —
+// resolved once at bind time so the runtime linker never sees it. Links to
+// segments outside the bound set remain as ordinary unsnapped links for the
+// dynamic linker.
+//
+// Binding mattered to the paper's world for exactly the linker-removal
+// reasons: every internalized link is a linkage fault that never happens and
+// a user-constructed input the (once in-kernel) linker never has to parse.
+
+#ifndef SRC_LINK_BINDER_H_
+#define SRC_LINK_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/link/object_format.h"
+
+namespace multics {
+
+// Marker segno stored in internalized (self-referential) snapped links: the
+// reference targets the bound segment itself.
+inline constexpr SegNo kBoundSelfSegNo = kMaxSegments - 1;
+
+struct BindResult {
+  std::vector<Word> image;
+  uint32_t components = 0;
+  uint32_t symbols = 0;
+  uint32_t internalized_links = 0;
+  uint32_t external_links = 0;
+};
+
+class Binder {
+ public:
+  // Adds one component (validating its format eagerly). Component names must
+  // be unique; symbol names must be unique across the whole bind.
+  Status AddComponent(const std::string& name, const std::vector<Word>& image);
+
+  // Produces the bound object.
+  Result<BindResult> Bind() const;
+
+  uint32_t component_count() const { return static_cast<uint32_t>(components_.size()); }
+
+ private:
+  struct Component {
+    std::string name;
+    ObjectHeader header;
+    std::vector<Word> text;
+    std::vector<SymbolDef> defs;
+    std::vector<LinkRef> links;
+  };
+
+  std::vector<Component> components_;
+};
+
+}  // namespace multics
+
+#endif  // SRC_LINK_BINDER_H_

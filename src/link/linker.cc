@@ -1,0 +1,66 @@
+#include "src/link/linker.h"
+
+namespace multics {
+
+WordReader Linker::ReaderFor(SegNo segno) {
+  return [this, segno](WordOffset offset) -> Result<Word> {
+    auto word = env_->ReadWord(segno, offset);
+    if (!word.ok() && (word.status() == Status::kOutOfRange ||
+                       word.status() == Status::kNoSuchSegment)) {
+      ++wild_references_;
+    }
+    return word;
+  };
+}
+
+Result<ObjectHeader> Linker::Header(SegNo object) {
+  MX_ASSIGN_OR_RETURN(uint32_t length, env_->SegmentLengthWords(object));
+  return ObjectReader::ReadHeader(ReaderFor(object), length, validate_);
+}
+
+Result<WordOffset> Linker::LookupSymbol(SegNo object, const std::string& name) {
+  MX_ASSIGN_OR_RETURN(ObjectHeader header, Header(object));
+  MX_ASSIGN_OR_RETURN(std::vector<SymbolDef> defs, ObjectReader::ReadDefs(ReaderFor(object), header));
+  return ObjectReader::FindSymbol(defs, name);
+}
+
+Result<std::pair<SegNo, WordOffset>> Linker::SnapOne(SegNo object, uint32_t link_index) {
+  MX_ASSIGN_OR_RETURN(ObjectHeader header, Header(object));
+  MX_ASSIGN_OR_RETURN(LinkRef link, ObjectReader::ReadLink(ReaderFor(object), header, link_index));
+  if (link.snapped) {
+    return std::make_pair(link.snapped_segno, link.snapped_offset);
+  }
+
+  // Resolve the target segment through the environment (search rules), then
+  // find the symbol in its definitions.
+  MX_ASSIGN_OR_RETURN(SegNo target, env_->FindSegment(link.target_segment));
+  MX_ASSIGN_OR_RETURN(WordOffset value, LookupSymbol(target, link.target_symbol));
+
+  WordWriter writer = [this, object](WordOffset offset, Word value_in) {
+    return env_->WriteWord(object, offset, value_in);
+  };
+  MX_RETURN_IF_ERROR(ObjectReader::WriteSnapped(writer, header, link_index, target, value));
+  return std::make_pair(target, value);
+}
+
+Result<LinkSnapResult> Linker::SnapAll(SegNo object) {
+  MX_ASSIGN_OR_RETURN(ObjectHeader header, Header(object));
+  LinkSnapResult result;
+  for (uint32_t i = 0; i < header.links_count; ++i) {
+    MX_ASSIGN_OR_RETURN(LinkRef link, ObjectReader::ReadLink(ReaderFor(object), header, i));
+    if (link.snapped) {
+      ++result.already_snapped;
+      continue;
+    }
+    MX_ASSIGN_OR_RETURN(SegNo target, env_->FindSegment(link.target_segment));
+    MX_ASSIGN_OR_RETURN(WordOffset value, LookupSymbol(target, link.target_symbol));
+    WordWriter writer = [this, object](WordOffset offset, Word value_in) {
+      return env_->WriteWord(object, offset, value_in);
+    };
+    MX_RETURN_IF_ERROR(ObjectReader::WriteSnapped(writer, header, i, target, value));
+    ++result.snapped;
+  }
+  return result;
+}
+
+}  // namespace multics

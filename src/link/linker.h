@@ -1,0 +1,73 @@
+// The dynamic linker, host-neutral: the same algorithm runs inside the
+// kernel (legacy configuration) or in the user ring (kernelized, after
+// Janson's removal project [12,13]). The LinkageEnvironment supplies what
+// differs between the two homes: how segment names resolve to segment
+// numbers (kernel search vs user-ring search rules) and how words are read
+// and written (both ultimately through the paged segment machinery).
+//
+// The validate flag is the security story of E10: the legacy in-kernel
+// linker trusted the user-constructed object segment's header; this linker,
+// when validate=false, does the same, and the *caller* decides what a
+// resulting wild reference means (a ring-0 fault in the kernel home, a
+// confined error in the user-ring home).
+
+#ifndef SRC_LINK_LINKER_H_
+#define SRC_LINK_LINKER_H_
+
+#include <string>
+
+#include "src/link/object_format.h"
+
+namespace multics {
+
+class LinkageEnvironment {
+ public:
+  virtual ~LinkageEnvironment() = default;
+
+  // Resolves a segment name to a segment number in the faulting process's
+  // address space (initiating the segment if necessary).
+  virtual Result<SegNo> FindSegment(const std::string& name) = 0;
+
+  virtual Result<Word> ReadWord(SegNo segno, WordOffset offset) = 0;
+  virtual Status WriteWord(SegNo segno, WordOffset offset, Word value) = 0;
+  virtual Result<uint32_t> SegmentLengthWords(SegNo segno) = 0;
+};
+
+struct LinkSnapResult {
+  uint32_t snapped = 0;
+  uint32_t already_snapped = 0;
+};
+
+class Linker {
+ public:
+  Linker(LinkageEnvironment* env, bool validate_input)
+      : env_(env), validate_(validate_input) {}
+
+  // Snaps every unsnapped link in `object`'s linkage section.
+  Result<LinkSnapResult> SnapAll(SegNo object);
+
+  // Snaps one link; returns the (segno, offset) it now points to.
+  Result<std::pair<SegNo, WordOffset>> SnapOne(SegNo object, uint32_t link_index);
+
+  // Looks a symbol up in an object segment's definitions section.
+  Result<WordOffset> LookupSymbol(SegNo object, const std::string& name);
+
+  // Reads and validates (or trusts) the header.
+  Result<ObjectHeader> Header(SegNo object);
+
+  // Number of out-of-segment references the linker attempted because it
+  // trusted a malformed header. In the kernel home each of these is a ring-0
+  // fault ("crash"); in the user-ring home it is a confined fault.
+  uint64_t wild_references() const { return wild_references_; }
+
+ private:
+  WordReader ReaderFor(SegNo segno);
+
+  LinkageEnvironment* env_;
+  bool validate_;
+  uint64_t wild_references_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_LINK_LINKER_H_

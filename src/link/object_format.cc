@@ -1,0 +1,230 @@
+#include "src/link/object_format.h"
+
+namespace multics {
+
+void PackName(const std::string& name, Word out[kPackedNameWords]) {
+  for (uint32_t w = 0; w < kPackedNameWords; ++w) {
+    Word packed = 0;
+    for (uint32_t b = 0; b < 8; ++b) {
+      size_t index = static_cast<size_t>(w) * 8 + b;
+      Word c = index < name.size() ? static_cast<unsigned char>(name[index]) : 0;
+      packed |= c << (b * 8);
+    }
+    out[w] = packed;
+  }
+}
+
+std::string UnpackName(const Word in[kPackedNameWords]) {
+  std::string name;
+  for (uint32_t w = 0; w < kPackedNameWords; ++w) {
+    for (uint32_t b = 0; b < 8; ++b) {
+      char c = static_cast<char>((in[w] >> (b * 8)) & 0xFF);
+      if (c == '\0') {
+        return name;
+      }
+      name += c;
+    }
+  }
+  return name;
+}
+
+ObjectBuilder& ObjectBuilder::SetText(std::vector<Word> text) {
+  text_ = std::move(text);
+  return *this;
+}
+
+ObjectBuilder& ObjectBuilder::AddSymbol(const std::string& name, WordOffset value) {
+  defs_.push_back(SymbolDef{name, value});
+  return *this;
+}
+
+ObjectBuilder& ObjectBuilder::AddLink(const std::string& target_segment,
+                                      const std::string& target_symbol) {
+  LinkRef link;
+  link.target_segment = target_segment;
+  link.target_symbol = target_symbol;
+  links_.push_back(std::move(link));
+  return *this;
+}
+
+ObjectBuilder& ObjectBuilder::SetEntryBound(uint32_t bound) {
+  entry_bound_ = bound;
+  return *this;
+}
+
+std::vector<Word> ObjectBuilder::Build() const {
+  const WordOffset text_offset = kObjectHeaderWords;
+  const WordOffset defs_offset = text_offset + static_cast<WordOffset>(text_.size());
+  const WordOffset links_offset =
+      defs_offset + static_cast<WordOffset>(defs_.size()) * kDefRecordWords;
+  const uint32_t total =
+      links_offset + static_cast<uint32_t>(links_.size()) * kLinkRecordWords;
+
+  std::vector<Word> image(total, 0);
+  image[0] = kObjectMagic;
+  image[1] = text_offset;
+  image[2] = text_.size();
+  image[3] = defs_offset;
+  image[4] = defs_.size();
+  image[5] = links_offset;
+  image[6] = links_.size();
+  image[7] = entry_bound_;
+
+  std::copy(text_.begin(), text_.end(), image.begin() + text_offset);
+
+  WordOffset at = defs_offset;
+  for (const SymbolDef& def : defs_) {
+    PackName(def.name, &image[at]);
+    image[at + kPackedNameWords] = def.value;
+    at += kDefRecordWords;
+  }
+
+  at = links_offset;
+  for (const LinkRef& link : links_) {
+    PackName(link.target_segment, &image[at]);
+    PackName(link.target_symbol, &image[at + kPackedNameWords]);
+    image[at + 2 * kPackedNameWords] = link.snapped ? 1 : 0;
+    image[at + 2 * kPackedNameWords + 1] = link.snapped_segno;
+    image[at + 2 * kPackedNameWords + 2] = link.snapped_offset;
+    at += kLinkRecordWords;
+  }
+  return image;
+}
+
+Result<ObjectHeader> ObjectReader::ReadHeader(const WordReader& read, uint32_t segment_words,
+                                              bool validate) {
+  MX_ASSIGN_OR_RETURN(Word magic, read(0));
+  if (magic != kObjectMagic) {
+    return Status::kBadObjectFormat;
+  }
+  ObjectHeader header;
+  Word fields[7];
+  for (WordOffset i = 0; i < 7; ++i) {
+    MX_ASSIGN_OR_RETURN(fields[i], read(i + 1));
+  }
+  header.text_offset = static_cast<WordOffset>(fields[0]);
+  header.text_length = static_cast<uint32_t>(fields[1]);
+  header.defs_offset = static_cast<WordOffset>(fields[2]);
+  header.defs_count = static_cast<uint32_t>(fields[3]);
+  header.links_offset = static_cast<WordOffset>(fields[4]);
+  header.links_count = static_cast<uint32_t>(fields[5]);
+  header.entry_bound = static_cast<uint32_t>(fields[6]);
+
+  if (validate) {
+    // Every section must lie inside the segment, with no overflow tricks.
+    const uint64_t text_end = static_cast<uint64_t>(header.text_offset) + header.text_length;
+    const uint64_t defs_end = static_cast<uint64_t>(header.defs_offset) +
+                              static_cast<uint64_t>(header.defs_count) * kDefRecordWords;
+    const uint64_t links_end = static_cast<uint64_t>(header.links_offset) +
+                               static_cast<uint64_t>(header.links_count) * kLinkRecordWords;
+    if (text_end > segment_words || defs_end > segment_words || links_end > segment_words ||
+        header.text_offset < kObjectHeaderWords || header.defs_offset < kObjectHeaderWords ||
+        header.links_offset < kObjectHeaderWords) {
+      return Status::kBadObjectFormat;
+    }
+  }
+  return header;
+}
+
+Result<std::vector<SymbolDef>> ObjectReader::ReadDefs(const WordReader& read,
+                                                      const ObjectHeader& header) {
+  std::vector<SymbolDef> defs;
+  defs.reserve(header.defs_count);
+  for (uint32_t i = 0; i < header.defs_count; ++i) {
+    const WordOffset at = header.defs_offset + i * kDefRecordWords;
+    Word packed[kPackedNameWords];
+    for (uint32_t w = 0; w < kPackedNameWords; ++w) {
+      MX_ASSIGN_OR_RETURN(packed[w], read(at + w));
+    }
+    MX_ASSIGN_OR_RETURN(Word value, read(at + kPackedNameWords));
+    defs.push_back(SymbolDef{UnpackName(packed), static_cast<WordOffset>(value)});
+  }
+  return defs;
+}
+
+Result<LinkRef> ObjectReader::ReadLink(const WordReader& read, const ObjectHeader& header,
+                                       uint32_t index) {
+  if (index >= header.links_count) {
+    return Status::kOutOfRange;
+  }
+  const WordOffset at = header.links_offset + index * kLinkRecordWords;
+  Word seg_name[kPackedNameWords];
+  Word sym_name[kPackedNameWords];
+  for (uint32_t w = 0; w < kPackedNameWords; ++w) {
+    MX_ASSIGN_OR_RETURN(seg_name[w], read(at + w));
+    MX_ASSIGN_OR_RETURN(sym_name[w], read(at + kPackedNameWords + w));
+  }
+  LinkRef link;
+  link.target_segment = UnpackName(seg_name);
+  link.target_symbol = UnpackName(sym_name);
+  MX_ASSIGN_OR_RETURN(Word snapped, read(at + 2 * kPackedNameWords));
+  MX_ASSIGN_OR_RETURN(Word segno, read(at + 2 * kPackedNameWords + 1));
+  MX_ASSIGN_OR_RETURN(Word offset, read(at + 2 * kPackedNameWords + 2));
+  link.snapped = snapped != 0;
+  link.snapped_segno = static_cast<SegNo>(segno);
+  link.snapped_offset = static_cast<WordOffset>(offset);
+  return link;
+}
+
+Status ObjectReader::WriteSnapped(const WordWriter& write, const ObjectHeader& header,
+                                  uint32_t index, SegNo segno, WordOffset offset) {
+  if (index >= header.links_count) {
+    return Status::kOutOfRange;
+  }
+  const WordOffset at = header.links_offset + index * kLinkRecordWords;
+  MX_RETURN_IF_ERROR(write(at + 2 * kPackedNameWords, 1));
+  MX_RETURN_IF_ERROR(write(at + 2 * kPackedNameWords + 1, segno));
+  return write(at + 2 * kPackedNameWords + 2, offset);
+}
+
+Result<WordOffset> ObjectReader::FindSymbol(const std::vector<SymbolDef>& defs,
+                                            const std::string& name) {
+  for (const SymbolDef& def : defs) {
+    if (def.name == name) {
+      return def.value;
+    }
+  }
+  return Status::kSymbolNotFound;
+}
+
+std::vector<Word> CorruptObjectImage(std::vector<Word> image, Rng& rng) {
+  if (image.empty()) {
+    return image;
+  }
+  switch (rng.NextBelow(5)) {
+    case 0: {
+      // Wild section offset.
+      size_t field = 1 + rng.NextBelow(6);
+      image[std::min(field, image.size() - 1)] = rng.Next() % (kMaxSegmentWords * 4);
+      break;
+    }
+    case 1: {
+      // Huge count.
+      size_t field = rng.NextBool(0.5) ? 4 : 6;
+      if (field < image.size()) {
+        image[field] = 1ULL << rng.NextInRange(10, 30);
+      }
+      break;
+    }
+    case 2: {
+      // Garbage a random word.
+      image[rng.NextBelow(image.size())] = rng.Next();
+      break;
+    }
+    case 3: {
+      // Truncate the image (header promises more than exists).
+      image.resize(std::max<size_t>(kObjectHeaderWords, image.size() / 2));
+      break;
+    }
+    case 4: {
+      // Overlapping sections.
+      if (image.size() > 6) {
+        image[5] = image[3];  // links_offset = defs_offset
+      }
+      break;
+    }
+  }
+  return image;
+}
+
+}  // namespace multics

@@ -1,0 +1,115 @@
+// The simulated object-segment format the dynamic linker operates on.
+//
+// A translated program in Multics was an object segment containing the text,
+// a definitions section (symbols this segment exports), and a linkage
+// section of outward references to <segment>$<symbol> pairs, initially in
+// "unsnapped" (fault-on-use) form. The linker's job is to snap those links.
+//
+// Layout (word offsets):
+//   0      magic
+//   1..2   text offset, text length
+//   3..4   defs offset, defs count
+//   5..6   links offset, links count
+//   7      entry bound (number of gate entry points, for protected subsystems)
+//   ...    sections
+//
+// A symbol definition is 5 words: 4 words of packed name + value offset.
+// A link is 11 words: 4+4 words of packed target segment / symbol names,
+// snapped flag, snapped segno, snapped offset.
+//
+// The reader has two modes. `validate=true` bounds-checks every offset and
+// count against the segment length before use (what a correct, paranoid
+// linker must do, since the whole image is user-constructed input).
+// `validate=false` reproduces the legacy in-kernel linker's sin of trusting
+// the header — the paper's "especially vulnerable" mechanism (E10).
+
+#ifndef SRC_LINK_OBJECT_FORMAT_H_
+#define SRC_LINK_OBJECT_FORMAT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/base/result.h"
+#include "src/hw/word.h"
+
+namespace multics {
+
+inline constexpr Word kObjectMagic = 0x4F424A5F4D554C54ULL;  // "OBJ_MULT"
+inline constexpr uint32_t kObjectHeaderWords = 8;
+inline constexpr uint32_t kPackedNameWords = 4;   // 32 characters.
+inline constexpr uint32_t kDefRecordWords = kPackedNameWords + 1;
+inline constexpr uint32_t kLinkRecordWords = 2 * kPackedNameWords + 3;
+
+struct ObjectHeader {
+  WordOffset text_offset = 0;
+  uint32_t text_length = 0;
+  WordOffset defs_offset = 0;
+  uint32_t defs_count = 0;
+  WordOffset links_offset = 0;
+  uint32_t links_count = 0;
+  uint32_t entry_bound = 0;
+};
+
+struct SymbolDef {
+  std::string name;
+  WordOffset value = 0;
+};
+
+struct LinkRef {
+  std::string target_segment;
+  std::string target_symbol;
+  bool snapped = false;
+  SegNo snapped_segno = 0;
+  WordOffset snapped_offset = 0;
+};
+
+// Name packing: 8 characters per word, NUL padded.
+void PackName(const std::string& name, Word out[kPackedNameWords]);
+std::string UnpackName(const Word in[kPackedNameWords]);
+
+// Builds a serialized object segment image.
+class ObjectBuilder {
+ public:
+  ObjectBuilder& SetText(std::vector<Word> text);
+  ObjectBuilder& AddSymbol(const std::string& name, WordOffset value);
+  ObjectBuilder& AddLink(const std::string& target_segment, const std::string& target_symbol);
+  ObjectBuilder& SetEntryBound(uint32_t bound);
+
+  std::vector<Word> Build() const;
+
+ private:
+  std::vector<Word> text_;
+  std::vector<SymbolDef> defs_;
+  std::vector<LinkRef> links_;
+  uint32_t entry_bound_ = 0;
+};
+
+// Word-granular access to a (possibly paged) segment.
+using WordReader = std::function<Result<Word>(WordOffset)>;
+using WordWriter = std::function<Status(WordOffset, Word)>;
+
+class ObjectReader {
+ public:
+  // `segment_words` is the segment's length; in validating mode every
+  // section must fit inside it.
+  static Result<ObjectHeader> ReadHeader(const WordReader& read, uint32_t segment_words,
+                                         bool validate);
+  static Result<std::vector<SymbolDef>> ReadDefs(const WordReader& read,
+                                                 const ObjectHeader& header);
+  static Result<LinkRef> ReadLink(const WordReader& read, const ObjectHeader& header,
+                                  uint32_t index);
+  static Status WriteSnapped(const WordWriter& write, const ObjectHeader& header, uint32_t index,
+                             SegNo segno, WordOffset offset);
+  static Result<WordOffset> FindSymbol(const std::vector<SymbolDef>& defs,
+                                       const std::string& name);
+};
+
+// Fuzzing support for E10: returns the image with one random structural
+// corruption (header field, count, offset, or record bytes).
+std::vector<Word> CorruptObjectImage(std::vector<Word> image, Rng& rng);
+
+}  // namespace multics
+
+#endif  // SRC_LINK_OBJECT_FORMAT_H_

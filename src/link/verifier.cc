@@ -1,0 +1,125 @@
+#include "src/link/verifier.h"
+
+#include <algorithm>
+
+namespace multics {
+
+uint64_t TextDigest(const std::vector<Word>& words) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (Word word : words) {
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (word >> (b * 8)) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+Result<ObjectModel> ObjectModel::FromTrustedImage(const std::vector<Word>& image) {
+  WordReader reader = [&image](WordOffset offset) -> Result<Word> {
+    if (offset >= image.size()) {
+      return Status::kOutOfRange;
+    }
+    return image[offset];
+  };
+  MX_ASSIGN_OR_RETURN(ObjectHeader header,
+                      ObjectReader::ReadHeader(reader, static_cast<uint32_t>(image.size()),
+                                               /*validate=*/true));
+  ObjectModel model;
+  model.entry_bound = header.entry_bound;
+  model.text_length = header.text_length;
+  std::vector<Word> text(image.begin() + header.text_offset,
+                         image.begin() + header.text_offset + header.text_length);
+  model.text_digest = TextDigest(text);
+  MX_ASSIGN_OR_RETURN(model.symbols, ObjectReader::ReadDefs(reader, header));
+  std::sort(model.symbols.begin(), model.symbols.end(),
+            [](const SymbolDef& a, const SymbolDef& b) { return a.name < b.name; });
+  for (uint32_t i = 0; i < header.links_count; ++i) {
+    MX_ASSIGN_OR_RETURN(LinkRef link, ObjectReader::ReadLink(reader, header, i));
+    model.links.emplace_back(link.target_segment, link.target_symbol);
+  }
+  return model;
+}
+
+Result<VerifyReport> VerifyObject(const WordReader& read, uint32_t segment_words,
+                                  const ObjectModel& model) {
+  VerifyReport report;
+  auto flag = [&report](const std::string& what) {
+    report.matches = false;
+    report.discrepancies.push_back(what);
+  };
+
+  auto header = ObjectReader::ReadHeader(read, segment_words, /*validate=*/true);
+  if (!header.ok()) {
+    flag("object unreadable or malformed: " + std::string(StatusName(header.status())));
+    return report;
+  }
+
+  if (header->entry_bound != model.entry_bound) {
+    flag("entry bound " + std::to_string(header->entry_bound) + " != model " +
+         std::to_string(model.entry_bound) + " (gate surface changed)");
+  }
+  if (header->text_length != model.text_length) {
+    flag("text length " + std::to_string(header->text_length) + " != model " +
+         std::to_string(model.text_length));
+  } else {
+    std::vector<Word> text;
+    text.reserve(header->text_length);
+    for (WordOffset i = 0; i < header->text_length; ++i) {
+      auto word = read(header->text_offset + i);
+      if (!word.ok()) {
+        flag("text unreadable at " + std::to_string(i));
+        return report;
+      }
+      text.push_back(word.value());
+    }
+    if (TextDigest(text) != model.text_digest) {
+      flag("text digest mismatch (code differs from the certified build)");
+    }
+  }
+
+  auto defs = ObjectReader::ReadDefs(read, header.value());
+  if (!defs.ok()) {
+    flag("definitions unreadable");
+    return report;
+  }
+  std::vector<SymbolDef> sorted = defs.value();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SymbolDef& a, const SymbolDef& b) { return a.name < b.name; });
+  if (sorted.size() != model.symbols.size()) {
+    flag("symbol count " + std::to_string(sorted.size()) + " != model " +
+         std::to_string(model.symbols.size()) +
+         (sorted.size() > model.symbols.size() ? " (possible trapdoor entry)" : ""));
+  } else {
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i].name != model.symbols[i].name) {
+        flag("symbol '" + sorted[i].name + "' not in model");
+      } else if (sorted[i].value != model.symbols[i].value) {
+        flag("symbol '" + sorted[i].name + "' moved: " + std::to_string(sorted[i].value) +
+             " != " + std::to_string(model.symbols[i].value));
+      }
+    }
+  }
+
+  if (header->links_count != model.links.size()) {
+    flag("link count " + std::to_string(header->links_count) + " != model " +
+         std::to_string(model.links.size()) + " (unplanned outward dependency)");
+  } else {
+    for (uint32_t i = 0; i < header->links_count; ++i) {
+      auto link = ObjectReader::ReadLink(read, header.value(), i);
+      if (!link.ok()) {
+        flag("link " + std::to_string(i) + " unreadable");
+        continue;
+      }
+      if (link->target_segment != model.links[i].first ||
+          link->target_symbol != model.links[i].second) {
+        flag("link " + std::to_string(i) + " targets " + link->target_segment + "$" +
+             link->target_symbol + ", model says " + model.links[i].first + "$" +
+             model.links[i].second);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace multics

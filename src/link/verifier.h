@@ -1,0 +1,54 @@
+// Object verification against a source model — the paper's footnote (6):
+//
+//   "the compiler need compile correctly only the specific programs of the
+//    kernel—not all possible programs. Thus, the compiler's effect on the
+//    kernel can be certified by comparing the source code 'model' for each
+//    kernel module with the compiler-produced object code 'implementation',
+//    a task much simpler than certifying the compiler correct for all
+//    possible source programs."
+//
+// An ObjectModel is what the build *intended* a module to be: its exported
+// symbols, its outward references, its gate entry bound, and a digest of its
+// text. VerifyObject checks an installed object segment against the model
+// and reports every discrepancy — an extra symbol is a trapdoor, an extra
+// link is an unplanned dependency, a text digest mismatch is a compiler (or
+// tamperer) change.
+
+#ifndef SRC_LINK_VERIFIER_H_
+#define SRC_LINK_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/link/object_format.h"
+
+namespace multics {
+
+// FNV-1a over a word sequence.
+uint64_t TextDigest(const std::vector<Word>& words);
+
+struct ObjectModel {
+  std::vector<SymbolDef> symbols;                             // Sorted by name.
+  std::vector<std::pair<std::string, std::string>> links;    // (segment, symbol), in order.
+  uint32_t entry_bound = 0;
+  uint64_t text_digest = 0;
+  uint32_t text_length = 0;
+
+  // Derives the model from a trusted image (the build's own output, before
+  // installation) — what the certifier records at build time.
+  static Result<ObjectModel> FromTrustedImage(const std::vector<Word>& image);
+};
+
+struct VerifyReport {
+  bool matches = true;
+  std::vector<std::string> discrepancies;
+};
+
+// Reads the (possibly hostile) installed object through `read` and compares
+// against the model. Never trusts the header beyond `segment_words`.
+Result<VerifyReport> VerifyObject(const WordReader& read, uint32_t segment_words,
+                                  const ObjectModel& model);
+
+}  // namespace multics
+
+#endif  // SRC_LINK_VERIFIER_H_

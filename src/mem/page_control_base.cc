@@ -1,0 +1,179 @@
+#include "src/mem/page_control_base.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace multics {
+
+PageControlBase::PageControlBase(Machine* machine, CoreMap* core_map, PagingDevice* bulk,
+                                 PagingDevice* disk, ReplacementPolicy* policy)
+    : machine_(machine), core_map_(core_map), bulk_(bulk), disk_(disk), policy_(policy) {}
+
+void PageControlBase::ChargeStep(const char* category, Cycles cycles) {
+  machine_->Charge(cycles, category);
+}
+
+void PageControlBase::AddBulkResident(ActiveSegment* seg, PageNo page) {
+  bulk_residents_.emplace_back(seg, page);
+}
+
+void PageControlBase::RemoveBulkResident(ActiveSegment* seg, PageNo page) {
+  auto it = std::find(bulk_residents_.begin(), bulk_residents_.end(), std::make_pair(seg, page));
+  if (it != bulk_residents_.end()) {
+    bulk_residents_.erase(it);
+  }
+}
+
+bool PageControlBase::PopBulkResident(ActiveSegment** seg, PageNo* page) {
+  while (!bulk_residents_.empty()) {
+    auto [s, p] = bulk_residents_.front();
+    bulk_residents_.pop_front();
+    if (p < s->pages && s->location[p].level == PageLevel::kBulk) {
+      *seg = s;
+      *page = p;
+      return true;
+    }
+    // Stale entry (page already moved); drop it.
+  }
+  return false;
+}
+
+Status PageControlBase::FetchIntoFrameSync(ActiveSegment* seg, PageNo page, FrameIndex frame) {
+  PageLoc& loc = seg->location[page];
+  switch (loc.level) {
+    case PageLevel::kZero: {
+      machine_->core().ZeroPage(frame);
+      ChargeStep("page_control_cpu", 20);
+      ++metrics_.zero_fills;
+      break;
+    }
+    case PageLevel::kBulk: {
+      std::vector<Word> data;
+      MX_RETURN_IF_ERROR(bulk_->ReadSync(loc.addr, &data));
+      machine_->core().WritePage(frame, data);
+      MX_RETURN_IF_ERROR(bulk_->Free(loc.addr));
+      RemoveBulkResident(seg, page);
+      ++metrics_.fetches_from_bulk;
+      break;
+    }
+    case PageLevel::kDisk: {
+      std::vector<Word> data;
+      MX_RETURN_IF_ERROR(disk_->ReadSync(loc.addr, &data));
+      machine_->core().WritePage(frame, data);
+      MX_RETURN_IF_ERROR(disk_->Free(loc.addr));
+      ++metrics_.fetches_from_disk;
+      break;
+    }
+    case PageLevel::kCore:
+    case PageLevel::kInTransit:
+      return Status::kInternal;  // Fault on a resident or in-transit page.
+  }
+
+  core_map_->Bind(frame, seg, page, seg->wired);
+  loc = PageLoc{PageLevel::kCore, kInvalidDevAddr};
+  PageTableEntry& pte = seg->page_table.entries[page];
+  pte.present = true;
+  pte.frame = frame;
+  pte.used = true;
+  pte.modified = false;
+  policy_->NotifyLoaded(frame);
+  return Status::kOk;
+}
+
+Status PageControlBase::EvictCorePageSync(FrameIndex frame, bool* cascaded) {
+  const FrameInfo& fi = core_map_->info(frame);
+  CHECK(!fi.free && fi.owner != nullptr);
+  ActiveSegment* seg = fi.owner;
+  PageNo page = fi.page;
+
+  // Disconnect the PTE before the copy leaves core.
+  PageTableEntry& pte = seg->page_table.entries[page];
+  pte.present = false;
+
+  if (bulk_->Full()) {
+    if (cascaded != nullptr) {
+      *cascaded = true;
+    }
+    ++metrics_.cascades;
+    MX_RETURN_IF_ERROR(MoveOldestBulkPageToDiskSync());
+  }
+
+  MX_ASSIGN_OR_RETURN(DevAddr addr, bulk_->Allocate());
+  std::vector<Word> data;
+  machine_->core().ReadPage(pte.frame, data);
+  MX_RETURN_IF_ERROR(bulk_->WriteSync(addr, std::move(data)));
+
+  seg->location[page] = PageLoc{PageLevel::kBulk, addr};
+  AddBulkResident(seg, page);
+  policy_->NotifyFreed(frame);
+  core_map_->Release(frame);
+  ++metrics_.core_evictions;
+  return Status::kOk;
+}
+
+Status PageControlBase::MoveOldestBulkPageToDiskSync() {
+  ActiveSegment* seg = nullptr;
+  PageNo page = 0;
+  if (!PopBulkResident(&seg, &page)) {
+    return Status::kResourceExhausted;
+  }
+  PageLoc& loc = seg->location[page];
+  std::vector<Word> data;
+  MX_RETURN_IF_ERROR(bulk_->ReadSync(loc.addr, &data));
+  MX_RETURN_IF_ERROR(bulk_->Free(loc.addr));
+  MX_ASSIGN_OR_RETURN(DevAddr disk_addr, disk_->Allocate());
+  MX_RETURN_IF_ERROR(disk_->WriteSync(disk_addr, std::move(data)));
+  loc = PageLoc{PageLevel::kDisk, disk_addr};
+  ++metrics_.bulk_evictions;
+  return Status::kOk;
+}
+
+Status PageControlBase::FlushPageSync(ActiveSegment* seg, PageNo page) {
+  PageLoc& loc = seg->location[page];
+  switch (loc.level) {
+    case PageLevel::kZero:
+    case PageLevel::kDisk:
+      return Status::kOk;
+    case PageLevel::kCore: {
+      PageTableEntry& pte = seg->page_table.entries[page];
+      std::vector<Word> data;
+      machine_->core().ReadPage(pte.frame, data);
+      MX_ASSIGN_OR_RETURN(DevAddr addr, disk_->Allocate());
+      MX_RETURN_IF_ERROR(disk_->WriteSync(addr, std::move(data)));
+      pte.present = false;
+      policy_->NotifyFreed(pte.frame);
+      core_map_->Release(pte.frame);
+      loc = PageLoc{PageLevel::kDisk, addr};
+      return Status::kOk;
+    }
+    case PageLevel::kBulk: {
+      std::vector<Word> data;
+      MX_RETURN_IF_ERROR(bulk_->ReadSync(loc.addr, &data));
+      MX_RETURN_IF_ERROR(bulk_->Free(loc.addr));
+      RemoveBulkResident(seg, page);
+      MX_ASSIGN_OR_RETURN(DevAddr addr, disk_->Allocate());
+      MX_RETURN_IF_ERROR(disk_->WriteSync(addr, std::move(data)));
+      loc = PageLoc{PageLevel::kDisk, addr};
+      return Status::kOk;
+    }
+    case PageLevel::kInTransit:
+      // Callers (the parallel control) drain in-flight transfers first.
+      return Status::kFailedPrecondition;
+  }
+  return Status::kInternal;
+}
+
+Status PageControlBase::FlushSegment(ActiveSegment* seg) {
+  for (PageNo page = 0; page < seg->pages; ++page) {
+    MX_RETURN_IF_ERROR(FlushPageSync(seg, page));
+  }
+  // Purge any stale residency entries for this segment.
+  bulk_residents_.erase(
+      std::remove_if(bulk_residents_.begin(), bulk_residents_.end(),
+                     [seg](const auto& entry) { return entry.first == seg; }),
+      bulk_residents_.end());
+  return Status::kOk;
+}
+
+}  // namespace multics

@@ -1,0 +1,328 @@
+#include "src/mem/page_control_parallel.h"
+
+#include "src/base/log.h"
+
+namespace multics {
+
+ParallelPageControl::ParallelPageControl(Machine* machine, CoreMap* core_map, PagingDevice* bulk,
+                                         PagingDevice* disk, ReplacementPolicy* policy,
+                                         ParallelPageControlConfig config)
+    : PageControlBase(machine, core_map, bulk, disk, policy), config_(config) {}
+
+Status ParallelPageControl::WaitFor(const bool& done) {
+  while (!done) {
+    if (!machine_->events().RunOne()) {
+      return Status::kDeviceError;  // Transfer can never complete.
+    }
+  }
+  return Status::kOk;
+}
+
+Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, AccessMode mode) {
+  (void)mode;
+  if (page >= seg->pages) {
+    return Status::kOutOfRange;
+  }
+  if (seg->page_table.entries[page].present) {
+    return Status::kOk;
+  }
+
+  ++metrics_.faults;
+  const Cycles start = machine_->clock().now();
+  ChargeStep("page_control_cpu", 30);  // The whole fault path: wait + initiate.
+
+  // The daemons run concurrently with this fault, so the page's location can
+  // change while we wait for a frame; the loop re-examines it each time.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    PageTableEntry& pte = seg->page_table.entries[page];
+    if (pte.present) {
+      return Status::kOk;  // Resolved while we waited.
+    }
+
+    if (seg->location[page].level == PageLevel::kInTransit) {
+      FrameInfo& fi = core_map_->info_mutable(pte.frame);
+      if (!fi.free && fi.owner == seg && fi.page == page && fi.evicting) {
+        // The free-core daemon is evicting this very page: the data has not
+        // actually left core. Reclaim the frame; the in-flight write notices
+        // the cancellation and frees its slot.
+        fi.evicting = false;
+        seg->location[page] = PageLoc{PageLevel::kCore, kInvalidDevAddr};
+        pte.present = true;
+        pte.used = true;
+        ++metrics_.reclaims;
+        metrics_.fault_latency.Add(static_cast<double>(machine_->clock().now() - start));
+        metrics_.fault_path_steps.Add(1.0);
+        return Status::kOk;
+      }
+      // A bulk->disk move: the bulk copy survives until the move commits, so
+      // reclaim the page back onto the bulk store and fetch it normally; the
+      // move's continuations notice the cancellation and stand down.
+      seg->location[page] = PageLoc{PageLevel::kBulk, seg->location[page].addr};
+      AddBulkResident(seg, page);
+      ++metrics_.reclaims;
+    }
+
+    // Take a free frame; the free-core daemon is supposed to have one ready.
+    Result<FrameIndex> frame = core_map_->AllocateFree();
+    if (!frame.ok()) {
+      ++metrics_.waits_for_frame;
+      WakeCoreDaemon();
+      while (!frame.ok()) {
+        if (!machine_->events().RunOne()) {
+          return Status::kResourceExhausted;
+        }
+        frame = core_map_->AllocateFree();
+      }
+      // Waiting may have let a daemon touch this page: re-examine before
+      // committing to a transfer.
+      if (seg->page_table.entries[page].present ||
+          seg->location[page].level == PageLevel::kInTransit) {
+        core_map_->Release(frame.value());
+        continue;
+      }
+    }
+
+    // Initiate the one transfer this fault actually needs.
+    PageLoc& loc = seg->location[page];
+    switch (loc.level) {
+      case PageLevel::kZero: {
+        machine_->core().ZeroPage(frame.value());
+        ++metrics_.zero_fills;
+        break;
+      }
+      case PageLevel::kBulk: {
+        bool done = false;
+        DevAddr addr = loc.addr;
+        std::vector<Word> data;
+        bulk_->ReadAsyncUrgent(addr, [&](Status st, std::vector<Word> page_data) {
+          CHECK(st == Status::kOk);
+          data = std::move(page_data);
+          done = true;
+        });
+        Status waited = WaitFor(done);
+        if (waited != Status::kOk) {
+          core_map_->Release(frame.value());
+          return waited;
+        }
+        machine_->core().WritePage(frame.value(), data);
+        MX_RETURN_IF_ERROR(bulk_->Free(addr));
+        RemoveBulkResident(seg, page);
+        ++metrics_.fetches_from_bulk;
+        break;
+      }
+      case PageLevel::kDisk: {
+        bool done = false;
+        DevAddr addr = loc.addr;
+        std::vector<Word> data;
+        disk_->ReadAsyncUrgent(addr, [&](Status st, std::vector<Word> page_data) {
+          CHECK(st == Status::kOk);
+          data = std::move(page_data);
+          done = true;
+        });
+        Status waited = WaitFor(done);
+        if (waited != Status::kOk) {
+          core_map_->Release(frame.value());
+          return waited;
+        }
+        machine_->core().WritePage(frame.value(), data);
+        MX_RETURN_IF_ERROR(disk_->Free(addr));
+        ++metrics_.fetches_from_disk;
+        break;
+      }
+      case PageLevel::kInTransit:
+      case PageLevel::kCore: {
+        // A daemon raced us between the checks above; go around again.
+        core_map_->Release(frame.value());
+        continue;
+      }
+    }
+
+    core_map_->Bind(frame.value(), seg, page, seg->wired);
+    loc = PageLoc{PageLevel::kCore, kInvalidDevAddr};
+    pte.present = true;
+    pte.frame = frame.value();
+    pte.used = true;
+    pte.modified = false;
+    policy_->NotifyLoaded(frame.value());
+
+    if (core_map_->free_count() < config_.core_low_water) {
+      WakeCoreDaemon();
+    }
+
+    metrics_.fault_latency.Add(static_cast<double>(machine_->clock().now() - start));
+    metrics_.fault_path_steps.Add(1.0);  // The fault path is one step, always.
+    return Status::kOk;
+  }
+  return Status::kInternal;  // 16 daemon races in a row: give up loudly.
+}
+
+void ParallelPageControl::WakeCoreDaemon() {
+  if (core_daemon_running_) {
+    return;
+  }
+  core_daemon_running_ = true;
+  ++core_daemon_wakeups_;
+  machine_->Charge(machine_->costs().wakeup, "ipc");
+  machine_->events().ScheduleAfter(machine_->costs().vp_switch, [this] { CoreDaemonStep(); });
+}
+
+void ParallelPageControl::CoreDaemonStep() {
+  machine_->charges_mutable().Increment("daemon_cpu", 60);
+  while (core_map_->free_count() + evictions_in_flight_ < config_.core_high_water) {
+    FrameIndex victim = policy_->SelectVictim(*core_map_);
+    if (victim == kInvalidFrame) {
+      break;
+    }
+    StartAsyncEviction(victim);
+  }
+  core_daemon_running_ = false;
+}
+
+void ParallelPageControl::StartAsyncEviction(FrameIndex victim) {
+  FrameInfo& fi = core_map_->info_mutable(victim);
+  CHECK(!fi.free && fi.owner != nullptr);
+  ActiveSegment* seg = fi.owner;
+  PageNo page = fi.page;
+  fi.evicting = true;
+
+  // Disconnect the PTE and capture the page contents (the I/O controller
+  // reads the frame; the frame itself stays reserved until completion).
+  PageTableEntry& pte = seg->page_table.entries[page];
+  pte.present = false;
+  std::vector<Word> data;
+  machine_->core().ReadPage(pte.frame, data);
+  seg->location[page] = PageLoc{PageLevel::kInTransit, kInvalidDevAddr};
+
+  ++evictions_in_flight_;
+  ++metrics_.core_evictions;
+
+  // Prefer the bulk store; if it is full, write straight to disk and let the
+  // free-bulk daemon catch up.
+  PagingDevice* device = bulk_;
+  PageLevel target = PageLevel::kBulk;
+  if (bulk_->Full()) {
+    device = disk_;
+    target = PageLevel::kDisk;
+    ++metrics_.cascades;
+    WakeBulkDaemon();
+  } else if (bulk_->free_pages() < config_.bulk_low_water) {
+    WakeBulkDaemon();
+  }
+
+  auto addr = device->Allocate();
+  if (!addr.ok()) {
+    // Out of both bulk and disk space: undo and give up on this victim.
+    pte.present = true;
+    seg->location[page] = PageLoc{PageLevel::kCore, kInvalidDevAddr};
+    fi.evicting = false;
+    --evictions_in_flight_;
+    --metrics_.core_evictions;
+    return;
+  }
+  // Remember the destination; a reclaim flips the location back to kCore and
+  // the completion below detects it by the mismatch.
+  seg->location[page] = PageLoc{PageLevel::kInTransit, addr.value()};
+
+  device->WriteAsync(addr.value(), std::move(data),
+                     [this, seg, page, victim, target, addr = addr.value(),
+                      device](Status st) {
+                       CHECK(st == Status::kOk);
+                       const PageLoc& loc = seg->location[page];
+                       --evictions_in_flight_;
+                       if (loc.level != PageLevel::kInTransit || loc.addr != addr) {
+                         // Reclaimed (or re-evicted) while in flight: the
+                         // frame stayed with its page; just drop the slot.
+                         (void)device->Free(addr);
+                         return;
+                       }
+                       seg->location[page] = PageLoc{target, addr};
+                       if (target == PageLevel::kBulk) {
+                         AddBulkResident(seg, page);
+                       }
+                       FrameInfo& info = core_map_->info_mutable(victim);
+                       info.evicting = false;
+                       policy_->NotifyFreed(victim);
+                       core_map_->Release(victim);
+                       // Keep the pool topped up if demand outran us.
+                       if (core_map_->free_count() + evictions_in_flight_ <
+                           config_.core_low_water) {
+                         WakeCoreDaemon();
+                       }
+                     });
+}
+
+void ParallelPageControl::WakeBulkDaemon() {
+  if (bulk_daemon_running_) {
+    return;
+  }
+  bulk_daemon_running_ = true;
+  ++bulk_daemon_wakeups_;
+  machine_->Charge(machine_->costs().wakeup, "ipc");
+  machine_->events().ScheduleAfter(machine_->costs().vp_switch, [this] { BulkDaemonStep(); });
+}
+
+void ParallelPageControl::BulkDaemonStep() {
+  machine_->charges_mutable().Increment("daemon_cpu", 60);
+  while (bulk_->free_pages() + bulk_moves_in_flight_ < config_.bulk_high_water) {
+    ActiveSegment* seg = nullptr;
+    PageNo page = 0;
+    if (!PopBulkResident(&seg, &page)) {
+      break;
+    }
+    DevAddr bulk_addr = seg->location[page].addr;
+    // The bulk slot stays allocated (and its data in place) until the move
+    // commits, so a fault can reclaim the page mid-move.
+    seg->location[page] = PageLoc{PageLevel::kInTransit, bulk_addr};
+    ++bulk_moves_in_flight_;
+    ++metrics_.bulk_evictions;
+    bulk_->ReadAsync(bulk_addr, [this, seg, page, bulk_addr](Status st,
+                                                             std::vector<Word> data) {
+      CHECK(st == Status::kOk);
+      const PageLoc& loc = seg->location[page];
+      if (loc.level != PageLevel::kInTransit || loc.addr != bulk_addr) {
+        --bulk_moves_in_flight_;  // Reclaimed mid-move; the fault owns it now.
+        return;
+      }
+      auto disk_addr = disk_->Allocate();
+      if (!disk_addr.ok()) {
+        // Disk full: abandon the move; the page simply stays on bulk.
+        seg->location[page] = PageLoc{PageLevel::kBulk, bulk_addr};
+        AddBulkResident(seg, page);
+        --bulk_moves_in_flight_;
+        return;
+      }
+      disk_->WriteAsync(
+          disk_addr.value(), std::move(data),
+          [this, seg, page, bulk_addr, addr = disk_addr.value()](Status write_st) {
+            CHECK(write_st == Status::kOk);
+            const PageLoc& now_loc = seg->location[page];
+            if (now_loc.level != PageLevel::kInTransit || now_loc.addr != bulk_addr) {
+              // Reclaimed while the disk write was in flight: keep the bulk
+              // copy authoritative and drop the disk copy.
+              (void)disk_->Free(addr);
+              --bulk_moves_in_flight_;
+              return;
+            }
+            (void)bulk_->Free(bulk_addr);
+            seg->location[page] = PageLoc{PageLevel::kDisk, addr};
+            --bulk_moves_in_flight_;
+          });
+    });
+  }
+  bulk_daemon_running_ = false;
+}
+
+Status ParallelPageControl::FlushSegment(ActiveSegment* seg) {
+  // Drain all in-flight daemon activity so no page of this segment is in
+  // transit, then flush synchronously.
+  while (evictions_in_flight_ > 0 || bulk_moves_in_flight_ > 0) {
+    if (!machine_->events().RunOne()) {
+      return Status::kInternal;
+    }
+  }
+  return PageControlBase::FlushSegment(seg);
+}
+
+void ParallelPageControl::PumpIdle() { machine_->events().RunUntilIdle(); }
+
+}  // namespace multics

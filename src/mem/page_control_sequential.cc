@@ -1,0 +1,48 @@
+#include "src/mem/page_control_sequential.h"
+
+namespace multics {
+
+Status SequentialPageControl::EnsureResident(ActiveSegment* seg, PageNo page, AccessMode mode) {
+  (void)mode;
+  if (page >= seg->pages) {
+    return Status::kOutOfRange;
+  }
+  if (seg->page_table.entries[page].present) {
+    return Status::kOk;
+  }
+
+  ++metrics_.faults;
+  const Cycles start = machine_->clock().now();
+  uint32_t steps = 1;  // Fault analysis + fetch initiation.
+  ChargeStep("page_control_cpu");
+
+  // Step 1: get a free frame, evicting (and possibly cascading) inline.
+  auto frame = core_map_->AllocateFree();
+  if (!frame.ok()) {
+    ++steps;  // The eviction step, executed by this process.
+    ChargeStep("page_control_cpu");
+    FrameIndex victim = policy_->SelectVictim(*core_map_);
+    if (victim == kInvalidFrame) {
+      return Status::kResourceExhausted;
+    }
+    bool cascaded = false;
+    MX_RETURN_IF_ERROR(EvictCorePageSync(victim, &cascaded));
+    if (cascaded) {
+      ++steps;  // The bulk-to-disk move, also executed by this process.
+      ChargeStep("page_control_cpu");
+    }
+    frame = core_map_->AllocateFree();
+    if (!frame.ok()) {
+      return frame.status();
+    }
+  }
+
+  // Step 2: fetch the wanted page, synchronously.
+  MX_RETURN_IF_ERROR(FetchIntoFrameSync(seg, page, frame.value()));
+
+  metrics_.fault_latency.Add(static_cast<double>(machine_->clock().now() - start));
+  metrics_.fault_path_steps.Add(steps);
+  return Status::kOk;
+}
+
+}  // namespace multics

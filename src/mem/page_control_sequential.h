@@ -1,0 +1,24 @@
+// The old Multics page-control structure: "this complex series of steps
+// occurs sequentially with page control executing in the process which took
+// the page fault". Eviction, cascade, and fetch all happen inline, and every
+// device wait is charged to the faulting process.
+
+#ifndef SRC_MEM_PAGE_CONTROL_SEQUENTIAL_H_
+#define SRC_MEM_PAGE_CONTROL_SEQUENTIAL_H_
+
+#include "src/mem/page_control_base.h"
+
+namespace multics {
+
+class SequentialPageControl : public PageControlBase {
+ public:
+  using PageControlBase::PageControlBase;
+
+  const char* name() const override { return "sequential"; }
+
+  Status EnsureResident(ActiveSegment* seg, PageNo page, AccessMode mode) override;
+};
+
+}  // namespace multics
+
+#endif  // SRC_MEM_PAGE_CONTROL_SEQUENTIAL_H_

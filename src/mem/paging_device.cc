@@ -1,0 +1,180 @@
+#include "src/mem/paging_device.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace multics {
+
+PagingDevice::PagingDevice(std::string name, uint32_t capacity_pages, Cycles read_latency,
+                           Cycles write_latency, Machine* machine)
+    : name_(std::move(name)),
+      capacity_(capacity_pages),
+      read_latency_(read_latency),
+      write_latency_(write_latency),
+      machine_(machine) {
+  free_list_.reserve(capacity_pages);
+  // Allocate low addresses first (pop from the back).
+  for (uint32_t i = 0; i < capacity_pages; ++i) {
+    free_list_.push_back(capacity_pages - 1 - i);
+  }
+}
+
+Result<DevAddr> PagingDevice::Allocate() {
+  if (free_list_.empty()) {
+    return Status::kResourceExhausted;
+  }
+  DevAddr addr = free_list_.back();
+  free_list_.pop_back();
+  return addr;
+}
+
+Status PagingDevice::Free(DevAddr addr) {
+  if (addr >= capacity_) {
+    return Status::kInvalidArgument;
+  }
+  store_.erase(addr);
+  free_list_.push_back(addr);
+  return Status::kOk;
+}
+
+Cycles PagingDevice::ScheduleTransfer(Cycles latency, Cycles* channel_busy_until) {
+  const Cycles start = std::max(machine_->clock().now(), *channel_busy_until);
+  const Cycles done = start + machine_->costs().io_start_overhead + latency;
+  *channel_busy_until = done;
+  return done;
+}
+
+Status PagingDevice::ReadSync(DevAddr addr, std::vector<Word>* out) {
+  if (addr >= capacity_) {
+    return Status::kInvalidArgument;
+  }
+  ++reads_;
+  const Cycles done = ScheduleTransfer(read_latency_, &read_busy_until_);
+  machine_->clock().AdvanceTo(done);
+  machine_->charges_mutable().Increment("page_io", read_latency_);
+  auto it = store_.find(addr);
+  if (it == store_.end()) {
+    out->assign(kPageWords, 0);
+  } else {
+    *out = it->second;
+  }
+  return Status::kOk;
+}
+
+Status PagingDevice::WriteSync(DevAddr addr, std::vector<Word> data) {
+  if (addr >= capacity_ || data.size() != kPageWords) {
+    return Status::kInvalidArgument;
+  }
+  ++writes_;
+  const Cycles done = ScheduleTransfer(write_latency_, &write_busy_until_);
+  machine_->clock().AdvanceTo(done);
+  machine_->charges_mutable().Increment("page_io", write_latency_);
+  store_[addr] = std::move(data);
+  return Status::kOk;
+}
+
+void PagingDevice::ReadAsync(DevAddr addr, std::function<void(Status, std::vector<Word>)> done) {
+  if (addr >= capacity_) {
+    machine_->events().ScheduleAfter(0, [done = std::move(done)] {
+      done(Status::kInvalidArgument, {});
+    });
+    return;
+  }
+  ++reads_;
+  const Cycles when = ScheduleTransfer(read_latency_, &read_busy_until_);
+  machine_->events().ScheduleAt(when, [this, addr, done = std::move(done)] {
+    machine_->charges_mutable().Increment("page_io", read_latency_);
+    std::vector<Word> data;
+    auto it = store_.find(addr);
+    if (it == store_.end()) {
+      data.assign(kPageWords, 0);
+    } else {
+      data = it->second;
+    }
+    if (interrupts_ != nullptr) {
+      (void)interrupts_->Assert(line_, addr);
+    }
+    done(Status::kOk, std::move(data));
+  });
+}
+
+void PagingDevice::WriteAsync(DevAddr addr, std::vector<Word> data,
+                              std::function<void(Status)> done) {
+  if (addr >= capacity_ || data.size() != kPageWords) {
+    machine_->events().ScheduleAfter(0,
+                                     [done = std::move(done)] { done(Status::kInvalidArgument); });
+    return;
+  }
+  ++writes_;
+  const Cycles when = ScheduleTransfer(write_latency_, &write_busy_until_);
+  machine_->events().ScheduleAt(
+      when, [this, addr, data = std::move(data), done = std::move(done)]() mutable {
+        machine_->charges_mutable().Increment("page_io", write_latency_);
+        store_[addr] = std::move(data);
+        if (interrupts_ != nullptr) {
+          (void)interrupts_->Assert(line_, addr);
+        }
+        done(Status::kOk);
+      });
+}
+
+void PagingDevice::ReadAsyncUrgent(DevAddr addr,
+                                   std::function<void(Status, std::vector<Word>)> done) {
+  if (addr >= capacity_) {
+    machine_->events().ScheduleAfter(0, [done = std::move(done)] {
+      done(Status::kInvalidArgument, {});
+    });
+    return;
+  }
+  ++reads_;
+  const Cycles when = ScheduleTransfer(read_latency_, &urgent_busy_until_);
+  machine_->events().ScheduleAt(when, [this, addr, done = std::move(done)] {
+    machine_->charges_mutable().Increment("page_io", read_latency_);
+    std::vector<Word> data;
+    auto it = store_.find(addr);
+    if (it == store_.end()) {
+      data.assign(kPageWords, 0);
+    } else {
+      data = it->second;
+    }
+    if (interrupts_ != nullptr) {
+      (void)interrupts_->Assert(line_, addr);
+    }
+    done(Status::kOk, std::move(data));
+  });
+}
+
+Status PagingDevice::Peek(DevAddr addr, std::vector<Word>* out) const {
+  if (addr >= capacity_) {
+    return Status::kInvalidArgument;
+  }
+  auto it = store_.find(addr);
+  if (it == store_.end()) {
+    out->assign(kPageWords, 0);
+  } else {
+    *out = it->second;
+  }
+  return Status::kOk;
+}
+
+Status PagingDevice::Poke(DevAddr addr, std::vector<Word> data) {
+  if (addr >= capacity_ || data.size() != kPageWords) {
+    return Status::kInvalidArgument;
+  }
+  store_[addr] = std::move(data);
+  return Status::kOk;
+}
+
+PagingDevice MakeBulkStore(uint32_t pages, Machine* machine) {
+  const CostModel& costs = machine->costs();
+  return PagingDevice("bulk-store", pages, costs.bulk_store_read, costs.bulk_store_write,
+                      machine);
+}
+
+PagingDevice MakeDisk(uint32_t pages, Machine* machine) {
+  const CostModel& costs = machine->costs();
+  return PagingDevice("disk", pages, costs.disk_read, costs.disk_write, machine);
+}
+
+}  // namespace multics

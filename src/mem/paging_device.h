@@ -1,0 +1,106 @@
+// Secondary-storage devices of the three-level Multics memory hierarchy: the
+// bulk store (drum-class, fast) and the disk (large, slow). A device stores
+// whole pages addressed by device page number and supports both synchronous
+// transfers (the sequential page control runs the whole cascade inline in
+// the faulting process) and asynchronous ones (the parallel page control's
+// daemons overlap transfers with computation).
+//
+// The controller is dual-channel: reads and writes each serialize on their
+// own channel, so a demand fetch does not queue behind a backlog of
+// background eviction writes — the property that makes the paper's
+// free-core daemon profitable.
+
+#ifndef SRC_MEM_PAGING_DEVICE_H_
+#define SRC_MEM_PAGING_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/hw/interrupt.h"
+#include "src/hw/machine.h"
+
+namespace multics {
+
+// Device page number.
+using DevAddr = uint32_t;
+inline constexpr DevAddr kInvalidDevAddr = UINT32_MAX;
+
+class PagingDevice {
+ public:
+  PagingDevice(std::string name, uint32_t capacity_pages, Cycles read_latency,
+               Cycles write_latency, Machine* machine);
+
+  const std::string& name() const { return name_; }
+  uint32_t capacity() const { return capacity_; }
+  uint32_t free_pages() const { return static_cast<uint32_t>(free_list_.size()); }
+  uint32_t used_pages() const { return capacity_ - free_pages(); }
+  bool Full() const { return free_list_.empty(); }
+
+  // Slot management.
+  Result<DevAddr> Allocate();
+  Status Free(DevAddr addr);
+
+  // Synchronous transfers: advance the simulation clock by queueing delay
+  // plus latency before returning.
+  Status ReadSync(DevAddr addr, std::vector<Word>* out);
+  Status WriteSync(DevAddr addr, std::vector<Word> data);
+
+  // Asynchronous transfers: complete through the machine's event queue.
+  // The device serializes transfers per channel; each completion may assert
+  // the attached interrupt line (if any) before invoking `done`.
+  void ReadAsync(DevAddr addr, std::function<void(Status, std::vector<Word>)> done);
+  void WriteAsync(DevAddr addr, std::vector<Word> data, std::function<void(Status)> done);
+
+  // Demand (page-fault) read: serviced on the priority channel, ahead of any
+  // backlog of background daemon transfers — demand fetches always preempt
+  // migration traffic, as real paging controllers arranged.
+  void ReadAsyncUrgent(DevAddr addr, std::function<void(Status, std::vector<Word>)> done);
+
+  void AttachInterrupt(InterruptController* controller, InterruptLine line) {
+    interrupts_ = controller;
+    line_ = line;
+  }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+  // Direct slot access without latency, for the image loader / tests.
+  Status Peek(DevAddr addr, std::vector<Word>* out) const;
+  Status Poke(DevAddr addr, std::vector<Word> data);
+
+ private:
+  // Computes this transfer's completion time on one channel and marks that
+  // channel busy.
+  Cycles ScheduleTransfer(Cycles latency, Cycles* channel_busy_until);
+
+  std::string name_;
+  uint32_t capacity_;
+  Cycles read_latency_;
+  Cycles write_latency_;
+  Machine* machine_;
+
+  std::unordered_map<DevAddr, std::vector<Word>> store_;
+  std::vector<DevAddr> free_list_;
+  Cycles read_busy_until_ = 0;
+  Cycles write_busy_until_ = 0;
+  Cycles urgent_busy_until_ = 0;
+
+  InterruptController* interrupts_ = nullptr;
+  InterruptLine line_ = 0;
+
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+// Factory helpers with the default cost model's latencies.
+PagingDevice MakeBulkStore(uint32_t pages, Machine* machine);
+PagingDevice MakeDisk(uint32_t pages, Machine* machine);
+
+}  // namespace multics
+
+#endif  // SRC_MEM_PAGING_DEVICE_H_

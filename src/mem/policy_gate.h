@@ -1,0 +1,102 @@
+// Policy/mechanism separation for page replacement, after the paper's second
+// partitioning technique:
+//
+//   "Programs in the most privileged ring would implement the mechanics of
+//    page removal... The policy algorithm that decides which page to remove
+//    ... would execute in a less privileged ring, calling the gate entry
+//    points to collect the necessary usage statistics and to do the actual
+//    moving... The policy algorithm, however, could never read or write the
+//    contents of pages, learn the segment to which each page belonged, or
+//    cause one page to overwrite another... It could only cause denial of
+//    use."
+//
+// PageMechanismGates is the ring-0 mechanism: a deliberately narrow API that
+// exposes per-frame usage bits and nothing else — no page contents, no
+// segment identity. GatedClockPolicy is a well-behaved ring-1 policy built
+// only on those gates; MaliciousPolicy is the fault-injection policy used by
+// experiment E6 to demonstrate that the worst a hostile policy achieves is
+// denial of use.
+
+#ifndef SRC_MEM_POLICY_GATE_H_
+#define SRC_MEM_POLICY_GATE_H_
+
+#include <cstdint>
+
+#include "src/base/random.h"
+#include "src/hw/machine.h"
+#include "src/mem/replacement.h"
+
+namespace multics {
+
+class PageMechanismGates {
+ public:
+  PageMechanismGates(Machine* machine, CoreMap* core_map);
+
+  // What the policy ring may learn about a frame: usage bits only.
+  struct FrameUsage {
+    bool valid = false;     // Frame number in range and frame in use.
+    bool evictable = false; // In use, unwired, not already being evicted.
+    bool used = false;
+    bool modified = false;
+  };
+
+  // Gate entries callable from the policy ring. Every call charges one
+  // cross-ring gate transfer. Arguments are validated by the mechanism;
+  // garbage input is answered, never trusted.
+  FrameUsage GetUsage(FrameIndex frame);
+  void ClearUsedBit(FrameIndex frame);
+  uint32_t FrameCount();
+
+  uint64_t gate_crossings() const { return gate_crossings_; }
+  uint64_t rejected_arguments() const { return rejected_arguments_; }
+
+ private:
+  void ChargeCrossing();
+
+  Machine* machine_;
+  CoreMap* core_map_;
+  uint64_t gate_crossings_ = 0;
+  uint64_t rejected_arguments_ = 0;
+};
+
+// The clock algorithm reimplemented in the policy ring, touching frames only
+// through the mechanism's gates.
+class GatedClockPolicy : public ReplacementPolicy {
+ public:
+  explicit GatedClockPolicy(PageMechanismGates* gates) : gates_(gates) {}
+
+  const char* name() const override { return "gated-clock"; }
+  void NotifyLoaded(FrameIndex frame) override;
+  void NotifyFreed(FrameIndex frame) override;
+  FrameIndex SelectVictim(CoreMap& core_map) override;
+
+ private:
+  PageMechanismGates* gates_;
+  FrameIndex hand_ = 0;
+};
+
+// A hostile policy: evicts the most recently used frames (pessimal choice,
+// maximizing thrash) and probes the gates with garbage frame numbers. The
+// mechanism's argument validation and the narrowness of the API bound the
+// damage to denial of use.
+class MaliciousPolicy : public ReplacementPolicy {
+ public:
+  MaliciousPolicy(PageMechanismGates* gates, uint64_t seed) : gates_(gates), rng_(seed) {}
+
+  const char* name() const override { return "malicious"; }
+  void NotifyLoaded(FrameIndex frame) override;
+  void NotifyFreed(FrameIndex frame) override;
+  FrameIndex SelectVictim(CoreMap& core_map) override;
+
+  uint64_t garbage_probes() const { return garbage_probes_; }
+
+ private:
+  PageMechanismGates* gates_;
+  Rng rng_;
+  std::vector<FrameIndex> recently_loaded_;
+  uint64_t garbage_probes_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_MEM_POLICY_GATE_H_

@@ -1,0 +1,139 @@
+#include "src/mls/label.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace multics {
+
+const char* SensitivityLevelName(SensitivityLevel level) {
+  switch (level) {
+    case SensitivityLevel::kUnclassified:
+      return "unclassified";
+    case SensitivityLevel::kConfidential:
+      return "confidential";
+    case SensitivityLevel::kSecret:
+      return "secret";
+    case SensitivityLevel::kTopSecret:
+      return "top-secret";
+  }
+  return "?";
+}
+
+CategorySet CategorySet::Of(std::initializer_list<int> categories) {
+  uint32_t bits = 0;
+  for (int c : categories) {
+    if (c >= 0 && c < kCategoryCount) {
+      bits |= 1u << c;
+    }
+  }
+  return CategorySet(bits);
+}
+
+int CategorySet::Count() const { return std::popcount(bits_); }
+
+std::string MlsLabel::ToString() const {
+  std::ostringstream os;
+  os << SensitivityLevelName(level);
+  if (!categories.Empty()) {
+    os << ":{";
+    bool first = true;
+    for (int c = 0; c < kCategoryCount; ++c) {
+      if (categories.Contains(c)) {
+        if (!first) {
+          os << ",";
+        }
+        os << c;
+        first = false;
+      }
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+bool MlsLabel::Dominates(const MlsLabel& other) const {
+  return level >= other.level && other.categories.IsSubsetOf(categories);
+}
+
+bool MlsLabel::IsIncomparableWith(const MlsLabel& other) const {
+  return !Dominates(other) && !other.Dominates(*this);
+}
+
+MlsLabel MlsLabel::SystemHigh() {
+  MlsLabel label;
+  label.level = SensitivityLevel::kTopSecret;
+  label.categories = CategorySet((1u << kCategoryCount) - 1);
+  return label;
+}
+
+MlsLabel MlsLabel::Lub(const MlsLabel& a, const MlsLabel& b) {
+  MlsLabel out;
+  out.level = std::max(a.level, b.level);
+  out.categories = a.categories.Union(b.categories);
+  return out;
+}
+
+MlsLabel MlsLabel::Glb(const MlsLabel& a, const MlsLabel& b) {
+  MlsLabel out;
+  out.level = std::min(a.level, b.level);
+  out.categories = a.categories.Intersect(b.categories);
+  return out;
+}
+
+bool MlsCanRead(const MlsLabel& subject, const MlsLabel& object) {
+  return subject.Dominates(object);
+}
+
+bool MlsCanWrite(const MlsLabel& subject, const MlsLabel& object) {
+  return object.Dominates(subject);
+}
+
+Result<MlsLabel> ParseMlsLabel(const std::string& text) {
+  MlsLabel label;
+  std::string levels = text;
+  std::string cats;
+  auto colon = text.find(':');
+  if (colon != std::string::npos) {
+    levels = text.substr(0, colon);
+    cats = text.substr(colon + 1);
+  }
+
+  if (levels == "unclassified" || levels == "u") {
+    label.level = SensitivityLevel::kUnclassified;
+  } else if (levels == "confidential" || levels == "c") {
+    label.level = SensitivityLevel::kConfidential;
+  } else if (levels == "secret" || levels == "s") {
+    label.level = SensitivityLevel::kSecret;
+  } else if (levels == "top-secret" || levels == "ts") {
+    label.level = SensitivityLevel::kTopSecret;
+  } else {
+    return Status::kInvalidArgument;
+  }
+
+  if (!cats.empty()) {
+    if (cats.front() != '{' || cats.back() != '}') {
+      return Status::kInvalidArgument;
+    }
+    std::istringstream is(cats.substr(1, cats.size() - 2));
+    std::string item;
+    while (std::getline(is, item, ',')) {
+      if (item.empty()) {
+        continue;
+      }
+      int c = 0;
+      try {
+        c = std::stoi(item);
+      } catch (...) {
+        return Status::kInvalidArgument;
+      }
+      if (c < 0 || c >= kCategoryCount) {
+        return Status::kOutOfRange;
+      }
+      label.categories = label.categories.With(c);
+    }
+  }
+  return label;
+}
+
+}  // namespace multics

@@ -1,0 +1,98 @@
+// The Mitre access-constraint model the paper's footnote (2) describes: a
+// lattice of compartments consistent with the national security
+// classification scheme — a total order of sensitivity levels crossed with a
+// powerset of need-to-know categories. Information may flow only upward in
+// the lattice (what became the Bell–LaPadula simple-security and *-property
+// rules).
+
+#ifndef SRC_MLS_LABEL_H_
+#define SRC_MLS_LABEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/result.h"
+
+namespace multics {
+
+enum class SensitivityLevel : uint8_t {
+  kUnclassified = 0,
+  kConfidential = 1,
+  kSecret = 2,
+  kTopSecret = 3,
+};
+
+inline constexpr int kSensitivityLevels = 4;
+inline constexpr int kCategoryCount = 18;  // Multics AIM supported 18 categories.
+
+const char* SensitivityLevelName(SensitivityLevel level);
+
+// Need-to-know categories as a bitset.
+class CategorySet {
+ public:
+  CategorySet() = default;
+  explicit CategorySet(uint32_t bits) : bits_(bits & kMask) {}
+
+  static CategorySet Of(std::initializer_list<int> categories);
+
+  bool Contains(int category) const { return (bits_ >> category) & 1u; }
+  CategorySet With(int category) const { return CategorySet(bits_ | (1u << category)); }
+  CategorySet Without(int category) const { return CategorySet(bits_ & ~(1u << category)); }
+
+  bool IsSubsetOf(const CategorySet& other) const { return (bits_ & ~other.bits_) == 0; }
+  CategorySet Union(const CategorySet& other) const { return CategorySet(bits_ | other.bits_); }
+  CategorySet Intersect(const CategorySet& other) const {
+    return CategorySet(bits_ & other.bits_);
+  }
+
+  uint32_t bits() const { return bits_; }
+  int Count() const;
+  bool Empty() const { return bits_ == 0; }
+
+  bool operator==(const CategorySet&) const = default;
+
+ private:
+  static constexpr uint32_t kMask = (1u << kCategoryCount) - 1;
+  uint32_t bits_ = 0;
+};
+
+// A point in the lattice: (level, categories).
+struct MlsLabel {
+  SensitivityLevel level = SensitivityLevel::kUnclassified;
+  CategorySet categories;
+
+  bool operator==(const MlsLabel&) const = default;
+
+  std::string ToString() const;
+
+  // Lattice order: a dominates b iff a.level >= b.level and
+  // b.categories ⊆ a.categories.
+  bool Dominates(const MlsLabel& other) const;
+
+  // True when neither label dominates the other.
+  bool IsIncomparableWith(const MlsLabel& other) const;
+
+  static MlsLabel SystemLow() { return MlsLabel{}; }
+  static MlsLabel SystemHigh();
+
+  // Least upper bound / greatest lower bound in the lattice.
+  static MlsLabel Lub(const MlsLabel& a, const MlsLabel& b);
+  static MlsLabel Glb(const MlsLabel& a, const MlsLabel& b);
+};
+
+// The flow rules the bottom layer of the kernel enforces.
+//
+// Simple security (no read up): a subject at `subject` may observe an object
+// at `object` only if subject dominates object.
+bool MlsCanRead(const MlsLabel& subject, const MlsLabel& object);
+
+// *-property (no write down): a subject at `subject` may modify an object at
+// `object` only if object dominates subject.
+bool MlsCanWrite(const MlsLabel& subject, const MlsLabel& object);
+
+// Parse "secret:{1,3}" / "unclassified" style strings (tests and examples).
+Result<MlsLabel> ParseMlsLabel(const std::string& text);
+
+}  // namespace multics
+
+#endif  // SRC_MLS_LABEL_H_

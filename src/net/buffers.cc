@@ -1,0 +1,74 @@
+#include "src/net/buffers.h"
+
+namespace multics {
+
+// --- CircularBuffer -------------------------------------------------------------
+
+CircularBuffer::CircularBuffer(uint32_t capacity_words) : capacity_words_(capacity_words) {}
+
+Status CircularBuffer::Enqueue(const NetMessage& message) {
+  const uint32_t words = WordsFor(message);
+  if (words > capacity_words_) {
+    return Status::kBufferOverrun;  // Cannot ever fit.
+  }
+  // Wraparound: the write pointer advances over the oldest unread messages.
+  while (used_words_ + words > capacity_words_ && !messages_.empty()) {
+    used_words_ -= message_words_.front();
+    messages_.pop_front();
+    message_words_.pop_front();
+    ++lost_;
+  }
+  messages_.push_back(message);
+  message_words_.push_back(words);
+  used_words_ += words;
+  return Status::kOk;
+}
+
+Result<NetMessage> CircularBuffer::Dequeue() {
+  if (messages_.empty()) {
+    return Status::kNotFound;
+  }
+  NetMessage message = messages_.front();
+  messages_.pop_front();
+  used_words_ -= message_words_.front();
+  message_words_.pop_front();
+  return message;
+}
+
+// --- InfiniteBuffer -------------------------------------------------------------
+
+InfiniteBuffer::InfiniteBuffer(std::function<Status(uint32_t)> grow) : grow_(std::move(grow)) {}
+
+Status InfiniteBuffer::Enqueue(const NetMessage& message) {
+  const uint64_t words = 1 + (message.data.size() + 7) / 8;
+  const uint64_t new_tail = tail_words_ + words;
+  const uint32_t pages_needed = static_cast<uint32_t>((new_tail + kPageWords - 1) / kPageWords);
+  const uint32_t pages_have = static_cast<uint32_t>((tail_words_ + kPageWords - 1) / kPageWords);
+  if (pages_needed > pages_have && grow_) {
+    MX_RETURN_IF_ERROR(grow_(pages_needed));
+    pages_grown_ += pages_needed - pages_have;
+  }
+  tail_words_ = new_tail;
+  messages_.push_back(message);
+  return Status::kOk;
+}
+
+Result<NetMessage> InfiniteBuffer::Dequeue() {
+  if (messages_.empty()) {
+    return Status::kNotFound;
+  }
+  NetMessage message = messages_.front();
+  messages_.pop_front();
+  head_words_ += 1 + (message.data.size() + 7) / 8;
+  return message;
+}
+
+uint32_t InfiniteBuffer::resident_pages() const {
+  // Pages between the read and write pointers; consumed pages are reclaimed
+  // by the virtual memory.
+  const uint64_t head_page = head_words_ / kPageWords;
+  const uint64_t tail_page = (tail_words_ + kPageWords - 1) / kPageWords;
+  return static_cast<uint32_t>(tail_page - head_page);
+}
+
+}  // namespace multics

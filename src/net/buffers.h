@@ -1,0 +1,109 @@
+// Network input buffering: the two designs the paper compares.
+//
+//   "A new buffering strategy for input from the network has been devised
+//    which, by utilizing the virtual memory, provides a core resident buffer
+//    which appears to be of infinite length. The infinite buffer scheme is
+//    much simpler than the old circular buffer which had to be used over and
+//    over again, with attendant problems of old messages not being removed
+//    before a complete circuit of the buffer was made."
+//
+// CircularBuffer is the old scheme: a fixed ring of words that wraps; when a
+// complete circuit catches up with unconsumed input, old messages are
+// overwritten and lost. InfiniteBuffer is the new scheme: an append-only
+// buffer whose backing store grows page by page through the standard virtual
+// memory (a grow hook supplied by the kernel), so nothing is ever
+// overwritten.
+
+#ifndef SRC_NET_BUFFERS_H_
+#define SRC_NET_BUFFERS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hw/word.h"
+
+namespace multics {
+
+struct NetMessage {
+  uint64_t sequence = 0;
+  std::string data;
+};
+
+class InputBuffer {
+ public:
+  virtual ~InputBuffer() = default;
+  virtual const char* name() const = 0;
+
+  // Producer side (the network attachment).
+  virtual Status Enqueue(const NetMessage& message) = 0;
+  // Consumer side. kNotFound when empty.
+  virtual Result<NetMessage> Dequeue() = 0;
+
+  virtual size_t queued() const = 0;
+  // Messages destroyed by wraparound before being read (circular only).
+  virtual uint64_t messages_lost() const = 0;
+  // Current resident footprint in pages.
+  virtual uint32_t resident_pages() const = 0;
+};
+
+// The old scheme. Capacity is in words; each message occupies a one-word
+// header (length) plus its data rounded up to words. On overflow the ring
+// advances over the oldest unread messages, losing them.
+class CircularBuffer : public InputBuffer {
+ public:
+  explicit CircularBuffer(uint32_t capacity_words);
+
+  const char* name() const override { return "circular"; }
+  Status Enqueue(const NetMessage& message) override;
+  Result<NetMessage> Dequeue() override;
+  size_t queued() const override { return messages_.size(); }
+  uint64_t messages_lost() const override { return lost_; }
+  uint32_t resident_pages() const override {
+    return (capacity_words_ + kPageWords - 1) / kPageWords;
+  }
+
+ private:
+  uint32_t WordsFor(const NetMessage& message) const {
+    return 1 + static_cast<uint32_t>((message.data.size() + 7) / 8);
+  }
+
+  uint32_t capacity_words_;
+  uint32_t used_words_ = 0;
+  std::deque<NetMessage> messages_;       // Parallel view of ring contents.
+  std::deque<uint32_t> message_words_;
+  uint64_t lost_ = 0;
+};
+
+// The new scheme: appears infinite; consumed pages are returned to the
+// virtual memory and fresh ones faulted in on demand via the grow hook.
+class InfiniteBuffer : public InputBuffer {
+ public:
+  // `grow` is called with the new total page count whenever the buffer needs
+  // another backing page; it returns non-OK only if the virtual memory
+  // itself is exhausted (segment max length).
+  explicit InfiniteBuffer(std::function<Status(uint32_t pages)> grow);
+
+  const char* name() const override { return "infinite"; }
+  Status Enqueue(const NetMessage& message) override;
+  Result<NetMessage> Dequeue() override;
+  size_t queued() const override { return messages_.size(); }
+  uint64_t messages_lost() const override { return 0; }
+  uint32_t resident_pages() const override;
+
+  uint64_t total_pages_grown() const { return pages_grown_; }
+
+ private:
+  std::function<Status(uint32_t)> grow_;
+  std::deque<NetMessage> messages_;
+  uint64_t head_words_ = 0;   // Words consumed since creation.
+  uint64_t tail_words_ = 0;   // Words appended since creation.
+  uint64_t pages_grown_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_NET_BUFFERS_H_

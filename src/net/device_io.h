@@ -1,0 +1,103 @@
+// The legacy per-device I/O mechanisms the network attachment replaces
+// (experiment E12). Each device class has its own code path, buffer
+// discipline, record format, and failure modes — exactly the "large bulk of
+// special mechanisms for managing the various I/O devices" the paper wants
+// out of the kernel. They are fully functional here so the legacy
+// configuration actually exercises them.
+
+#ifndef SRC_NET_DEVICE_IO_H_
+#define SRC_NET_DEVICE_IO_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hw/machine.h"
+
+namespace multics {
+
+// A typewriter line: character-at-a-time input assembled into lines, with
+// echo and erase/kill processing done in the supervisor.
+class TtyLine {
+ public:
+  TtyLine(Machine* machine, InterruptLine line);
+
+  // Remote keyboard types a character ('#' erases, '@' kills the line, as in
+  // early Multics typewriter conventions).
+  void TypeCharacter(char c);
+
+  // Supervisor side: a completed input line, if any.
+  Result<std::string> ReadLine();
+  // Output with delay per character (the device is slow).
+  Status WriteString(const std::string& text);
+
+  const std::string& echoed() const { return echoed_; }
+  uint64_t lines_assembled() const { return lines_assembled_; }
+
+ private:
+  Machine* machine_;
+  InterruptLine line_;
+  std::string partial_;
+  std::deque<std::string> completed_;
+  std::string echoed_;
+  uint64_t lines_assembled_ = 0;
+};
+
+// A card reader: fixed 80-column records, end-of-deck condition.
+class CardReader {
+ public:
+  explicit CardReader(Machine* machine);
+
+  void LoadDeck(const std::vector<std::string>& cards);
+  // Returns the next card padded/truncated to exactly 80 columns.
+  Result<std::string> ReadCard();
+  bool EndOfDeck() const { return deck_.empty(); }
+
+ private:
+  Machine* machine_;
+  std::deque<std::string> deck_;
+};
+
+// A line printer: 136-column lines, page structure with 60 lines per page.
+class LinePrinter {
+ public:
+  explicit LinePrinter(Machine* machine);
+
+  Status PrintLine(const std::string& text);  // Truncates at 136 columns.
+  Status EjectPage();
+
+  uint64_t lines_printed() const { return lines_printed_; }
+  uint64_t pages() const { return pages_; }
+  const std::vector<std::string>& output() const { return output_; }
+
+ private:
+  Machine* machine_;
+  std::vector<std::string> output_;
+  uint64_t lines_printed_ = 0;
+  uint64_t pages_ = 1;
+  uint32_t line_on_page_ = 0;
+};
+
+// A tape drive: sequential records with positioning.
+class TapeDrive {
+ public:
+  explicit TapeDrive(Machine* machine);
+
+  Status WriteRecord(const std::string& data);  // At current position; truncates tail.
+  Result<std::string> ReadRecord();             // kOutOfRange at end of tape.
+  Status Rewind();
+  Status SkipRecords(uint32_t n);
+
+  uint32_t position() const { return position_; }
+  uint32_t record_count() const { return static_cast<uint32_t>(records_.size()); }
+
+ private:
+  Machine* machine_;
+  std::vector<std::string> records_;
+  uint32_t position_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_NET_DEVICE_IO_H_

@@ -1,0 +1,90 @@
+#include "src/proc/ipc.h"
+
+namespace multics {
+
+ChannelId EventChannelTable::Create(ProcessId owner, uint64_t guard_uid) {
+  ChannelId id = next_id_++;
+  Channel channel;
+  channel.owner = owner;
+  channel.guard_uid = guard_uid;
+  channels_[id] = std::move(channel);
+  return id;
+}
+
+Status EventChannelTable::Destroy(ChannelId id) {
+  return channels_.erase(id) > 0 ? Status::kOk : Status::kNoSuchChannel;
+}
+
+Result<ProcessId> EventChannelTable::OwnerOf(ChannelId id) const {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    return Status::kNoSuchChannel;
+  }
+  return it->second.owner;
+}
+
+Result<uint64_t> EventChannelTable::GuardOf(ChannelId id) const {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    return Status::kNoSuchChannel;
+  }
+  return it->second.guard_uid;
+}
+
+Result<ProcessId> EventChannelTable::Wakeup(ChannelId id, EventMessage message) {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    return Status::kNoSuchChannel;
+  }
+  it->second.queue.push_back(message);
+  ++total_wakeups_;
+  ProcessId waiter = it->second.waiter;
+  it->second.waiter = kNoProcess;
+  return waiter;
+}
+
+Result<EventMessage> EventChannelTable::TryReceive(ChannelId id) {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    return Status::kNoSuchChannel;
+  }
+  if (it->second.queue.empty()) {
+    return Status::kNotFound;
+  }
+  EventMessage message = it->second.queue.front();
+  it->second.queue.pop_front();
+  return message;
+}
+
+Result<uint64_t> EventChannelTable::QueueLength(ChannelId id) const {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    return Status::kNoSuchChannel;
+  }
+  return static_cast<uint64_t>(it->second.queue.size());
+}
+
+bool EventChannelTable::HasEvents(ChannelId id) const {
+  auto it = channels_.find(id);
+  return it != channels_.end() && !it->second.queue.empty();
+}
+
+Status EventChannelTable::SetWaiter(ChannelId id, ProcessId waiter) {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    return Status::kNoSuchChannel;
+  }
+  it->second.waiter = waiter;
+  return Status::kOk;
+}
+
+Status EventChannelTable::ClearWaiter(ChannelId id) {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    return Status::kNoSuchChannel;
+  }
+  it->second.waiter = kNoProcess;
+  return Status::kOk;
+}
+
+}  // namespace multics

@@ -1,0 +1,71 @@
+// Base-level interprocess communication: event channels and wakeups.
+//
+// The paper: "The proposed new base-level interprocess communication facility
+// has the property that its use can be controlled with the standard memory
+// protection mechanisms of the kernel." We model that by associating each
+// channel with a segment UID; the kernel's gate layer requires write access
+// to that segment before permitting a Wakeup, and read access before a Block
+// (see src/core/kernel.h). At this layer the table is pure mechanism.
+
+#ifndef SRC_PROC_IPC_H_
+#define SRC_PROC_IPC_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "src/base/result.h"
+
+namespace multics {
+
+using ChannelId = uint64_t;
+using ProcessId = uint64_t;
+inline constexpr ProcessId kNoProcess = 0;
+
+struct EventMessage {
+  uint64_t data = 0;
+  ProcessId sender = kNoProcess;
+};
+
+class EventChannelTable {
+ public:
+  // Creates a channel owned by `owner`, guarded by segment `guard_uid`
+  // (0 = unguarded, kernel-internal channels).
+  ChannelId Create(ProcessId owner, uint64_t guard_uid = 0);
+  Status Destroy(ChannelId id);
+
+  bool Exists(ChannelId id) const { return channels_.contains(id); }
+  Result<ProcessId> OwnerOf(ChannelId id) const;
+  Result<uint64_t> GuardOf(ChannelId id) const;
+
+  // Queues an event. Returns the process (if any) that was blocked waiting
+  // and should now be made ready; the scheduler handles that.
+  Result<ProcessId> Wakeup(ChannelId id, EventMessage message);
+
+  // Non-blocking receive: pops the oldest queued event if present.
+  Result<EventMessage> TryReceive(ChannelId id);
+  bool HasEvents(ChannelId id) const;
+  Result<uint64_t> QueueLength(ChannelId id) const;
+
+  // Registers/clears the single blocked waiter.
+  Status SetWaiter(ChannelId id, ProcessId waiter);
+  Status ClearWaiter(ChannelId id);
+
+  uint64_t total_wakeups() const { return total_wakeups_; }
+
+ private:
+  struct Channel {
+    ProcessId owner = kNoProcess;
+    uint64_t guard_uid = 0;
+    std::deque<EventMessage> queue;
+    ProcessId waiter = kNoProcess;
+  };
+
+  std::unordered_map<ChannelId, Channel> channels_;
+  ChannelId next_id_ = 1;
+  uint64_t total_wakeups_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_PROC_IPC_H_

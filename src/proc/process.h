@@ -1,0 +1,104 @@
+// Level-2 processes: full Multics processes with an address space (descriptor
+// segment), a known segment table, a principal and MLS clearance, and a
+// program. Kernel daemons are processes too — the paper's simplification is
+// precisely that page control, interrupt handlers, etc. become ordinary
+// asynchronous processes — they just run on dedicated level-1 virtual
+// processors.
+
+#ifndef SRC_PROC_PROCESS_H_
+#define SRC_PROC_PROCESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/base/clock.h"
+#include "src/fs/acl.h"
+#include "src/fs/kst.h"
+#include "src/hw/sdw.h"
+#include "src/mls/label.h"
+#include "src/proc/ipc.h"
+
+namespace multics {
+
+class TaskContext;
+
+enum class TaskState { kReady, kBlocked, kDone };
+
+// One schedulable program: a cooperative state machine. Step() runs a bounded
+// amount of work, charging cycles through the context, and reports whether
+// the process is still runnable, blocked on a channel, or finished.
+class Task {
+ public:
+  virtual ~Task() = default;
+  virtual TaskState Step(TaskContext& ctx) = 0;
+};
+
+// Adapter for simple tasks written as a lambda.
+class FnTask : public Task {
+ public:
+  using Fn = std::function<TaskState(TaskContext&)>;
+  explicit FnTask(Fn fn) : fn_(std::move(fn)) {}
+  TaskState Step(TaskContext& ctx) override { return fn_(ctx); }
+
+ private:
+  Fn fn_;
+};
+
+struct ProcessAccounting {
+  Cycles cpu_used = 0;          // Charged by the process's own work.
+  Cycles stolen_by_interrupts = 0;  // Inline interrupt handling on our VP.
+  uint64_t dispatches = 0;
+};
+
+class Process {
+ public:
+  Process(ProcessId pid, std::string name, Principal principal, MlsLabel clearance,
+          RingNumber ring, std::unique_ptr<Task> program)
+      : pid_(pid),
+        name_(std::move(name)),
+        principal_(std::move(principal)),
+        clearance_(clearance),
+        ring_(ring),
+        program_(std::move(program)) {}
+
+  ProcessId pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  const Principal& principal() const { return principal_; }
+  const MlsLabel& clearance() const { return clearance_; }
+  RingNumber ring() const { return ring_; }
+  void set_ring(RingNumber ring) { ring_ = ring; }
+
+  DescriptorSegment& dseg() { return dseg_; }
+  KnownSegmentTable& kst() { return kst_; }
+  const KnownSegmentTable& kst() const { return kst_; }
+
+  Task* program() const { return program_.get(); }
+
+  TaskState state() const { return state_; }
+  void set_state(TaskState state) { state_ = state; }
+  ChannelId blocked_on() const { return blocked_on_; }
+  void set_blocked_on(ChannelId id) { blocked_on_ = id; }
+
+  ProcessAccounting& accounting() { return accounting_; }
+  const ProcessAccounting& accounting() const { return accounting_; }
+
+ private:
+  ProcessId pid_;
+  std::string name_;
+  Principal principal_;
+  MlsLabel clearance_;
+  RingNumber ring_;
+  std::unique_ptr<Task> program_;
+
+  DescriptorSegment dseg_;
+  KnownSegmentTable kst_;
+
+  TaskState state_ = TaskState::kReady;
+  ChannelId blocked_on_ = 0;
+  ProcessAccounting accounting_;
+};
+
+}  // namespace multics
+
+#endif  // SRC_PROC_PROCESS_H_

@@ -1,0 +1,274 @@
+#include "src/proc/traffic_controller.h"
+
+#include "src/base/log.h"
+
+namespace multics {
+
+// --- TaskContext ----------------------------------------------------------------
+
+Machine& TaskContext::machine() { return *controller_->machine_; }
+
+void TaskContext::Charge(Cycles n, const char* category) {
+  controller_->machine_->Charge(n, category);
+  self_->accounting().cpu_used += n;
+}
+
+bool TaskContext::Await(ChannelId channel) {
+  auto message = controller_->channels_.TryReceive(channel);
+  if (message.ok()) {
+    last_message_ = message.value();
+    return true;
+  }
+  (void)controller_->channels_.SetWaiter(channel, self_->pid());
+  self_->set_blocked_on(channel);
+  controller_->machine_->Charge(controller_->machine_->costs().block, "ipc");
+  return false;
+}
+
+Status TaskContext::Wakeup(ChannelId channel, uint64_t data) {
+  return controller_->Wakeup(channel, EventMessage{data, self_->pid()});
+}
+
+// --- TrafficController ----------------------------------------------------------
+
+TrafficController::TrafficController(Machine* machine, uint32_t virtual_processors)
+    : machine_(machine), vp_count_(virtual_processors) {}
+
+bool TrafficController::IsDedicated(const Process* process) const {
+  for (const Process* d : dedicated_) {
+    if (d == process) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TrafficController::set_two_layer(bool enabled) {
+  if (two_layer_ && !enabled) {
+    // Collapse layer 1: dedicated processes join the common ready queue.
+    for (Process* d : dedicated_) {
+      if (d->state() == TaskState::kReady) {
+        ready_queue_.push_back(d);
+      }
+    }
+  }
+  two_layer_ = enabled;
+}
+
+Result<Process*> TrafficController::CreateProcess(const std::string& name,
+                                                  const Principal& principal,
+                                                  const MlsLabel& clearance, RingNumber ring,
+                                                  std::unique_ptr<Task> program,
+                                                  bool dedicated) {
+  if (dedicated && dedicated_.size() + 1 >= vp_count_) {
+    return Status::kProcessLimit;  // Must leave at least one shared VP.
+  }
+  ProcessId pid = next_pid_++;
+  auto process =
+      std::make_unique<Process>(pid, name, principal, clearance, ring, std::move(program));
+  Process* raw = process.get();
+  processes_[pid] = std::move(process);
+  if (dedicated) {
+    dedicated_.push_back(raw);
+    if (!two_layer_) {
+      ready_queue_.push_back(raw);
+    }
+  } else {
+    ready_queue_.push_back(raw);
+  }
+  return raw;
+}
+
+Process* TrafficController::Find(ProcessId pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+void TrafficController::MakeReady(Process* process) {
+  if (process->state() == TaskState::kDone) {
+    return;
+  }
+  bool was_blocked = process->state() == TaskState::kBlocked;
+  process->set_state(TaskState::kReady);
+  process->set_blocked_on(0);
+  // Dedicated processes (two-layer mode) are polled in PickNext; everyone
+  // else queues. A blocked->ready transition must requeue because blocked
+  // processes are not in the queue.
+  bool polled = two_layer_ && IsDedicated(process);
+  if (!polled && was_blocked) {
+    ready_queue_.push_back(process);
+  }
+}
+
+Status TrafficController::Wakeup(ChannelId channel, EventMessage message) {
+  auto waiter = channels_.Wakeup(channel, message);
+  if (!waiter.ok()) {
+    return waiter.status();
+  }
+  machine_->Charge(machine_->costs().wakeup, "ipc");
+  if (waiter.value() != kNoProcess) {
+    if (Process* process = Find(waiter.value()); process != nullptr) {
+      MakeReady(process);
+    }
+  }
+  return Status::kOk;
+}
+
+Status TrafficController::RegisterInlineHandler(InterruptLine line, Cycles work,
+                                                ChannelId completion_channel) {
+  if (line >= machine_->interrupts().line_count()) {
+    return Status::kInvalidArgument;
+  }
+  handlers_[line] = HandlerSpec{true, work, completion_channel};
+  return Status::kOk;
+}
+
+Status TrafficController::RegisterInterruptProcess(InterruptLine line, ChannelId channel) {
+  if (line >= machine_->interrupts().line_count()) {
+    return Status::kInvalidArgument;
+  }
+  if (!channels_.Exists(channel)) {
+    return Status::kNoSuchChannel;
+  }
+  handlers_[line] = HandlerSpec{false, 0, channel};
+  return Status::kOk;
+}
+
+void TrafficController::RecordInterruptLatency(Cycles asserted_at) {
+  interrupt_latency_.Add(static_cast<double>(machine_->clock().now() - asserted_at));
+}
+
+void TrafficController::DispatchPendingInterrupts() {
+  InterruptEvent ev;
+  while (machine_->interrupts().TakePending(&ev)) {
+    auto it = handlers_.find(ev.line);
+    if (it == handlers_.end()) {
+      continue;  // Unregistered line: dropped, as real hardware masks do.
+    }
+    const HandlerSpec& spec = it->second;
+    const CostModel& costs = machine_->costs();
+    if (interrupt_strategy_ == InterruptStrategy::kInlineInCurrentProcess || spec.inline_mode) {
+      // The handler inhabits whatever process was running: its full body
+      // executes now, on the interrupted VP, and the victim pays.
+      machine_->Charge(costs.interrupt_entry + spec.work + costs.interrupt_exit,
+                       "interrupt_inline");
+      if (last_running_ != nullptr) {
+        last_running_->accounting().stolen_by_interrupts +=
+            costs.interrupt_entry + spec.work + costs.interrupt_exit;
+      }
+      RecordInterruptLatency(ev.asserted_at);
+      if (spec.channel != 0) {
+        (void)Wakeup(spec.channel, EventMessage{ev.payload, kNoProcess});
+      }
+    } else {
+      // The interceptor just turns the interrupt into a wakeup; the handler
+      // process does the work on its own virtual processor.
+      machine_->Charge(costs.interrupt_entry, "interrupt_intercept");
+      (void)Wakeup(spec.channel, EventMessage{ev.asserted_at, kNoProcess});
+    }
+  }
+}
+
+Process* TrafficController::PickNext() {
+  if (two_layer_) {
+    // Dedicated virtual processors first: round-robin over ready ones.
+    const size_t n = dedicated_.size();
+    for (size_t i = 0; i < n; ++i) {
+      Process* candidate = dedicated_[(dedicated_cursor_ + i) % n];
+      if (candidate->state() == TaskState::kReady) {
+        dedicated_cursor_ = (dedicated_cursor_ + i + 1) % n;
+        return candidate;
+      }
+    }
+  }
+  while (!ready_queue_.empty()) {
+    Process* candidate = ready_queue_.front();
+    ready_queue_.pop_front();
+    if (two_layer_ && IsDedicated(candidate)) {
+      continue;  // Stale entry from a single-layer phase.
+    }
+    if (candidate->state() == TaskState::kReady) {
+      return candidate;
+    }
+  }
+  return nullptr;
+}
+
+bool TrafficController::RunSlice() {
+  // Deliver everything that has already happened, then take interrupts.
+  machine_->events().RunUntil(machine_->clock().now());
+  DispatchPendingInterrupts();
+
+  Process* next = PickNext();
+  if (next == nullptr) {
+    // Idle: jump to the next external event if there is one.
+    if (machine_->events().RunOne()) {
+      ++idle_jumps_;
+      DispatchPendingInterrupts();
+      return true;
+    }
+    return false;
+  }
+
+  if (next != last_running_) {
+    ++context_switches_;
+    machine_->Charge(machine_->costs().process_switch, "scheduler");
+  }
+  last_running_ = next;
+
+  TaskContext ctx(this, next);
+  TaskState state = next->program()->Step(ctx);
+  ++next->accounting().dispatches;
+  next->set_state(state);
+  switch (state) {
+    case TaskState::kReady: {
+      if (!(two_layer_ && IsDedicated(next))) {
+        ready_queue_.push_back(next);
+      }
+      break;
+    }
+    case TaskState::kBlocked: {
+      // A wakeup may have raced in during the step: if the channel already
+      // has events, the process is still runnable.
+      if (next->blocked_on() != 0 && channels_.HasEvents(next->blocked_on())) {
+        MakeReady(next);
+      }
+      break;
+    }
+    case TaskState::kDone:
+      break;
+  }
+  return true;
+}
+
+uint64_t TrafficController::RunUntil(Cycles deadline) {
+  uint64_t slices = 0;
+  while (machine_->clock().now() < deadline && RunSlice()) {
+    ++slices;
+  }
+  machine_->clock().AdvanceTo(deadline);
+  return slices;
+}
+
+uint64_t TrafficController::RunUntilQuiescent(uint64_t max_slices) {
+  uint64_t slices = 0;
+  while (slices < max_slices) {
+    bool user_work_left = false;
+    for (auto& [pid, process] : processes_) {
+      if (!IsDedicated(process.get()) && process->state() != TaskState::kDone) {
+        user_work_left = true;
+        break;
+      }
+    }
+    if (!user_work_left) {
+      break;
+    }
+    if (!RunSlice()) {
+      break;  // Deadlocked or everyone blocked with no pending events.
+    }
+    ++slices;
+  }
+  return slices;
+}
+
+}  // namespace multics

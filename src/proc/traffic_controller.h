@@ -1,0 +1,158 @@
+// The two-layer process implementation and its scheduler.
+//
+// Layer 1 multiplexes the (one, simulated) physical processor into a fixed
+// number of virtual processors. "Because the number of virtual processors is
+// fixed, this first layer need not depend on the facilities for managing the
+// virtual memory. Several of the virtual processors are permanently assigned
+// to implement processes for the dedicated use of other kernel mechanisms."
+// Layer 2 multiplexes the remaining virtual processors among any number of
+// full Multics processes.
+//
+// The controller also implements the paper's two interrupt-handling designs:
+// inline (the handler inhabits whatever process was running — stealing its
+// time) and dedicated processes (the interceptor "will simply turn each
+// interrupt into a wakeup of the corresponding process").
+
+#ifndef SRC_PROC_TRAFFIC_CONTROLLER_H_
+#define SRC_PROC_TRAFFIC_CONTROLLER_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/hw/machine.h"
+#include "src/proc/process.h"
+
+namespace multics {
+
+class TrafficController;
+
+// Execution context handed to a Task::Step. Charging, blocking, and wakeups
+// go through here so the scheduler can do the accounting.
+class TaskContext {
+ public:
+  TaskContext(TrafficController* controller, Process* self)
+      : controller_(controller), self_(self) {}
+
+  Machine& machine();
+  Process& self() { return *self_; }
+  TrafficController& controller() { return *controller_; }
+
+  // CPU time consumed by this step.
+  void Charge(Cycles n, const char* category = "task_cpu");
+
+  // Attempts to receive from `channel`. On success the message is available
+  // via last_message() and the task continues. On failure the task is
+  // registered as the channel's waiter and must return TaskState::kBlocked.
+  bool Await(ChannelId channel);
+  const EventMessage& last_message() const { return last_message_; }
+
+  // Sends a wakeup (readying any waiter).
+  Status Wakeup(ChannelId channel, uint64_t data);
+
+ private:
+  TrafficController* controller_;
+  Process* self_;
+  EventMessage last_message_;
+};
+
+enum class InterruptStrategy {
+  kInlineInCurrentProcess,  // Pre-6180-redesign: handler steals the VP.
+  kDedicatedProcesses,      // Paper's design: interrupt becomes a wakeup.
+};
+
+class TrafficController {
+ public:
+  // `virtual_processors` is the fixed level-1 pool; dedicated processes each
+  // occupy one permanently.
+  TrafficController(Machine* machine, uint32_t virtual_processors);
+
+  // Creates a process. Dedicated processes get their own level-1 virtual
+  // processor and scheduling priority over the shared pool.
+  Result<Process*> CreateProcess(const std::string& name, const Principal& principal,
+                                 const MlsLabel& clearance, RingNumber ring,
+                                 std::unique_ptr<Task> program, bool dedicated = false);
+
+  Process* Find(ProcessId pid);
+  uint32_t process_count() const { return static_cast<uint32_t>(processes_.size()); }
+  uint32_t dedicated_count() const { return static_cast<uint32_t>(dedicated_.size()); }
+  uint32_t vp_count() const { return vp_count_; }
+
+  // When disabled, dedicated processes lose their reserved virtual
+  // processors and compete FIFO with everyone else — the single-layer
+  // structure experiment E11 compares against.
+  void set_two_layer(bool enabled);
+  bool two_layer() const { return two_layer_; }
+
+  EventChannelTable& channels() { return channels_; }
+
+  // IPC entry: queue an event and ready the waiter, charging wakeup cost.
+  Status Wakeup(ChannelId channel, EventMessage message);
+
+  // Interrupt handling.
+  void SetInterruptStrategy(InterruptStrategy strategy) { interrupt_strategy_ = strategy; }
+  InterruptStrategy interrupt_strategy() const { return interrupt_strategy_; }
+  // Inline mode: handler body runs on the interrupted VP for `work` cycles,
+  // then optionally wakes `completion_channel` (0 = none).
+  Status RegisterInlineHandler(InterruptLine line, Cycles work, ChannelId completion_channel = 0);
+  // Dedicated mode: the interceptor wakes `channel`; the handler process
+  // (blocked on it) does the work itself.
+  Status RegisterInterruptProcess(InterruptLine line, ChannelId channel);
+
+  // Scheduling. RunSlice executes one dispatch (or one idle event) and
+  // returns false only when nothing can ever run again.
+  bool RunSlice();
+  uint64_t RunUntil(Cycles deadline);
+  // Runs until every non-dedicated process is done (or `max_slices` hit).
+  uint64_t RunUntilQuiescent(uint64_t max_slices = 10'000'000);
+
+  Machine* machine() const { return machine_; }
+
+  // Metrics.
+  Distribution& interrupt_latency() { return interrupt_latency_; }
+  uint64_t context_switches() const { return context_switches_; }
+  uint64_t idle_jumps() const { return idle_jumps_; }
+
+  // Used by TaskContext.
+  void RecordInterruptLatency(Cycles asserted_at);
+
+ private:
+  friend class TaskContext;
+
+  struct HandlerSpec {
+    bool inline_mode = false;
+    Cycles work = 0;
+    ChannelId channel = 0;  // Completion (inline) or handler (dedicated) channel.
+  };
+
+  void DispatchPendingInterrupts();
+  Process* PickNext();
+  void MakeReady(Process* process);
+  bool IsDedicated(const Process* process) const;
+
+  Machine* machine_;
+  uint32_t vp_count_;
+  bool two_layer_ = true;
+
+  EventChannelTable channels_;
+  std::unordered_map<ProcessId, std::unique_ptr<Process>> processes_;
+  std::vector<Process*> dedicated_;
+  std::deque<Process*> ready_queue_;  // Shared (level-2) ready processes.
+  size_t dedicated_cursor_ = 0;
+
+  InterruptStrategy interrupt_strategy_ = InterruptStrategy::kDedicatedProcesses;
+  std::unordered_map<InterruptLine, HandlerSpec> handlers_;
+
+  Process* last_running_ = nullptr;
+  ProcessId next_pid_ = 1;
+
+  Distribution interrupt_latency_;
+  uint64_t context_switches_ = 0;
+  uint64_t idle_jumps_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_PROC_TRAFFIC_CONTROLLER_H_

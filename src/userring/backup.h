@@ -1,0 +1,70 @@
+// The backup daemon: complete and incremental dumps of the hierarchy, and
+// retrieval. The paper counts backup among the *internal* I/O functions that
+// stay with the kernel's storage machinery even after external I/O is
+// consolidated onto the network — but the daemon itself is a trusted
+// process, not kernel code: it runs with dumper authority (ring 1) and uses
+// the kernel's DumpReadWord path, never private interfaces.
+
+#ifndef SRC_USERRING_BACKUP_H_
+#define SRC_USERRING_BACKUP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/kernel.h"
+
+namespace multics {
+
+struct DumpRecord {
+  std::string path;
+  bool is_directory = false;
+  bool is_link = false;
+  std::string link_target;
+  SegmentAttributes attrs;
+  uint32_t quota_pages = 0;
+  uint32_t pages = 0;
+  Cycles date_modified = 0;
+  std::vector<std::pair<WordOffset, Word>> words;  // Non-zero words only.
+};
+
+struct DumpArchive {
+  Cycles taken_at = 0;
+  bool incremental = false;
+  std::vector<DumpRecord> records;
+
+  size_t ApproxBytes() const;
+};
+
+class BackupDaemon {
+ public:
+  explicit BackupDaemon(Kernel* kernel) : kernel_(kernel) {}
+
+  // Walks the hierarchy and dumps every branch (complete) or every branch
+  // modified since the previous dump (incremental). Advances the dump clock.
+  Result<DumpArchive> Dump(bool incremental);
+
+  // Recreates every record missing from the hierarchy (after damage or on a
+  // fresh system); existing entries are left alone unless `overwrite_data`
+  // is set, in which case segment contents are restored too.
+  Result<uint32_t> Restore(const DumpArchive& archive, bool overwrite_data);
+
+  // Retrieves one segment's dumped contents into the live hierarchy.
+  Status RetrieveSegment(const DumpArchive& archive, const std::string& path);
+
+  Cycles last_dump_time() const { return last_dump_; }
+  uint64_t segments_dumped() const { return segments_dumped_; }
+
+ private:
+  Status DumpDirectory(Uid dir_uid, const std::string& path, bool incremental,
+                       DumpArchive* archive);
+  Status RestoreRecord(const DumpRecord& record, bool overwrite_data, bool* created);
+  Status WriteContents(Uid uid, const DumpRecord& record);
+
+  Kernel* kernel_;
+  Cycles last_dump_ = 0;
+  uint64_t segments_dumped_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_USERRING_BACKUP_H_

@@ -1,0 +1,48 @@
+// The user-ring address-space library of the kernelized configuration.
+//
+// After Bratt's removal project [14] the kernel speaks only segment numbers:
+// "Instead of identifying a directory by character string tree name locating
+// it in the file system hierarchy, a segment number is used. The algorithms
+// for following a tree name through the file system hierarchy to locate the
+// named element are thus removed from the supervisor to be implemented by
+// procedures executing in the user ring."
+//
+// UserInitiator is that procedure: it walks a pathname one component at a
+// time through the kernel's per-directory Initiate gate, chasing links
+// itself, and terminates intermediate directory handles behind it.
+
+#ifndef SRC_USERRING_INITIATOR_H_
+#define SRC_USERRING_INITIATOR_H_
+
+#include <string>
+
+#include "src/core/kernel.h"
+
+namespace multics {
+
+class UserInitiator {
+ public:
+  UserInitiator(Kernel* kernel, Process* process) : kernel_(kernel), process_(process) {}
+
+  // Resolves an absolute pathname to an initiated segment number.
+  Result<SegNo> InitiatePath(const std::string& path);
+
+  // Resolves the pathname of a directory and returns its handle segno.
+  Result<SegNo> InitiateDirPath(const std::string& path);
+
+  // User-ring work performed (cycles charged to the user, not the kernel).
+  uint64_t components_walked() const { return components_walked_; }
+  uint64_t links_chased() const { return links_chased_; }
+
+ private:
+  Result<SegNo> Walk(const std::string& path_text, int depth);
+
+  Kernel* kernel_;
+  Process* process_;
+  uint64_t components_walked_ = 0;
+  uint64_t links_chased_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_USERRING_INITIATOR_H_

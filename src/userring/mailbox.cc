@@ -1,0 +1,114 @@
+#include "src/userring/mailbox.h"
+
+#include "src/link/object_format.h"
+
+namespace multics {
+
+Result<Word> Mailbox::ReadWord(WordOffset offset) {
+  MX_RETURN_IF_ERROR(kernel_->RunAs(*user_));
+  return kernel_->cpu().Read(segno_, offset);
+}
+
+Status Mailbox::WriteWord(WordOffset offset, Word value) {
+  MX_RETURN_IF_ERROR(kernel_->RunAs(*user_));
+  return kernel_->cpu().Write(segno_, offset, value);
+}
+
+Result<Mailbox> Mailbox::Create(Kernel* kernel, Process* owner, SegNo dir_segno,
+                                const std::string& name,
+                                const std::vector<Principal>& members) {
+  SegmentAttributes attrs;
+  for (const Principal& member : members) {
+    attrs.acl.Set(AclEntry{member.person, member.project, "*", kModeRead | kModeWrite});
+  }
+  attrs.acl.Set(AclEntry{"*", "*", "*", kModeNull});
+  MX_ASSIGN_OR_RETURN(Uid uid, kernel->FsCreateSegment(*owner, dir_segno, name, attrs));
+  (void)uid;
+  MX_ASSIGN_OR_RETURN(InitiateResult init, kernel->Initiate(*owner, dir_segno, name));
+  MX_RETURN_IF_ERROR(kernel->SegSetLength(*owner, init.segno, 1));
+
+  // The channel is guarded by the mailbox segment itself: senders need write
+  // access, waiters read access — membership *is* the ACL.
+  MX_ASSIGN_OR_RETURN(ChannelId channel, kernel->IpcCreateChannel(*owner, init.segno));
+
+  Mailbox mailbox(kernel, owner, init.segno, channel);
+  MX_RETURN_IF_ERROR(mailbox.WriteWord(0, 0));
+  MX_RETURN_IF_ERROR(mailbox.WriteWord(1, channel));
+  return mailbox;
+}
+
+Result<Mailbox> Mailbox::Open(Kernel* kernel, Process* user, SegNo dir_segno,
+                              const std::string& name) {
+  MX_ASSIGN_OR_RETURN(InitiateResult init, kernel->Initiate(*user, dir_segno, name));
+  Mailbox mailbox(kernel, user, init.segno, 0);
+  MX_ASSIGN_OR_RETURN(Word channel, mailbox.ReadWord(1));
+  mailbox.channel_ = channel;
+  return mailbox;
+}
+
+Status Mailbox::Send(const std::string& text) {
+  if (text.size() > kMaxTextBytes) {
+    return Status::kInvalidArgument;
+  }
+  MX_ASSIGN_OR_RETURN(Word count, ReadWord(0));
+  const WordOffset base = kHeaderWords + static_cast<WordOffset>(count) * kRecordWords;
+
+  // Grow the segment when the next record spills past the current length.
+  auto pages = kernel_->SegGetLength(*user_, segno_);
+  if (!pages.ok()) {
+    return pages.status();
+  }
+  if (PageOf(base + kRecordWords) >= pages.value()) {
+    MX_RETURN_IF_ERROR(
+        kernel_->SegSetLength(*user_, segno_, PageOf(base + kRecordWords) + 1));
+  }
+
+  Word packed_sender[kPackedNameWords];
+  PackName(user_->principal().ToString(), packed_sender);
+  for (uint32_t w = 0; w < kPackedNameWords; ++w) {
+    MX_RETURN_IF_ERROR(WriteWord(base + w, packed_sender[w]));
+  }
+  MX_RETURN_IF_ERROR(WriteWord(base + 4, text.size()));
+  for (uint32_t w = 0; w * 8 < text.size(); ++w) {
+    Word packed = 0;
+    for (uint32_t b = 0; b < 8 && w * 8 + b < text.size(); ++b) {
+      packed |= static_cast<Word>(static_cast<unsigned char>(text[w * 8 + b])) << (b * 8);
+    }
+    MX_RETURN_IF_ERROR(WriteWord(base + 5 + w, packed));
+  }
+  MX_RETURN_IF_ERROR(WriteWord(0, count + 1));
+  // The wakeup passes the kernel's guard check (write on this segment).
+  return kernel_->IpcWakeup(*user_, channel_, count + 1);
+}
+
+Result<std::vector<MailboxMessage>> Mailbox::ReadNew() {
+  MX_ASSIGN_OR_RETURN(Word count, ReadWord(0));
+  std::vector<MailboxMessage> messages;
+  for (; cursor_ < count; ++cursor_) {
+    const WordOffset base =
+        kHeaderWords + static_cast<WordOffset>(cursor_) * kRecordWords;
+    Word packed_sender[kPackedNameWords];
+    for (uint32_t w = 0; w < kPackedNameWords; ++w) {
+      MX_ASSIGN_OR_RETURN(packed_sender[w], ReadWord(base + w));
+    }
+    MX_ASSIGN_OR_RETURN(Word length, ReadWord(base + 4));
+    MailboxMessage message;
+    message.sender = UnpackName(packed_sender);
+    length = std::min<Word>(length, kMaxTextBytes);
+    for (uint32_t w = 0; w * 8 < length; ++w) {
+      MX_ASSIGN_OR_RETURN(Word packed, ReadWord(base + 5 + w));
+      for (uint32_t b = 0; b < 8 && w * 8 + b < length; ++b) {
+        message.text += static_cast<char>((packed >> (b * 8)) & 0xFF);
+      }
+    }
+    messages.push_back(std::move(message));
+  }
+  return messages;
+}
+
+Result<bool> Mailbox::HasNew() {
+  MX_ASSIGN_OR_RETURN(Word count, ReadWord(0));
+  return count > cursor_;
+}
+
+}  // namespace multics

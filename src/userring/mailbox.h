@@ -1,0 +1,81 @@
+// Mailboxes: a common mechanism set up among users by mutual consent — the
+// paper's fourth category of non-kernel software. "If a user agrees to
+// become party to such a common mechanism, then he must satisfy himself of
+// its trustworthiness."
+//
+// The mechanism is built from nothing but kernel primitives: one shared
+// segment (the message store, ACL-limited to the members) and one event
+// channel guarded by that same segment — so the kernel's standard memory
+// protection already decides who may send (write access) and who may wait
+// (read access). The kernel contributes no mailbox-specific code at all.
+//
+// Segment layout (one page grows as needed):
+//   word 0   message count (write cursor)
+//   word 1   event channel id
+//   then fixed 32-word records:
+//     [0..3]   sender principal, packed 8 chars/word
+//     [4]      text length in bytes
+//     [5..31]  text, packed
+
+#ifndef SRC_USERRING_MAILBOX_H_
+#define SRC_USERRING_MAILBOX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/kernel.h"
+
+namespace multics {
+
+struct MailboxMessage {
+  std::string sender;
+  std::string text;
+};
+
+class Mailbox {
+ public:
+  // Creates the mailbox segment in `dir_segno` with an ACL admitting exactly
+  // `members` (rw) and wires up its guarded event channel.
+  static Result<Mailbox> Create(Kernel* kernel, Process* owner, SegNo dir_segno,
+                                const std::string& name,
+                                const std::vector<Principal>& members);
+
+  // Opens an existing mailbox (initiates the segment, reads the channel id).
+  // Fails with the reference monitor's verdict for non-members.
+  static Result<Mailbox> Open(Kernel* kernel, Process* user, SegNo dir_segno,
+                              const std::string& name);
+
+  // Appends a message and wakes any waiter. Requires write access — which
+  // the kernel enforces, not this class.
+  Status Send(const std::string& text);
+
+  // Reads messages this handle has not seen yet.
+  Result<std::vector<MailboxMessage>> ReadNew();
+
+  // True when messages are pending beyond this handle's cursor.
+  Result<bool> HasNew();
+
+  ChannelId channel() const { return channel_; }
+  SegNo segno() const { return segno_; }
+
+  static constexpr uint32_t kRecordWords = 32;
+  static constexpr uint32_t kHeaderWords = 2;
+  static constexpr uint32_t kMaxTextBytes = (kRecordWords - 5) * 8;
+
+ private:
+  Mailbox(Kernel* kernel, Process* user, SegNo segno, ChannelId channel)
+      : kernel_(kernel), user_(user), segno_(segno), channel_(channel) {}
+
+  Result<Word> ReadWord(WordOffset offset);
+  Status WriteWord(WordOffset offset, Word value);
+
+  Kernel* kernel_;
+  Process* user_;
+  SegNo segno_;
+  ChannelId channel_;
+  uint64_t cursor_ = 0;  // Messages this handle has consumed.
+};
+
+}  // namespace multics
+
+#endif  // SRC_USERRING_MAILBOX_H_

@@ -1,0 +1,80 @@
+#include "src/userring/rnm.h"
+
+#include "src/fs/pathname.h"
+
+namespace multics {
+
+Status ReferenceNameManager::Bind(const std::string& name, SegNo segno) {
+  if (name.empty() || name.size() > kMaxNameLength) {
+    return Status::kInvalidArgument;
+  }
+  if (names_.contains(name)) {
+    return Status::kReferenceNameBound;
+  }
+  names_[name] = segno;
+  return Status::kOk;
+}
+
+Result<SegNo> ReferenceNameManager::Lookup(const std::string& name) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return Status::kNoSuchReferenceName;
+  }
+  return it->second;
+}
+
+Status ReferenceNameManager::Unbind(const std::string& name) {
+  return names_.erase(name) > 0 ? Status::kOk : Status::kNoSuchReferenceName;
+}
+
+std::vector<std::string> ReferenceNameManager::Names() const {
+  std::vector<std::string> out;
+  out.reserve(names_.size());
+  for (const auto& [name, segno] : names_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+size_t ReferenceNameManager::UserRingStateBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, segno] : names_) {
+    bytes += name.size() + sizeof(SegNo) + 16;
+  }
+  return bytes;
+}
+
+Status SearchRules::Set(const std::vector<std::string>& rules) {
+  for (const std::string& rule : rules) {
+    if (!Path::Parse(rule).ok()) {
+      return Status::kInvalidArgument;
+    }
+  }
+  rules_ = rules;
+  return Status::kOk;
+}
+
+Result<SegNo> SearchRules::Search(const std::string& refname, UserInitiator& initiator,
+                                  ReferenceNameManager& rnm) const {
+  if (auto bound = rnm.Lookup(refname); bound.ok()) {
+    return bound;
+  }
+  for (const std::string& rule : rules_) {
+    auto segno = initiator.InitiatePath(rule + ">" + refname);
+    if (segno.ok()) {
+      (void)rnm.Bind(refname, segno.value());
+      return segno;
+    }
+  }
+  return Status::kNotFound;
+}
+
+size_t SearchRules::UserRingStateBytes() const {
+  size_t bytes = 0;
+  for (const std::string& rule : rules_) {
+    bytes += rule.size() + 16;
+  }
+  return bytes;
+}
+
+}  // namespace multics

@@ -1,0 +1,58 @@
+// The user-ring reference name manager: the private half of the old KST.
+//
+// "Removal of this naming mechanism from the supervisor required that a data
+// base central to the management of the address space, the known segment
+// table, be split into a private and a common part" [14]. The common part
+// (uid <-> segno) stayed in the kernel (src/fs/kst.h); this is the private
+// part — reference names and search rules — now ordinary user-ring data,
+// breakproof against other processes without costing the kernel a line.
+
+#ifndef SRC_USERRING_RNM_H_
+#define SRC_USERRING_RNM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hw/word.h"
+#include "src/userring/initiator.h"
+
+namespace multics {
+
+class ReferenceNameManager {
+ public:
+  Status Bind(const std::string& name, SegNo segno);
+  Result<SegNo> Lookup(const std::string& name) const;
+  Status Unbind(const std::string& name);
+  std::vector<std::string> Names() const;
+  size_t size() const { return names_.size(); }
+
+  // For the E3 comparison: this state lives in the user ring, not ring 0.
+  size_t UserRingStateBytes() const;
+
+ private:
+  std::unordered_map<std::string, SegNo> names_;
+};
+
+// User-ring search rules: an ordered list of directories to probe when a
+// symbolic reference ("refname") must be resolved to a segment.
+class SearchRules {
+ public:
+  Status Set(const std::vector<std::string>& rules);
+  const std::vector<std::string>& rules() const { return rules_; }
+
+  // Resolve refname: reference names first, then each rule directory.
+  // Successful resolutions are cached as reference names.
+  Result<SegNo> Search(const std::string& refname, UserInitiator& initiator,
+                       ReferenceNameManager& rnm) const;
+
+  size_t UserRingStateBytes() const;
+
+ private:
+  std::vector<std::string> rules_;
+};
+
+}  // namespace multics
+
+#endif  // SRC_USERRING_RNM_H_

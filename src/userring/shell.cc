@@ -1,0 +1,357 @@
+#include "src/userring/shell.h"
+
+#include <sstream>
+
+namespace multics {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+std::string CommandResult::Text() const {
+  std::string text;
+  for (const std::string& line : output) {
+    text += line;
+    text += "\n";
+  }
+  return text;
+}
+
+Shell::Shell(Kernel* kernel, Process* process)
+    : kernel_(kernel), process_(process), initiator_(kernel, process) {
+  (void)search_rules_.Set({">system_library"});
+}
+
+CommandResult Shell::Fail(Status status, const std::string& message) const {
+  CommandResult result;
+  result.status = status;
+  result.output.push_back(message + ": " + std::string(StatusName(status)));
+  return result;
+}
+
+Result<SegNo> Shell::CwdSegno() { return initiator_.InitiateDirPath(cwd_); }
+
+CommandResult Shell::Execute(const std::string& line) {
+  CommandResult result;
+  std::vector<std::string> args = Tokenize(line);
+  if (args.empty()) {
+    return result;
+  }
+  const std::string& cmd = args[0];
+
+  auto need = [&](size_t n) { return args.size() >= n + 1; };
+
+  if (cmd == "who") {
+    result.output.push_back(process_->principal().ToString() + " clearance=" +
+                            process_->clearance().ToString() + " ring=" +
+                            std::to_string(process_->ring()));
+    return result;
+  }
+
+  if (cmd == "cwd") {
+    if (need(1)) {
+      auto parsed = Path::Parse(args[1]);
+      if (!parsed.ok()) {
+        return Fail(parsed.status(), "cwd");
+      }
+      auto segno = initiator_.InitiateDirPath(args[1]);
+      if (!segno.ok()) {
+        return Fail(segno.status(), "cwd " + args[1]);
+      }
+      (void)kernel_->Terminate(*process_, segno.value());
+      cwd_ = parsed->ToString();
+    }
+    result.output.push_back(cwd_);
+    return result;
+  }
+
+  if (cmd == "list") {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "list");
+    }
+    auto names = kernel_->FsList(*process_, dir.value());
+    if (!names.ok()) {
+      return Fail(names.status(), "list");
+    }
+    result.output.push_back(cwd_ + ":  " + std::to_string(names->size()) + " entries");
+    for (const std::string& name : names.value()) {
+      auto status = kernel_->FsStatus(*process_, dir.value(), name);
+      std::string detail = status.ok()
+                               ? (status->is_directory ? "dir  " : "seg  ") +
+                                     status->mode_string + "  " + std::to_string(status->pages) +
+                                     "p  " + status->label
+                               : std::string(StatusName(status.status()));
+      result.output.push_back("  " + name + "  " + detail);
+    }
+    return result;
+  }
+
+  if (cmd == "create_segment" && need(1)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "create_segment");
+    }
+    SegmentAttributes attrs;
+    attrs.acl.Set(AclEntry{process_->principal().person, process_->principal().project, "*",
+                           kModeRead | kModeWrite});
+    auto uid = kernel_->FsCreateSegment(*process_, dir.value(), args[1], attrs);
+    if (!uid.ok()) {
+      return Fail(uid.status(), "create_segment " + args[1]);
+    }
+    result.output.push_back("created " + cwd_ + (cwd_ == ">" ? "" : ">") + args[1]);
+    return result;
+  }
+
+  if (cmd == "create_dir" && need(1)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "create_dir");
+    }
+    uint32_t quota = args.size() > 2 ? static_cast<uint32_t>(std::stoul(args[2])) : 0;
+    SegmentAttributes attrs;
+    attrs.acl.Set(AclEntry{process_->principal().person, process_->principal().project, "*",
+                           kDirStatus | kDirModify | kDirAppend});
+    attrs.acl.Set(AclEntry{"*", "*", "*", kDirStatus});
+    auto uid = kernel_->FsCreateDirectory(*process_, dir.value(), args[1], attrs, quota);
+    if (!uid.ok()) {
+      return Fail(uid.status(), "create_dir " + args[1]);
+    }
+    result.output.push_back("created directory " + args[1] +
+                            (quota > 0 ? " quota=" + std::to_string(quota) : ""));
+    return result;
+  }
+
+  if (cmd == "delete" && need(1)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "delete");
+    }
+    Status status = kernel_->FsDelete(*process_, dir.value(), args[1]);
+    if (status != Status::kOk) {
+      return Fail(status, "delete " + args[1]);
+    }
+    result.output.push_back("deleted " + args[1]);
+    return result;
+  }
+
+  if (cmd == "rename" && need(2)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "rename");
+    }
+    Status status = kernel_->FsRename(*process_, dir.value(), args[1], args[2]);
+    if (status != Status::kOk) {
+      return Fail(status, "rename");
+    }
+    result.output.push_back("renamed " + args[1] + " -> " + args[2]);
+    return result;
+  }
+
+  if (cmd == "add_name" && need(2)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "add_name");
+    }
+    Status status = kernel_->FsAddName(*process_, dir.value(), args[1], args[2]);
+    if (status != Status::kOk) {
+      return Fail(status, "add_name");
+    }
+    result.output.push_back("added name " + args[2]);
+    return result;
+  }
+
+  if (cmd == "link" && need(2)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "link");
+    }
+    Status status = kernel_->FsCreateLink(*process_, dir.value(), args[1], args[2]);
+    if (status != Status::kOk) {
+      return Fail(status, "link");
+    }
+    result.output.push_back(args[1] + " -> " + args[2]);
+    return result;
+  }
+
+  if (cmd == "status" && need(1)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "status");
+    }
+    auto status = kernel_->FsStatus(*process_, dir.value(), args[1]);
+    if (!status.ok()) {
+      return Fail(status.status(), "status " + args[1]);
+    }
+    result.output.push_back(args[1] + ": " + (status->is_directory ? "directory" : "segment") +
+                            " modes=" + status->mode_string + " pages=" +
+                            std::to_string(status->pages) + " label=" + status->label +
+                            " author=" + status->author);
+    return result;
+  }
+
+  if (cmd == "set_acl" && need(3)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "set_acl");
+    }
+    auto principal = Principal::Parse(args[2]);
+    if (!principal.ok()) {
+      return Fail(principal.status(), "set_acl principal");
+    }
+    auto modes = ParseSegmentModes(args[3]);
+    if (!modes.ok()) {
+      return Fail(modes.status(), "set_acl modes");
+    }
+    AclEntry entry{principal->person, principal->project, principal->tag, modes.value()};
+    Status status = kernel_->FsSetAcl(*process_, dir.value(), args[1], entry);
+    if (status != Status::kOk) {
+      return Fail(status, "set_acl");
+    }
+    result.output.push_back("acl of " + args[1] + ": " + entry.NamePart() + " " +
+                            SegmentModeString(entry.modes));
+    return result;
+  }
+
+  if (cmd == "list_acl" && need(1)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "list_acl");
+    }
+    auto acl = kernel_->FsListAcl(*process_, dir.value(), args[1]);
+    if (!acl.ok()) {
+      return Fail(acl.status(), "list_acl");
+    }
+    for (const std::string& entry : acl.value()) {
+      result.output.push_back("  " + entry);
+    }
+    return result;
+  }
+
+  if ((cmd == "print" || cmd == "set") && need(1)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), cmd);
+    }
+    auto init = kernel_->Initiate(*process_, dir.value(), args[1]);
+    if (!init.ok()) {
+      return Fail(init.status(), cmd + " " + args[1]);
+    }
+    if (kernel_->RunAs(*process_) != Status::kOk) {
+      return Fail(Status::kInternal, cmd);
+    }
+    if (cmd == "print") {
+      WordOffset offset = args.size() > 2 ? static_cast<WordOffset>(std::stoul(args[2])) : 0;
+      auto word = kernel_->cpu().Read(init->segno, offset);
+      if (!word.ok()) {
+        return Fail(word.status(), "print");
+      }
+      result.output.push_back(args[1] + "[" + std::to_string(offset) +
+                              "] = " + std::to_string(word.value()));
+    } else {
+      if (!need(3)) {
+        return Fail(Status::kInvalidArgument, "set NAME OFFSET VALUE");
+      }
+      WordOffset offset = static_cast<WordOffset>(std::stoul(args[2]));
+      Word value = std::stoull(args[3]);
+      // Grow on demand, as stores through a fresh segment did.
+      auto pages = kernel_->SegGetLength(*process_, init->segno);
+      if (pages.ok() && PageOf(offset) >= pages.value()) {
+        Status grow = kernel_->SegSetLength(*process_, init->segno, PageOf(offset) + 1);
+        if (grow != Status::kOk) {
+          return Fail(grow, "set (grow)");
+        }
+      }
+      Status status = kernel_->cpu().Write(init->segno, offset, value);
+      if (status != Status::kOk) {
+        return Fail(status, "set");
+      }
+      result.output.push_back(args[1] + "[" + std::to_string(offset) +
+                              "] := " + std::to_string(value));
+    }
+    return result;
+  }
+
+  if (cmd == "truncate" && need(2)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "truncate");
+    }
+    auto init = kernel_->Initiate(*process_, dir.value(), args[1]);
+    if (!init.ok()) {
+      return Fail(init.status(), "truncate");
+    }
+    Status status = kernel_->SegSetLength(*process_, init->segno,
+                                          static_cast<uint32_t>(std::stoul(args[2])));
+    if (status != Status::kOk) {
+      return Fail(status, "truncate");
+    }
+    result.output.push_back(args[1] + " now " + args[2] + " pages");
+    return result;
+  }
+
+  if (cmd == "initiate" && need(1)) {
+    auto segno = initiator_.InitiatePath(args[1]);
+    if (!segno.ok()) {
+      return Fail(segno.status(), "initiate " + args[1]);
+    }
+    (void)rnm_.Bind(Path::Parse(args[1])->Leaf(), segno.value());
+    result.output.push_back(args[1] + " initiated as segno " +
+                            std::to_string(segno.value()));
+    return result;
+  }
+
+  if (cmd == "terminate" && need(1)) {
+    auto segno = rnm_.Lookup(args[1]);
+    if (!segno.ok()) {
+      return Fail(segno.status(), "terminate " + args[1]);
+    }
+    (void)rnm_.Unbind(args[1]);
+    Status status = kernel_->Terminate(*process_, segno.value());
+    if (status != Status::kOk) {
+      return Fail(status, "terminate");
+    }
+    result.output.push_back(args[1] + " terminated");
+    return result;
+  }
+
+  if (cmd == "sr" && need(1)) {
+    std::vector<std::string> rules(args.begin() + 1, args.end());
+    Status status = search_rules_.Set(rules);
+    if (status != Status::kOk) {
+      return Fail(status, "sr");
+    }
+    result.output.push_back("search rules set (" + std::to_string(rules.size()) + ")");
+    return result;
+  }
+
+  if (cmd == "snap" && need(1)) {
+    auto dir = CwdSegno();
+    if (!dir.ok()) {
+      return Fail(dir.status(), "snap");
+    }
+    auto init = kernel_->Initiate(*process_, dir.value(), args[1]);
+    if (!init.ok()) {
+      return Fail(init.status(), "snap " + args[1]);
+    }
+    UserLinker linker(kernel_, process_, &initiator_, &search_rules_, &rnm_);
+    auto snapped = linker.SnapAll(init->segno);
+    if (!snapped.ok()) {
+      return Fail(snapped.status(), "snap " + args[1]);
+    }
+    result.output.push_back(args[1] + ": " + std::to_string(snapped->snapped) +
+                            " links snapped, " + std::to_string(snapped->already_snapped) +
+                            " already snapped");
+    return result;
+  }
+
+  return Fail(Status::kInvalidArgument, "unknown or malformed command '" + cmd + "'");
+}
+
+}  // namespace multics

@@ -1,0 +1,80 @@
+// A Multics-flavored command environment, implemented entirely in the user
+// ring. The paper's first category of non-kernel software: system-provided
+// programs that execute as part of user computations — "library subroutines,
+// compilers, and applications packages... plus all the programs usually part
+// of a supervisor that are not included in a security kernel." The shell is
+// exactly such a program: it holds only private per-process state (working
+// directory, reference names, search rules) and reaches everything else
+// through gates.
+//
+// Commands (a subset of the classic command repertoire):
+//   cwd [path]                  print or change the working directory
+//   list                        list the working directory
+//   create_segment NAME         create a segment (rw to self)
+//   create_dir NAME [quota]     create a directory
+//   delete NAME                 delete an entry
+//   rename OLD NEW              rename an entry
+//   add_name OLD NEW            add an additional name
+//   link NAME TARGET_PATH       create a link
+//   status NAME                 print branch status
+//   set_acl NAME PRINCIPAL MODES   e.g. set_acl memo Smith.Faculty r
+//   list_acl NAME               print the ACL
+//   print NAME [offset]         read a word through the processor
+//   set NAME OFFSET VALUE       write a word through the processor
+//   truncate NAME PAGES         set segment length
+//   initiate PATH               initiate by full path (user-ring resolution)
+//   terminate NAME              terminate by entry name in the cwd
+//   sr RULE...                  set search rules
+//   snap NAME                   run the user-ring linker over an object seg
+//   who                         print principal/clearance/ring
+//
+// Every command returns the kernel's verdict verbatim; denials are normal
+// output, not crashes.
+
+#ifndef SRC_USERRING_SHELL_H_
+#define SRC_USERRING_SHELL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/userring/rnm.h"
+#include "src/userring/user_linker.h"
+
+namespace multics {
+
+struct CommandResult {
+  Status status = Status::kOk;
+  std::vector<std::string> output;
+
+  std::string Text() const;
+};
+
+class Shell {
+ public:
+  Shell(Kernel* kernel, Process* process);
+
+  // Parses and executes one command line.
+  CommandResult Execute(const std::string& line);
+
+  const std::string& cwd() const { return cwd_; }
+  ReferenceNameManager& rnm() { return rnm_; }
+  SearchRules& search_rules() { return search_rules_; }
+
+ private:
+  CommandResult Fail(Status status, const std::string& message) const;
+  Result<SegNo> CwdSegno();
+
+  Kernel* kernel_;
+  Process* process_;
+  UserInitiator initiator_;
+  ReferenceNameManager rnm_;
+  SearchRules search_rules_;
+  std::string cwd_ = ">";
+};
+
+// Splits a command line on blanks (no quoting; Multics used blanks too).
+std::vector<std::string> Tokenize(const std::string& line);
+
+}  // namespace multics
+
+#endif  // SRC_USERRING_SHELL_H_

@@ -1,0 +1,59 @@
+#include "src/userring/subsystem.h"
+
+namespace multics {
+
+Result<Subsystem> SubsystemBuilder::Create(SegNo dir_segno, const std::string& name,
+                                           RingNumber inner, RingNumber callers,
+                                           uint32_t entries) {
+  if (inner < owner_->ring() || callers < inner || entries == 0) {
+    return Status::kInvalidArgument;
+  }
+  Subsystem subsystem;
+  subsystem.name = name;
+  subsystem.inner = inner;
+  subsystem.entries = entries;
+
+  // The gate segment: executable from the execute bracket, callable through
+  // gates from rings (inner, callers].
+  SegmentAttributes gate_attrs;
+  gate_attrs.acl.Set(AclEntry{"*", "*", "*", kModeRead | kModeExecute});
+  gate_attrs.acl.Set(AclEntry{owner_->principal().person, owner_->principal().project, "*",
+                              kModeRead | kModeWrite | kModeExecute});
+  gate_attrs.brackets = RingBrackets{inner, inner, callers};
+  gate_attrs.gate = true;
+  gate_attrs.gate_entries = entries;
+  MX_ASSIGN_OR_RETURN(subsystem.gate_uid,
+                      kernel_->FsCreateSegment(*owner_, dir_segno, name + "_gate", gate_attrs));
+
+  // The private data segment: no access outside ring <= inner, whatever the
+  // ACL says.
+  SegmentAttributes data_attrs;
+  data_attrs.acl.Set(AclEntry{owner_->principal().person, owner_->principal().project, "*",
+                              kModeRead | kModeWrite});
+  data_attrs.brackets = RingBrackets{inner, inner, inner};
+  MX_ASSIGN_OR_RETURN(subsystem.data_uid,
+                      kernel_->FsCreateSegment(*owner_, dir_segno, name + "_data", data_attrs));
+
+  // Initiate both and give them a page of storage.
+  MX_ASSIGN_OR_RETURN(InitiateResult gate_init,
+                      kernel_->Initiate(*owner_, dir_segno, name + "_gate"));
+  subsystem.gate_segno = gate_init.segno;
+  MX_RETURN_IF_ERROR(kernel_->SegSetLength(*owner_, subsystem.gate_segno, 1));
+  MX_ASSIGN_OR_RETURN(InitiateResult data_init,
+                      kernel_->Initiate(*owner_, dir_segno, name + "_data"));
+  subsystem.data_segno = data_init.segno;
+  MX_RETURN_IF_ERROR(kernel_->SegSetLength(*owner_, subsystem.data_segno, 1));
+  return subsystem;
+}
+
+Result<RingNumber> SubsystemBuilder::Enter(const Subsystem& subsystem, WordOffset entry) {
+  if (entry >= subsystem.entries) {
+    return Status::kNotAGate;
+  }
+  MX_RETURN_IF_ERROR(kernel_->cpu().Call(subsystem.gate_segno, entry));
+  return kernel_->cpu().ring();
+}
+
+Status SubsystemBuilder::Exit() { return kernel_->cpu().Return(); }
+
+}  // namespace multics

@@ -1,0 +1,59 @@
+// User-constructed protected subsystems.
+//
+// "The inclusion of security kernel facilities to support user-constructed
+// protected subsystems provides a tool to reduce the potential damage such a
+// borrowed trojan horse can do." A subsystem is an inner-ring domain: a gate
+// segment whose brackets admit callers from outer rings only through
+// enumerated gate entries, plus private segments whose brackets shut outer
+// rings out entirely. The kernel contributes no new mechanism — the rings
+// and branches it already has suffice; this builder is pure user-ring code.
+//
+// The paper's fourth removal project rests on the observation that *login*
+// is the same mechanism: creating a process for an authenticated principal
+// is entering a protected subsystem whose gate is the answering service
+// (src/userring/answering_service.h).
+
+#ifndef SRC_USERRING_SUBSYSTEM_H_
+#define SRC_USERRING_SUBSYSTEM_H_
+
+#include <string>
+
+#include "src/core/kernel.h"
+
+namespace multics {
+
+struct Subsystem {
+  std::string name;
+  SegNo gate_segno = kInvalidSegNo;
+  Uid gate_uid = kInvalidUid;
+  SegNo data_segno = kInvalidSegNo;
+  Uid data_uid = kInvalidUid;
+  RingNumber inner = kRingUser;
+  uint32_t entries = 0;
+};
+
+class SubsystemBuilder {
+ public:
+  SubsystemBuilder(Kernel* kernel, Process* owner) : kernel_(kernel), owner_(owner) {}
+
+  // Creates a subsystem rooted in `dir_segno`: a gate segment executing at
+  // ring `inner` callable from rings up to `callers` through `entries` gate
+  // entry points, and a private data segment locked to ring <= inner.
+  // `inner` must be >= the owner's current ring.
+  Result<Subsystem> Create(SegNo dir_segno, const std::string& name, RingNumber inner,
+                           RingNumber callers, uint32_t entries);
+
+  // Enters the subsystem through `entry` (an inward gate call on the
+  // simulated CPU; the caller must be bound with Kernel::RunAs first and
+  // must not rebind until Exit). Returns the ring now executing.
+  Result<RingNumber> Enter(const Subsystem& subsystem, WordOffset entry);
+  Status Exit();
+
+ private:
+  Kernel* kernel_;
+  Process* owner_;
+};
+
+}  // namespace multics
+
+#endif  // SRC_USERRING_SUBSYSTEM_H_

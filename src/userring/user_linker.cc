@@ -1,0 +1,24 @@
+#include "src/userring/user_linker.h"
+
+namespace multics {
+
+Result<SegNo> UserRingLinkEnv::FindSegment(const std::string& name) {
+  return search_rules_->Search(name, *initiator_, *rnm_);
+}
+
+Result<Word> UserRingLinkEnv::ReadWord(SegNo segno, WordOffset offset) {
+  // Through the processor, in the user's ring: brackets and bits apply.
+  MX_RETURN_IF_ERROR(kernel_->RunAs(*process_));
+  return kernel_->cpu().Read(segno, offset);
+}
+
+Status UserRingLinkEnv::WriteWord(SegNo segno, WordOffset offset, Word value) {
+  MX_RETURN_IF_ERROR(kernel_->RunAs(*process_));
+  return kernel_->cpu().Write(segno, offset, value);
+}
+
+Result<uint32_t> UserRingLinkEnv::SegmentLengthWords(SegNo segno) {
+  return kernel_->SegGetLength(*process_, segno).value_or(0) * kPageWords;
+}
+
+}  // namespace multics

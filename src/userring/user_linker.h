@@ -1,0 +1,73 @@
+// The user-ring dynamic linker (Janson's removal project [12,13]).
+//
+// Same algorithm as the old in-kernel linker (src/link/linker.h), but it
+// executes with the user's own authority: words are read and written through
+// the processor in the user's ring (so ring brackets and permission bits
+// apply), segment names resolve through the user-ring search rules, and —
+// critically — a maliciously malstructured object segment can only hurt the
+// process that supplied it. It also validates its input, which the kernel
+// linker never did.
+//
+// "The second interesting result of the linker's removal was the
+// demonstration that linking procedures together across protection
+// boundaries, i.e., rings, could be done without resort to a mechanism
+// common to both protection regions."
+
+#ifndef SRC_USERRING_USER_LINKER_H_
+#define SRC_USERRING_USER_LINKER_H_
+
+#include "src/link/linker.h"
+#include "src/userring/rnm.h"
+
+namespace multics {
+
+class UserRingLinkEnv : public LinkageEnvironment {
+ public:
+  UserRingLinkEnv(Kernel* kernel, Process* process, UserInitiator* initiator,
+                  SearchRules* search_rules, ReferenceNameManager* rnm)
+      : kernel_(kernel),
+        process_(process),
+        initiator_(initiator),
+        search_rules_(search_rules),
+        rnm_(rnm) {}
+
+  Result<SegNo> FindSegment(const std::string& name) override;
+  Result<Word> ReadWord(SegNo segno, WordOffset offset) override;
+  Status WriteWord(SegNo segno, WordOffset offset, Word value) override;
+  Result<uint32_t> SegmentLengthWords(SegNo segno) override;
+
+ private:
+  Kernel* kernel_;
+  Process* process_;
+  UserInitiator* initiator_;
+  SearchRules* search_rules_;
+  ReferenceNameManager* rnm_;
+};
+
+class UserLinker {
+ public:
+  UserLinker(Kernel* kernel, Process* process, UserInitiator* initiator,
+             SearchRules* search_rules, ReferenceNameManager* rnm)
+      : env_(kernel, process, initiator, search_rules, rnm),
+        linker_(&env_, /*validate_input=*/true) {}
+
+  Result<LinkSnapResult> SnapAll(SegNo object) { return linker_.SnapAll(object); }
+  Result<std::pair<SegNo, WordOffset>> SnapOne(SegNo object, uint32_t index) {
+    return linker_.SnapOne(object, index);
+  }
+  Result<WordOffset> LookupSymbol(SegNo object, const std::string& name) {
+    return linker_.LookupSymbol(object, name);
+  }
+  Result<ObjectHeader> Header(SegNo object) { return linker_.Header(object); }
+
+  // Faults the malformed input caused — all of them confined to this ring.
+  uint64_t confined_faults() const { return linker_.wild_references(); }
+
+ private:
+  UserRingLinkEnv env_;
+  Linker linker_;
+};
+
+}  // namespace multics
+
+#endif  // SRC_USERRING_USER_LINKER_H_

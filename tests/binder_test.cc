@@ -1,0 +1,163 @@
+// Tests for the binder: layout, symbol rebasing, internalization of
+// intra-bind links, preservation of external links, and error surfacing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/link/binder.h"
+#include "src/link/linker.h"
+
+namespace multics {
+namespace {
+
+std::vector<Word> MathComponent() {
+  return ObjectBuilder()
+      .SetText(std::vector<Word>(16, 0x111))
+      .AddSymbol("sqrt", 4)
+      .AddSymbol("exp", 8)
+      .Build();
+}
+
+std::vector<Word> AppComponent() {
+  return ObjectBuilder()
+      .SetText(std::vector<Word>(8, 0x222))
+      .AddSymbol("main", 0)
+      .AddLink("math_", "sqrt")   // Internalizable.
+      .AddLink("fmt_", "format")  // External.
+      .Build();
+}
+
+WordReader FlatReader(const std::vector<Word>& image) {
+  return [&image](WordOffset offset) -> Result<Word> {
+    if (offset >= image.size()) {
+      return Status::kOutOfRange;
+    }
+    return image[offset];
+  };
+}
+
+TEST(BinderTest, InternalizesAndRebases) {
+  Binder binder;
+  ASSERT_EQ(binder.AddComponent("app", AppComponent()), Status::kOk);
+  ASSERT_EQ(binder.AddComponent("math_", MathComponent()), Status::kOk);
+  auto bound = binder.Bind();
+  ASSERT_TRUE(bound.ok()) << StatusName(bound.status());
+  EXPECT_EQ(bound->components, 2u);
+  EXPECT_EQ(bound->symbols, 3u);
+  EXPECT_EQ(bound->internalized_links, 1u);
+  EXPECT_EQ(bound->external_links, 1u);
+
+  // The merged object parses, and symbols rebased: app text (8 words) comes
+  // first, so math_'s sqrt lands at 8 + 4.
+  auto header = ObjectReader::ReadHeader(FlatReader(bound->image),
+                                         static_cast<uint32_t>(bound->image.size()), true);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->text_length, 24u);
+  auto defs = ObjectReader::ReadDefs(FlatReader(bound->image), header.value());
+  ASSERT_TRUE(defs.ok());
+  EXPECT_EQ(ObjectReader::FindSymbol(defs.value(), "main").value(), 0u);
+  EXPECT_EQ(ObjectReader::FindSymbol(defs.value(), "sqrt").value(), 12u);
+  EXPECT_EQ(ObjectReader::FindSymbol(defs.value(), "exp").value(), 16u);
+
+  // Link 0 (math_$sqrt) is pre-snapped to the bound segment itself.
+  auto link0 = ObjectReader::ReadLink(FlatReader(bound->image), header.value(), 0);
+  ASSERT_TRUE(link0.ok());
+  EXPECT_TRUE(link0->snapped);
+  EXPECT_EQ(link0->snapped_segno, kBoundSelfSegNo);
+  EXPECT_EQ(link0->snapped_offset, 12u);
+  // Link 1 (fmt_$format) stays unsnapped for the dynamic linker.
+  auto link1 = ObjectReader::ReadLink(FlatReader(bound->image), header.value(), 1);
+  ASSERT_TRUE(link1.ok());
+  EXPECT_FALSE(link1->snapped);
+}
+
+TEST(BinderTest, BoundObjectNeedsOnlyExternalSnaps) {
+  // Through the real linker: only the fmt_ link requires resolution work.
+  Binder binder;
+  ASSERT_EQ(binder.AddComponent("app", AppComponent()), Status::kOk);
+  ASSERT_EQ(binder.AddComponent("math_", MathComponent()), Status::kOk);
+  auto bound = binder.Bind();
+  ASSERT_TRUE(bound.ok());
+
+  class Env : public LinkageEnvironment {
+   public:
+    explicit Env(std::vector<Word> bound_image) {
+      segments_[100] = std::move(bound_image);
+      segments_[101] =
+          ObjectBuilder().SetText({0}).AddSymbol("format", 0).Build();
+      names_["fmt_"] = 101;
+    }
+    Result<SegNo> FindSegment(const std::string& name) override {
+      auto it = names_.find(name);
+      if (it == names_.end()) {
+        return Status::kNotFound;
+      }
+      ++lookups;
+      return it->second;
+    }
+    Result<Word> ReadWord(SegNo segno, WordOffset offset) override {
+      if (offset >= segments_[segno].size()) {
+        return Status::kOutOfRange;
+      }
+      return segments_[segno][offset];
+    }
+    Status WriteWord(SegNo segno, WordOffset offset, Word value) override {
+      if (offset >= segments_[segno].size()) {
+        return Status::kOutOfRange;
+      }
+      segments_[segno][offset] = value;
+      return Status::kOk;
+    }
+    Result<uint32_t> SegmentLengthWords(SegNo segno) override {
+      return static_cast<uint32_t>(segments_[segno].size());
+    }
+    std::map<SegNo, std::vector<Word>> segments_;
+    std::map<std::string, SegNo> names_;
+    int lookups = 0;
+  };
+
+  Env env(bound->image);
+  Linker linker(&env, true);
+  auto snapped = linker.SnapAll(100);
+  ASSERT_TRUE(snapped.ok());
+  EXPECT_EQ(snapped->snapped, 1u);          // Only fmt_$format.
+  EXPECT_EQ(snapped->already_snapped, 1u);  // math_$sqrt was bound in.
+  EXPECT_EQ(env.lookups, 1);                // One search, not two.
+}
+
+TEST(BinderTest, DuplicateComponentOrSymbolRejected) {
+  Binder binder;
+  ASSERT_EQ(binder.AddComponent("math_", MathComponent()), Status::kOk);
+  EXPECT_EQ(binder.AddComponent("math_", MathComponent()), Status::kNameDuplication);
+  // Same symbols under a different component name: still a clash.
+  EXPECT_EQ(binder.AddComponent("math2_", MathComponent()), Status::kNameDuplication);
+}
+
+TEST(BinderTest, MissingSymbolInBoundComponentIsBindError) {
+  Binder binder;
+  std::vector<Word> app = ObjectBuilder()
+                              .SetText({1})
+                              .AddSymbol("main", 0)
+                              .AddLink("math_", "log")  // math_ exists, log doesn't.
+                              .Build();
+  ASSERT_EQ(binder.AddComponent("app", app), Status::kOk);
+  ASSERT_EQ(binder.AddComponent("math_", MathComponent()), Status::kOk);
+  EXPECT_EQ(binder.Bind().status(), Status::kSymbolNotFound);
+}
+
+TEST(BinderTest, MalformedComponentRejectedEagerly) {
+  Binder binder;
+  std::vector<Word> corrupt = MathComponent();
+  corrupt[3] = 1 << 20;  // Wild defs offset.
+  EXPECT_EQ(binder.AddComponent("bad", corrupt), Status::kBadObjectFormat);
+  EXPECT_EQ(binder.component_count(), 0u);
+}
+
+TEST(BinderTest, EmptyBindRejected) {
+  Binder binder;
+  EXPECT_EQ(binder.Bind().status(), Status::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace multics

@@ -1,0 +1,429 @@
+// Tests for the file system: ACL matching, pathnames, the UID segment store
+// (layer 1), the naming hierarchy (layer 2), quotas, and the KST.
+
+#include <gtest/gtest.h>
+
+#include "src/fs/acl.h"
+#include "src/fs/hierarchy.h"
+#include "src/fs/kst.h"
+#include "src/fs/pathname.h"
+#include "src/fs/segment_store.h"
+#include "src/mem/page_control_sequential.h"
+
+namespace multics {
+namespace {
+
+// --- ACL ------------------------------------------------------------------------
+
+TEST(PrincipalTest, ParseFull) {
+  auto p = Principal::Parse("Jones.Faculty.a");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->person, "Jones");
+  EXPECT_EQ(p->project, "Faculty");
+  EXPECT_EQ(p->tag, "a");
+  EXPECT_EQ(p->ToString(), "Jones.Faculty.a");
+}
+
+TEST(PrincipalTest, DefaultTag) {
+  auto p = Principal::Parse("Smith.Students");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->tag, "a");
+}
+
+TEST(PrincipalTest, RejectsMalformed) {
+  EXPECT_FALSE(Principal::Parse("JustOneName").ok());
+  EXPECT_FALSE(Principal::Parse("").ok());
+}
+
+TEST(AclTest, ExactMatchGrants) {
+  Acl acl;
+  acl.Set(AclEntry{"Jones", "Faculty", "*", kModeRead | kModeWrite});
+  Principal jones{"Jones", "Faculty", "a"};
+  Principal smith{"Smith", "Faculty", "a"};
+  EXPECT_EQ(acl.EffectiveModes(jones), kModeRead | kModeWrite);
+  EXPECT_EQ(acl.EffectiveModes(smith), kModeNull);
+}
+
+TEST(AclTest, MostSpecificEntryWins) {
+  Acl acl;
+  acl.Set(AclEntry{"*", "Faculty", "*", kModeRead});
+  acl.Set(AclEntry{"Jones", "Faculty", "*", kModeNull});  // Deny Jones explicitly.
+  EXPECT_EQ(acl.EffectiveModes({"Jones", "Faculty", "a"}), kModeNull);
+  EXPECT_EQ(acl.EffectiveModes({"Smith", "Faculty", "a"}), kModeRead);
+}
+
+TEST(AclTest, WildcardAll) {
+  Acl acl;
+  acl.Set(AclEntry{"*", "*", "*", kModeRead | kModeExecute});
+  EXPECT_EQ(acl.EffectiveModes({"Anyone", "Anywhere", "z"}), kModeRead | kModeExecute);
+}
+
+TEST(AclTest, SetReplacesSameName) {
+  Acl acl;
+  acl.Set(AclEntry{"Jones", "Faculty", "a", kModeRead});
+  acl.Set(AclEntry{"Jones", "Faculty", "a", kModeWrite});
+  EXPECT_EQ(acl.size(), 1u);
+  EXPECT_EQ(acl.EffectiveModes({"Jones", "Faculty", "a"}), kModeWrite);
+}
+
+TEST(AclTest, RemoveEntry) {
+  Acl acl;
+  acl.Set(AclEntry{"Jones", "Faculty", "a", kModeRead});
+  EXPECT_EQ(acl.Remove("Jones", "Faculty", "a"), Status::kOk);
+  EXPECT_EQ(acl.Remove("Jones", "Faculty", "a"), Status::kNotFound);
+  EXPECT_EQ(acl.EffectiveModes({"Jones", "Faculty", "a"}), kModeNull);
+}
+
+TEST(AclTest, ModeStrings) {
+  EXPECT_EQ(SegmentModeString(kModeRead | kModeWrite), "rw-");
+  EXPECT_EQ(SegmentModeString(kModeNull), "---");
+  EXPECT_EQ(DirModeString(kDirStatus | kDirAppend), "s-a");
+  auto modes = ParseSegmentModes("re");
+  ASSERT_TRUE(modes.ok());
+  EXPECT_EQ(modes.value(), kModeRead | kModeExecute);
+  EXPECT_FALSE(ParseSegmentModes("rq").ok());
+}
+
+// --- Pathnames --------------------------------------------------------------------
+
+TEST(PathTest, ParseAbsolute) {
+  auto p = Path::Parse(">udd>Faculty>Jones");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->components.size(), 3u);
+  EXPECT_EQ(p->ToString(), ">udd>Faculty>Jones");
+  EXPECT_EQ(p->Leaf(), "Jones");
+  EXPECT_EQ(p->Parent().ToString(), ">udd>Faculty");
+}
+
+TEST(PathTest, RootForms) {
+  auto root = Path::Parse(">");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->IsRoot());
+  EXPECT_EQ(root->ToString(), ">");
+}
+
+TEST(PathTest, RejectsRelativeAndBadNames) {
+  EXPECT_FALSE(Path::Parse("udd>x").ok());
+  EXPECT_FALSE(Path::Parse("").ok());
+  EXPECT_FALSE(Path::Parse(">a>..>b").ok());
+}
+
+TEST(PathTest, ValidEntryNames) {
+  EXPECT_TRUE(ValidEntryName("alpha_1"));
+  EXPECT_FALSE(ValidEntryName(""));
+  EXPECT_FALSE(ValidEntryName("."));
+  EXPECT_FALSE(ValidEntryName("has>gt"));
+  EXPECT_FALSE(ValidEntryName(std::string(40, 'x')));
+}
+
+// --- Segment store / hierarchy fixture --------------------------------------------
+
+class FsTest : public ::testing::Test {
+ protected:
+  FsTest()
+      : machine_(MachineConfig{.core_frames = 32}),
+        core_map_(32),
+        bulk_("bulk", 64, 2000, 2000, &machine_),
+        disk_("disk", 4096, 20000, 20000, &machine_),
+        ast_(64),
+        store_(&machine_, &ast_, &disk_),
+        page_control_(&machine_, &core_map_, &bulk_, &disk_, &policy_),
+        hierarchy_(&store_) {
+    store_.AttachPageControl(&page_control_);
+    CHECK(hierarchy_.Init() == Status::kOk);
+  }
+
+  SegmentAttributes UserSeg() {
+    SegmentAttributes attrs;
+    attrs.acl.Set(AclEntry{"*", "*", "*", kModeRead | kModeWrite});
+    attrs.author = Principal{"Jones", "Faculty", "a"};
+    return attrs;
+  }
+
+  Machine machine_;
+  CoreMap core_map_;
+  PagingDevice bulk_;
+  PagingDevice disk_;
+  ActiveSegmentTable ast_;
+  ClockPolicy policy_;
+  SegmentStore store_;
+  SequentialPageControl page_control_;
+  Hierarchy hierarchy_;
+};
+
+TEST_F(FsTest, CreateAndLookupSegment) {
+  auto uid = hierarchy_.CreateSegment(hierarchy_.root(), "alpha", UserSeg());
+  ASSERT_TRUE(uid.ok());
+  auto entry = hierarchy_.Lookup(hierarchy_.root(), "alpha");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->uid, uid.value());
+  EXPECT_FALSE(entry->is_link);
+  auto branch = store_.Get(uid.value());
+  ASSERT_TRUE(branch.ok());
+  EXPECT_FALSE(branch.value()->is_directory);
+  EXPECT_EQ(branch.value()->parent, hierarchy_.root());
+}
+
+TEST_F(FsTest, DuplicateNameRejected) {
+  ASSERT_TRUE(hierarchy_.CreateSegment(hierarchy_.root(), "alpha", UserSeg()).ok());
+  EXPECT_EQ(hierarchy_.CreateSegment(hierarchy_.root(), "alpha", UserSeg()).status(),
+            Status::kNameDuplication);
+}
+
+TEST_F(FsTest, NestedDirectoriesAndPathResolution) {
+  auto udd = hierarchy_.CreateDirectory(hierarchy_.root(), "udd", UserSeg());
+  ASSERT_TRUE(udd.ok());
+  auto proj = hierarchy_.CreateDirectory(udd.value(), "Faculty", UserSeg());
+  ASSERT_TRUE(proj.ok());
+  auto seg = hierarchy_.CreateSegment(proj.value(), "notes", UserSeg());
+  ASSERT_TRUE(seg.ok());
+
+  auto path = Path::Parse(">udd>Faculty>notes");
+  ASSERT_TRUE(path.ok());
+  auto resolved = hierarchy_.ResolvePath(path.value());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value(), seg.value());
+
+  auto reverse = hierarchy_.PathOf(seg.value());
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_EQ(reverse->ToString(), ">udd>Faculty>notes");
+}
+
+TEST_F(FsTest, ResolveRootAndMissing) {
+  auto root = hierarchy_.ResolvePath(Path{});
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), hierarchy_.root());
+  auto missing = Path::Parse(">nothing>here");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(hierarchy_.ResolvePath(missing.value()).status(), Status::kNotFound);
+}
+
+TEST_F(FsTest, LinksResolveTransitively) {
+  auto dir = hierarchy_.CreateDirectory(hierarchy_.root(), "real", UserSeg());
+  ASSERT_TRUE(dir.ok());
+  auto seg = hierarchy_.CreateSegment(dir.value(), "target", UserSeg());
+  ASSERT_TRUE(seg.ok());
+  ASSERT_EQ(hierarchy_.CreateLink(hierarchy_.root(), "shortcut", ">real>target"), Status::kOk);
+  ASSERT_EQ(hierarchy_.CreateLink(hierarchy_.root(), "alias_dir", ">real"), Status::kOk);
+
+  auto direct = hierarchy_.ResolvePath(Path::Parse(">shortcut").value());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct.value(), seg.value());
+
+  // A link to a directory with components after it.
+  auto through = hierarchy_.ResolvePath(Path::Parse(">alias_dir>target").value());
+  ASSERT_TRUE(through.ok());
+  EXPECT_EQ(through.value(), seg.value());
+}
+
+TEST_F(FsTest, LinkLoopsTerminate) {
+  ASSERT_EQ(hierarchy_.CreateLink(hierarchy_.root(), "a", ">b"), Status::kOk);
+  ASSERT_EQ(hierarchy_.CreateLink(hierarchy_.root(), "b", ">a"), Status::kOk);
+  EXPECT_EQ(hierarchy_.ResolvePath(Path::Parse(">a").value()).status(), Status::kLinkageFault);
+}
+
+TEST_F(FsTest, AddNameAndRename) {
+  auto uid = hierarchy_.CreateSegment(hierarchy_.root(), "alpha", UserSeg());
+  ASSERT_TRUE(uid.ok());
+  ASSERT_EQ(hierarchy_.AddName(hierarchy_.root(), "alpha", "alef"), Status::kOk);
+  auto by_alias = hierarchy_.Lookup(hierarchy_.root(), "alef");
+  ASSERT_TRUE(by_alias.ok());
+  EXPECT_EQ(by_alias->uid, uid.value());
+
+  // Deleting one of two names keeps the segment.
+  ASSERT_EQ(hierarchy_.DeleteEntry(hierarchy_.root(), "alpha"), Status::kOk);
+  EXPECT_TRUE(store_.Exists(uid.value()));
+  ASSERT_EQ(hierarchy_.Rename(hierarchy_.root(), "alef", "aleph"), Status::kOk);
+  EXPECT_TRUE(hierarchy_.Lookup(hierarchy_.root(), "aleph").ok());
+  // Deleting the last name deletes the segment.
+  ASSERT_EQ(hierarchy_.DeleteEntry(hierarchy_.root(), "aleph"), Status::kOk);
+  EXPECT_FALSE(store_.Exists(uid.value()));
+}
+
+TEST_F(FsTest, DeleteDirectoryRequiresEmpty) {
+  auto dir = hierarchy_.CreateDirectory(hierarchy_.root(), "d", UserSeg());
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(hierarchy_.CreateSegment(dir.value(), "inner", UserSeg()).ok());
+  EXPECT_EQ(hierarchy_.DeleteEntry(hierarchy_.root(), "d"), Status::kDirectoryNotEmpty);
+  ASSERT_EQ(hierarchy_.DeleteEntry(dir.value(), "inner"), Status::kOk);
+  EXPECT_EQ(hierarchy_.DeleteEntry(hierarchy_.root(), "d"), Status::kOk);
+  EXPECT_FALSE(store_.Exists(dir.value()));
+}
+
+TEST_F(FsTest, ActivationLifecycle) {
+  auto uid = hierarchy_.CreateSegment(hierarchy_.root(), "alpha", UserSeg());
+  ASSERT_TRUE(uid.ok());
+  ASSERT_EQ(store_.SetLength(uid.value(), 3), Status::kOk);
+
+  auto seg = store_.Activate(uid.value());
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg.value()->pages, 3u);
+
+  // Write through page control, then release and force deactivation.
+  ASSERT_EQ(page_control_.EnsureResident(seg.value(), 1, AccessMode::kWrite), Status::kOk);
+  machine_.core().WriteWord(seg.value()->page_table.entries[1].frame, 4, 777);
+  seg.value()->page_table.entries[1].modified = true;
+
+  ASSERT_EQ(store_.DeactivateAll(), Status::kOk);
+  EXPECT_EQ(ast_.Find(uid.value()), nullptr);
+
+  // Reactivate: the word must come back from disk.
+  auto again = store_.Activate(uid.value());
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(page_control_.EnsureResident(again.value(), 1, AccessMode::kRead), Status::kOk);
+  EXPECT_EQ(machine_.core().ReadWord(again.value()->page_table.entries[1].frame, 4), 777u);
+}
+
+TEST_F(FsTest, InitiationRefCounting) {
+  auto uid = hierarchy_.CreateSegment(hierarchy_.root(), "alpha", UserSeg());
+  ASSERT_TRUE(uid.ok());
+  store_.AddRef(uid.value());
+  store_.AddRef(uid.value());  // Second process initiates.
+  EXPECT_EQ(store_.RefCount(uid.value()), 2u);
+  EXPECT_EQ(store_.DropRef(uid.value()), Status::kOk);
+  EXPECT_EQ(store_.DropRef(uid.value()), Status::kOk);
+  EXPECT_EQ(store_.DropRef(uid.value()), Status::kFailedPrecondition);
+}
+
+TEST_F(FsTest, DeactivationHookFiresBeforeTeardown) {
+  auto uid = hierarchy_.CreateSegment(hierarchy_.root(), "alpha", UserSeg());
+  ASSERT_TRUE(uid.ok());
+  std::vector<Uid> hooked;
+  store_.SetDeactivateHook([&](Uid u) {
+    hooked.push_back(u);
+    EXPECT_NE(ast_.Find(u), nullptr);  // Page table still alive during hook.
+  });
+  ASSERT_TRUE(store_.Activate(uid.value()).ok());
+  ASSERT_EQ(store_.Deactivate(uid.value()), Status::kOk);
+  EXPECT_EQ(hooked, (std::vector<Uid>{uid.value()}));
+  store_.SetDeactivateHook(nullptr);
+}
+
+TEST_F(FsTest, AstEvictionMakesRoom) {
+  // Fill the AST (capacity 64) with zero-ref segments, then activate one more.
+  std::vector<Uid> uids;
+  for (int i = 0; i < 64; ++i) {
+    auto uid = hierarchy_.CreateSegment(hierarchy_.root(), "seg" + std::to_string(i), UserSeg());
+    ASSERT_TRUE(uid.ok());
+    ASSERT_TRUE(store_.Activate(uid.value()).ok());
+    uids.push_back(uid.value());
+  }
+  EXPECT_EQ(store_.active_count(), 64u);
+  auto extra = hierarchy_.CreateSegment(hierarchy_.root(), "extra", UserSeg());
+  ASSERT_TRUE(extra.ok());
+  EXPECT_TRUE(store_.Activate(extra.value()).ok());
+  EXPECT_EQ(store_.active_count(), 64u);  // One victim was deactivated.
+}
+
+TEST_F(FsTest, DeleteWhileInitiatedRefused) {
+  auto uid = hierarchy_.CreateSegment(hierarchy_.root(), "alpha", UserSeg());
+  ASSERT_TRUE(uid.ok());
+  store_.AddRef(uid.value());
+  EXPECT_EQ(hierarchy_.DeleteEntry(hierarchy_.root(), "alpha"), Status::kFailedPrecondition);
+  ASSERT_EQ(store_.DropRef(uid.value()), Status::kOk);
+  EXPECT_EQ(hierarchy_.DeleteEntry(hierarchy_.root(), "alpha"), Status::kOk);
+}
+
+TEST_F(FsTest, QuotaEnforcedAtNearestAncestor) {
+  auto dir = hierarchy_.CreateDirectory(hierarchy_.root(), "limited", UserSeg(),
+                                        /*quota_pages=*/4);
+  ASSERT_TRUE(dir.ok());
+  auto a = hierarchy_.CreateSegment(dir.value(), "a", UserSeg());
+  auto b = hierarchy_.CreateSegment(dir.value(), "b", UserSeg());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(store_.SetLength(a.value(), 3), Status::kOk);
+  EXPECT_EQ(store_.SetLength(b.value(), 2), Status::kQuotaExceeded);
+  EXPECT_EQ(store_.SetLength(b.value(), 1), Status::kOk);
+  // Shrinking refunds.
+  EXPECT_EQ(store_.SetLength(a.value(), 1), Status::kOk);
+  EXPECT_EQ(store_.SetLength(b.value(), 3), Status::kOk);
+}
+
+TEST_F(FsTest, QuotaInheritedThroughSubdirectories) {
+  auto top = hierarchy_.CreateDirectory(hierarchy_.root(), "top", UserSeg(), 5);
+  ASSERT_TRUE(top.ok());
+  auto sub = hierarchy_.CreateDirectory(top.value(), "sub", UserSeg());  // No own quota.
+  ASSERT_TRUE(sub.ok());
+  auto seg = hierarchy_.CreateSegment(sub.value(), "s", UserSeg());
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(store_.SetLength(seg.value(), 6), Status::kQuotaExceeded);
+  EXPECT_EQ(store_.SetLength(seg.value(), 5), Status::kOk);
+}
+
+TEST_F(FsTest, MaxLengthEnforced) {
+  auto uid = hierarchy_.CreateSegment(hierarchy_.root(), "alpha", UserSeg());
+  ASSERT_TRUE(uid.ok());
+  EXPECT_EQ(store_.SetLength(uid.value(), kMaxSegmentPages + 1), Status::kSegmentTooLong);
+}
+
+TEST_F(FsTest, GrowWhileActiveResizesPageTable) {
+  auto uid = hierarchy_.CreateSegment(hierarchy_.root(), "alpha", UserSeg());
+  ASSERT_TRUE(uid.ok());
+  ASSERT_EQ(store_.SetLength(uid.value(), 1), Status::kOk);
+  auto seg = store_.Activate(uid.value());
+  ASSERT_TRUE(seg.ok());
+  ASSERT_EQ(store_.SetLength(uid.value(), 4), Status::kOk);
+  EXPECT_EQ(seg.value()->pages, 4u);
+  EXPECT_EQ(seg.value()->page_table.size(), 4u);
+  EXPECT_EQ(page_control_.EnsureResident(seg.value(), 3, AccessMode::kWrite), Status::kOk);
+}
+
+// --- KST -----------------------------------------------------------------------
+
+TEST(KstTest, AssignIsIdempotentWithUsageCounts) {
+  KnownSegmentTable kst(64, 100);
+  auto a = kst.Assign(500);
+  auto b = kst.Assign(500);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_GE(a.value(), 64u);
+  EXPECT_EQ(kst.size(), 1u);
+  EXPECT_EQ(kst.UsageCount(a.value()), 2u);
+  // One release leaves the entry alive for the other holder.
+  auto first = kst.Release(a.value());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 1u);
+  EXPECT_TRUE(kst.UidOf(a.value()).ok());
+  auto second = kst.Release(a.value());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 0u);
+  EXPECT_FALSE(kst.UidOf(a.value()).ok());
+}
+
+TEST(KstTest, ForceReleaseIgnoresUsage) {
+  KnownSegmentTable kst(64, 100);
+  auto a = kst.Assign(500);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(kst.Assign(500).ok());
+  ASSERT_EQ(kst.ForceRelease(a.value()), Status::kOk);
+  EXPECT_FALSE(kst.UidOf(a.value()).ok());
+}
+
+TEST(KstTest, BidirectionalLookup) {
+  KnownSegmentTable kst;
+  auto segno = kst.Assign(42);
+  ASSERT_TRUE(segno.ok());
+  EXPECT_EQ(kst.UidOf(segno.value()).value(), 42u);
+  EXPECT_EQ(kst.SegNoOf(42).value(), segno.value());
+  EXPECT_EQ(kst.UidOf(9999).status(), Status::kSegmentNotKnown);
+}
+
+TEST(KstTest, ReleaseRecyclesNumbers) {
+  KnownSegmentTable kst(64, 65);  // Only two numbers available.
+  auto a = kst.Assign(1);
+  auto b = kst.Assign(2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(kst.Assign(3).status(), Status::kNoFreeSegmentNumbers);
+  ASSERT_TRUE(kst.Release(a.value()).ok());
+  auto c = kst.Assign(3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value(), a.value());
+}
+
+TEST(KstTest, InvalidUidRejected) {
+  KnownSegmentTable kst;
+  EXPECT_EQ(kst.Assign(kInvalidUid).status(), Status::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace multics

@@ -1,0 +1,355 @@
+// Unit tests for the simulated hardware: ring-bracket rules, SDW access
+// checks, fault resolution, gate calls in both ring modes, interrupts.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/core_memory.h"
+#include "src/hw/machine.h"
+#include "src/hw/processor.h"
+#include "src/hw/ring.h"
+#include "src/hw/sdw.h"
+
+namespace multics {
+namespace {
+
+// --- Ring-bracket rule tests -------------------------------------------------
+
+TEST(RingBracketsTest, ValidityRequiresMonotoneTriple) {
+  EXPECT_TRUE((RingBrackets{0, 0, 5}).Valid());
+  EXPECT_TRUE((RingBrackets{1, 4, 5}).Valid());
+  EXPECT_FALSE((RingBrackets{4, 1, 5}).Valid());
+  EXPECT_FALSE((RingBrackets{1, 5, 4}).Valid());
+}
+
+TEST(RingBracketsTest, WriteRequiresRingAtMostR1) {
+  RingBrackets b{2, 4, 6};
+  EXPECT_EQ(CheckRingBrackets(0, b, AccessMode::kWrite), RingCheck::kAllowed);
+  EXPECT_EQ(CheckRingBrackets(2, b, AccessMode::kWrite), RingCheck::kAllowed);
+  EXPECT_EQ(CheckRingBrackets(3, b, AccessMode::kWrite), RingCheck::kDenied);
+  EXPECT_EQ(CheckRingBrackets(7, b, AccessMode::kWrite), RingCheck::kDenied);
+}
+
+TEST(RingBracketsTest, ReadRequiresRingAtMostR2) {
+  RingBrackets b{2, 4, 6};
+  EXPECT_EQ(CheckRingBrackets(4, b, AccessMode::kRead), RingCheck::kAllowed);
+  EXPECT_EQ(CheckRingBrackets(5, b, AccessMode::kRead), RingCheck::kDenied);
+}
+
+TEST(RingBracketsTest, CallAboveR2UpToR3NeedsGate) {
+  RingBrackets b{0, 0, 5};
+  EXPECT_EQ(CheckRingBrackets(0, b, AccessMode::kCall), RingCheck::kAllowed);
+  EXPECT_EQ(CheckRingBrackets(1, b, AccessMode::kCall), RingCheck::kGateRequired);
+  EXPECT_EQ(CheckRingBrackets(5, b, AccessMode::kCall), RingCheck::kGateRequired);
+  EXPECT_EQ(CheckRingBrackets(6, b, AccessMode::kCall), RingCheck::kDenied);
+}
+
+TEST(RingBracketsTest, CallBelowWriteBracketIsOutward) {
+  RingBrackets b{4, 4, 4};
+  EXPECT_EQ(CheckRingBrackets(1, b, AccessMode::kCall), RingCheck::kOutwardCall);
+}
+
+TEST(RingBracketsTest, InwardCallLandsAtTopOfExecuteBracket) {
+  RingBrackets b{0, 1, 5};
+  EXPECT_EQ(TargetRingForCall(4, b), 1);
+  EXPECT_EQ(TargetRingForCall(1, b), 1);
+  EXPECT_EQ(TargetRingForCall(0, b), 0);
+}
+
+// --- Processor fixtures ------------------------------------------------------
+
+class ProcessorTest : public ::testing::Test {
+ public:
+  ProcessorTest() : machine_(MachineConfig{}), cpu_(&machine_) {
+    cpu_.AttachAddressSpace(&dseg_);
+    cpu_.SetRing(kRingUser);
+  }
+
+  // Installs a fully-present segment backed by consecutive core frames.
+  void InstallSegment(SegNo segno, uint32_t pages, RingBrackets brackets, bool r, bool w,
+                      bool e, bool gate = false, uint32_t gate_entries = 0) {
+    auto table = std::make_unique<PageTable>(pages);
+    for (uint32_t p = 0; p < pages; ++p) {
+      table->entries[p].present = true;
+      table->entries[p].frame = next_frame_++;
+    }
+    SegmentDescriptor sdw;
+    sdw.valid = true;
+    sdw.page_table = table.get();
+    sdw.length_pages = pages;
+    sdw.brackets = brackets;
+    sdw.read = r;
+    sdw.write = w;
+    sdw.execute = e;
+    sdw.gate = gate;
+    sdw.gate_entries = gate_entries;
+    dseg_.Set(segno, sdw);
+    tables_.push_back(std::move(table));
+  }
+
+  Machine machine_;
+  DescriptorSegment dseg_;
+  Processor cpu_;
+  std::vector<std::unique_ptr<PageTable>> tables_;
+  FrameIndex next_frame_ = 0;
+};
+
+TEST_F(ProcessorTest, ReadWriteRoundTrip) {
+  InstallSegment(10, 2, UserBrackets(), true, true, false);
+  ASSERT_EQ(cpu_.Write(10, 1500, 0xDEADBEEF), Status::kOk);
+  auto r = cpu_.Read(10, 1500);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0xDEADBEEFu);
+}
+
+TEST_F(ProcessorTest, WriteDeniedWithoutWBit) {
+  InstallSegment(10, 1, UserBrackets(), true, false, false);
+  EXPECT_EQ(cpu_.Write(10, 0, 1), Status::kAccessDenied);
+  EXPECT_TRUE(cpu_.Read(10, 0).ok());
+}
+
+TEST_F(ProcessorTest, ReadDeniedWithoutRBit) {
+  InstallSegment(10, 1, UserBrackets(), false, true, false);
+  EXPECT_EQ(cpu_.Read(10, 0).status(), Status::kAccessDenied);
+}
+
+TEST_F(ProcessorTest, RingBracketsOverridePermissionBits) {
+  // Writable segment, but write bracket is ring 0 and we run in ring 4.
+  InstallSegment(10, 1, RingBrackets{0, 4, 4}, true, true, false);
+  EXPECT_EQ(cpu_.Write(10, 0, 1), Status::kRingViolation);
+  EXPECT_TRUE(cpu_.Read(10, 0).ok());
+}
+
+TEST_F(ProcessorTest, OutOfBoundsReference) {
+  InstallSegment(10, 2, UserBrackets(), true, true, false);
+  EXPECT_EQ(cpu_.Read(10, 2 * kPageWords).status(), Status::kOutOfRange);
+  EXPECT_EQ(cpu_.Read(kMaxSegments + 5, 0).status(), Status::kNoSuchSegment);
+}
+
+TEST_F(ProcessorTest, InvalidSdwFaultsToSink) {
+  class Activator : public FaultSink {
+   public:
+    explicit Activator(ProcessorTest* t) : test_(t) {}
+    Status HandleSegmentFault(SegNo segno) override {
+      ++count;
+      test_->InstallSegment(segno, 1, UserBrackets(), true, true, false);
+      return Status::kOk;
+    }
+    Status HandlePageFault(SegNo, PageNo, AccessMode) override { return Status::kInternal; }
+    ProcessorTest* test_;
+    int count = 0;
+  };
+  Activator sink(this);
+  cpu_.SetFaultSink(&sink);
+  EXPECT_EQ(cpu_.Write(33, 5, 7), Status::kOk);
+  EXPECT_EQ(sink.count, 1);
+  EXPECT_EQ(cpu_.segment_faults(), 1u);
+  // Second reference takes no fault.
+  EXPECT_TRUE(cpu_.Read(33, 5).ok());
+  EXPECT_EQ(sink.count, 1);
+}
+
+TEST_F(ProcessorTest, MissingPageFaultsToSink) {
+  InstallSegment(10, 1, UserBrackets(), true, true, false);
+  tables_.back()->entries[0].present = false;
+  class Pager : public FaultSink {
+   public:
+    explicit Pager(PageTable* table, FrameIndex frame) : table_(table), frame_(frame) {}
+    Status HandleSegmentFault(SegNo) override { return Status::kNoSuchSegment; }
+    Status HandlePageFault(SegNo, PageNo page, AccessMode) override {
+      ++count;
+      table_->entries[page].present = true;
+      table_->entries[page].frame = frame_;
+      return Status::kOk;
+    }
+    PageTable* table_;
+    FrameIndex frame_;
+    int count = 0;
+  };
+  Pager sink(tables_.back().get(), 99);
+  cpu_.SetFaultSink(&sink);
+  EXPECT_EQ(cpu_.Write(10, 3, 11), Status::kOk);
+  EXPECT_EQ(sink.count, 1);
+  EXPECT_EQ(cpu_.page_faults(), 1u);
+  EXPECT_EQ(machine_.core().ReadWord(99, 3), 11u);
+}
+
+TEST_F(ProcessorTest, UsedAndModifiedBitsMaintained) {
+  InstallSegment(10, 1, UserBrackets(), true, true, false);
+  PageTable* table = tables_.back().get();
+  EXPECT_FALSE(table->entries[0].used);
+  EXPECT_TRUE(cpu_.Read(10, 0).ok());
+  EXPECT_TRUE(table->entries[0].used);
+  EXPECT_FALSE(table->entries[0].modified);
+  EXPECT_EQ(cpu_.Write(10, 0, 1), Status::kOk);
+  EXPECT_TRUE(table->entries[0].modified);
+}
+
+TEST_F(ProcessorTest, IntraRingCallKeepsRing) {
+  InstallSegment(20, 1, UserBrackets(), true, false, true);
+  ASSERT_EQ(cpu_.Call(20, 0), Status::kOk);
+  EXPECT_EQ(cpu_.ring(), kRingUser);
+  EXPECT_EQ(cpu_.intra_ring_calls(), 1u);
+  ASSERT_EQ(cpu_.Return(), Status::kOk);
+  EXPECT_EQ(cpu_.ring(), kRingUser);
+}
+
+TEST_F(ProcessorTest, GateCallSwitchesRingAndReturnRestores) {
+  InstallSegment(20, 1, KernelGateBrackets(kRingUser), false, false, true, /*gate=*/true,
+                 /*gate_entries=*/4);
+  ASSERT_EQ(cpu_.Call(20, 2), Status::kOk);
+  EXPECT_EQ(cpu_.ring(), kRingKernel);
+  EXPECT_EQ(cpu_.cross_ring_calls(), 1u);
+  ASSERT_EQ(cpu_.Return(), Status::kOk);
+  EXPECT_EQ(cpu_.ring(), kRingUser);
+}
+
+TEST_F(ProcessorTest, CallAboveGateEntriesRejected) {
+  InstallSegment(20, 1, KernelGateBrackets(kRingUser), false, false, true, true, 4);
+  EXPECT_EQ(cpu_.Call(20, 4), Status::kNotAGate);
+  EXPECT_EQ(cpu_.ring(), kRingUser);
+}
+
+TEST_F(ProcessorTest, CallToNonGateInnerSegmentRejected) {
+  // Brackets admit ring-4 callers, but the segment is not flagged as a gate.
+  InstallSegment(20, 1, KernelGateBrackets(kRingUser), false, false, true, /*gate=*/false);
+  EXPECT_EQ(cpu_.Call(20, 0), Status::kNotAGate);
+}
+
+TEST_F(ProcessorTest, CallCompletelyOutsideBracketsIsRingViolation) {
+  InstallSegment(20, 1, KernelPrivateBrackets(), false, false, true);
+  EXPECT_EQ(cpu_.Call(20, 0), Status::kRingViolation);
+}
+
+TEST_F(ProcessorTest, CallBeyondGateLimitRejected) {
+  InstallSegment(20, 1, KernelGateBrackets(/*callers=*/2), false, false, true, true, 4);
+  cpu_.SetRing(4);
+  EXPECT_EQ(cpu_.Call(20, 0), Status::kRingViolation);
+}
+
+TEST_F(ProcessorTest, ReturnWithoutCallFails) {
+  EXPECT_EQ(cpu_.Return(), Status::kFailedPrecondition);
+}
+
+TEST_F(ProcessorTest, CallDepthIsBounded) {
+  InstallSegment(20, 1, UserBrackets(), true, false, true);
+  for (uint32_t i = 0; i < Processor::kMaxCallDepth; ++i) {
+    ASSERT_EQ(cpu_.Call(20, 0), Status::kOk) << i;
+  }
+  EXPECT_EQ(cpu_.Call(20, 0), Status::kResourceExhausted);
+  // Unwinding restores service.
+  ASSERT_EQ(cpu_.Return(), Status::kOk);
+  EXPECT_EQ(cpu_.Call(20, 0), Status::kOk);
+}
+
+TEST_F(ProcessorTest, NestedCallsUnwindCorrectly) {
+  InstallSegment(20, 1, KernelGateBrackets(kRingUser), false, false, true, true, 8);
+  InstallSegment(21, 1, KernelPrivateBrackets(), true, false, true);
+  ASSERT_EQ(cpu_.Call(20, 0), Status::kOk);  // 4 -> 0 through gate.
+  ASSERT_EQ(cpu_.Call(21, 0), Status::kOk);  // 0 -> 0 intra-ring.
+  EXPECT_EQ(cpu_.ring(), kRingKernel);
+  EXPECT_EQ(cpu_.call_depth(), 2u);
+  ASSERT_EQ(cpu_.Return(), Status::kOk);
+  EXPECT_EQ(cpu_.ring(), kRingKernel);
+  ASSERT_EQ(cpu_.Return(), Status::kOk);
+  EXPECT_EQ(cpu_.ring(), kRingUser);
+}
+
+TEST_F(ProcessorTest, HardwareCrossRingCallCostsSameAsIntraRing) {
+  InstallSegment(20, 1, UserBrackets(), true, false, true);
+  InstallSegment(21, 1, KernelGateBrackets(kRingUser), false, false, true, true, 4);
+
+  Cycles before = machine_.clock().now();
+  ASSERT_EQ(cpu_.Call(20, 0), Status::kOk);
+  Cycles intra = machine_.clock().now() - before;
+  ASSERT_EQ(cpu_.Return(), Status::kOk);
+
+  before = machine_.clock().now();
+  ASSERT_EQ(cpu_.Call(21, 0), Status::kOk);
+  Cycles cross = machine_.clock().now() - before;
+  EXPECT_EQ(cross, intra);  // The paper's 6180 claim, literally.
+}
+
+TEST_F(ProcessorTest, SoftwareCrossRingCallCostsMuchMore) {
+  machine_.set_ring_mode(RingMode::kSoftware645);
+  InstallSegment(20, 1, UserBrackets(), true, false, true);
+  InstallSegment(21, 1, KernelGateBrackets(kRingUser), false, false, true, true, 4);
+
+  Cycles before = machine_.clock().now();
+  ASSERT_EQ(cpu_.Call(20, 0), Status::kOk);
+  Cycles intra = machine_.clock().now() - before;
+  ASSERT_EQ(cpu_.Return(), Status::kOk);
+
+  before = machine_.clock().now();
+  ASSERT_EQ(cpu_.Call(21, 0, /*arg_words=*/8), Status::kOk);
+  Cycles cross = machine_.clock().now() - before;
+  EXPECT_GT(cross, 10 * intra);  // The 645 penalty that shaped the old supervisor.
+}
+
+TEST_F(ProcessorTest, OutwardCallFaultsByDefault) {
+  InstallSegment(20, 1, UserBrackets(), true, false, true);
+  cpu_.SetRing(1);
+  EXPECT_EQ(cpu_.Call(20, 0), Status::kRingViolation);
+  cpu_.set_allow_outward_calls(true);
+  EXPECT_EQ(cpu_.Call(20, 0), Status::kOk);
+  EXPECT_EQ(cpu_.ring(), kRingUser);
+}
+
+// --- Core memory -------------------------------------------------------------
+
+TEST(CoreMemoryTest, PageTransferRoundTrip) {
+  CoreMemory core(4);
+  std::vector<Word> page(kPageWords);
+  for (uint32_t i = 0; i < kPageWords; ++i) {
+    page[i] = i * 3;
+  }
+  core.WritePage(2, page);
+  std::vector<Word> out;
+  core.ReadPage(2, out);
+  EXPECT_EQ(out, page);
+  core.ZeroPage(2);
+  EXPECT_EQ(core.ReadWord(2, 100), 0u);
+}
+
+// --- Interrupt controller ----------------------------------------------------
+
+TEST(InterruptTest, FifoDispatch) {
+  InterruptController ic(8);
+  ASSERT_EQ(ic.Assert(3, 111), Status::kOk);
+  ASSERT_EQ(ic.Assert(5, 222), Status::kOk);
+  InterruptEvent ev;
+  ASSERT_TRUE(ic.TakePending(&ev));
+  EXPECT_EQ(ev.line, 3u);
+  EXPECT_EQ(ev.payload, 111u);
+  ASSERT_TRUE(ic.TakePending(&ev));
+  EXPECT_EQ(ev.line, 5u);
+  EXPECT_FALSE(ic.TakePending(&ev));
+}
+
+TEST(InterruptTest, MaskingDefersDispatch) {
+  InterruptController ic(8);
+  ic.SetMasked(true);
+  ASSERT_EQ(ic.Assert(1), Status::kOk);
+  InterruptEvent ev;
+  EXPECT_FALSE(ic.TakePending(&ev));
+  ic.SetMasked(false);
+  EXPECT_TRUE(ic.TakePending(&ev));
+}
+
+TEST(InterruptTest, BadLineRejected) {
+  InterruptController ic(4);
+  EXPECT_EQ(ic.Assert(4), Status::kInvalidArgument);
+}
+
+TEST(InterruptTest, AssertHookFires) {
+  InterruptController ic(4);
+  int hooks = 0;
+  ic.SetAssertHook([&] { ++hooks; });
+  ASSERT_EQ(ic.Assert(0), Status::kOk);
+  EXPECT_EQ(hooks, 1);
+  ic.SetMasked(true);
+  ASSERT_EQ(ic.Assert(0), Status::kOk);
+  EXPECT_EQ(hooks, 1);  // Masked asserts do not hook.
+}
+
+}  // namespace
+}  // namespace multics

@@ -1,0 +1,150 @@
+// Tests for system initialization: the stepwise bootstrap, the memory-image
+// generate/load path, and the E8 relationship between them.
+
+#include <gtest/gtest.h>
+
+#include "src/init/image.h"
+
+namespace multics {
+namespace {
+
+KernelParams TestParams() {
+  KernelParams params;
+  params.config = KernelConfiguration::Kernelized6180();
+  params.machine.core_frames = 128;
+  return params;
+}
+
+TEST(BootstrapTest, BuildsAFunctioningSystem) {
+  Kernel kernel(TestParams());
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  auto report = Bootstrap::Run(kernel, options);
+  ASSERT_TRUE(report.ok()) << StatusName(report.status());
+  EXPECT_GT(report->privileged_steps, 15u);
+  EXPECT_GT(report->ring0_cycles, 5000u);
+
+  // The skeleton exists and users are registered.
+  EXPECT_TRUE(kernel.hierarchy().ResolvePath(Path::Parse(">udd>Faculty>Jones").value()).ok());
+  EXPECT_TRUE(
+      kernel.hierarchy().ResolvePath(Path::Parse(">system_library>math_").value()).ok());
+  EXPECT_TRUE(kernel.CheckPassword("Jones", "Faculty", "j0nespw").ok());
+  EXPECT_FALSE(kernel.CheckPassword("Jones", "Faculty", "nope").ok());
+
+  // Project quota is in force.
+  auto project =
+      kernel.hierarchy().ResolvePath(Path::Parse(">udd>Faculty").value());
+  ASSERT_TRUE(project.ok());
+  EXPECT_EQ(kernel.store().Get(project.value()).value()->quota_pages, 64u);
+}
+
+TEST(BootstrapTest, IsIdempotentPerKernel) {
+  Kernel kernel(TestParams());
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  ASSERT_TRUE(Bootstrap::Run(kernel, options).ok());
+  // A second run fails cleanly on the existing hierarchy (no damage).
+  auto second = Bootstrap::Run(kernel, options);
+  EXPECT_FALSE(second.ok());
+  EXPECT_TRUE(kernel.hierarchy().ResolvePath(Path::Parse(">udd").value()).ok());
+}
+
+TEST(MemoryImageTest, GenerateCapturesTheSystem) {
+  Kernel donor(TestParams());
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  ASSERT_TRUE(Bootstrap::Run(donor, options).ok());
+
+  auto image = MemoryImage::Generate(donor);
+  ASSERT_TRUE(image.ok()) << StatusName(image.status());
+  EXPECT_GT(image->directory_count(), 5u);
+  EXPECT_GE(image->segment_count(), 2u);  // math_, fmt_.
+  EXPECT_EQ(image->users.size(), DefaultUsers().size());
+  EXPECT_GT(image->ApproxBytes(), 1000u);
+}
+
+TEST(MemoryImageTest, LoadManifestsAnEquivalentSystem) {
+  Kernel donor(TestParams());
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  auto donor_report = Bootstrap::Run(donor, options);
+  ASSERT_TRUE(donor_report.ok());
+  auto image = MemoryImage::Generate(donor);
+  ASSERT_TRUE(image.ok());
+
+  Kernel fresh(TestParams());
+  auto load_report = MemoryImage::Load(fresh, image.value());
+  ASSERT_TRUE(load_report.ok()) << StatusName(load_report.status());
+
+  // E8's shape: far fewer privileged steps than the bootstrap.
+  EXPECT_LT(load_report->privileged_steps, donor_report->privileged_steps / 3);
+
+  // The loaded system is functionally the same: paths resolve, users can
+  // authenticate, and the library object segments carry identical bits.
+  for (const char* path : {">udd>Faculty>Jones", ">udd>Students>Doe", ">system_library>fmt_"}) {
+    EXPECT_TRUE(fresh.hierarchy().ResolvePath(Path::Parse(path).value()).ok()) << path;
+  }
+  EXPECT_TRUE(fresh.CheckPassword("Mitre", "Audit", "m1trepw").ok());
+
+  auto donor_math =
+      donor.hierarchy().ResolvePath(Path::Parse(">system_library>math_").value());
+  auto fresh_math =
+      fresh.hierarchy().ResolvePath(Path::Parse(">system_library>math_").value());
+  ASSERT_TRUE(donor_math.ok() && fresh_math.ok());
+  for (WordOffset offset = 0; offset < 2 * kPageWords; offset += 17) {
+    auto a = donor.DumpReadWord(donor_math.value(), offset);
+    auto b = fresh.DumpReadWord(fresh_math.value(), offset);
+    if (!a.ok() || !b.ok()) {
+      EXPECT_EQ(a.status(), b.status());
+      break;
+    }
+    EXPECT_EQ(a.value(), b.value()) << "offset " << offset;
+  }
+
+  // ACLs travelled with the image: Jones' home is appendable by Jones only.
+  auto home = fresh.hierarchy().ResolvePath(Path::Parse(">udd>Faculty>Jones").value());
+  ASSERT_TRUE(home.ok());
+  const Branch* branch = fresh.store().Get(home.value()).value();
+  EXPECT_EQ(branch->acl.EffectiveModes({"Jones", "Faculty", "a"}),
+            kDirStatus | kDirModify | kDirAppend);
+  EXPECT_EQ(branch->acl.EffectiveModes({"Doe", "Students", "a"}), kDirStatus);
+}
+
+TEST(MemoryImageTest, LoadedSystemRunsUserWork) {
+  Kernel donor(TestParams());
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  ASSERT_TRUE(Bootstrap::Run(donor, options).ok());
+  auto image = MemoryImage::Generate(donor);
+  ASSERT_TRUE(image.ok());
+
+  Kernel fresh(TestParams());
+  ASSERT_TRUE(MemoryImage::Load(fresh, image.value()).ok());
+
+  // A user logs in (via the registry) and does real segment work.
+  auto clearance = fresh.CheckPassword("Jones", "Faculty", "j0nespw");
+  ASSERT_TRUE(clearance.ok());
+  auto user = fresh.BootstrapProcess("jones", Principal{"Jones", "Faculty", "a"},
+                                     clearance.value());
+  ASSERT_TRUE(user.ok());
+  auto root = fresh.RootDir(*user.value());
+  ASSERT_TRUE(root.ok());
+  auto udd = fresh.Initiate(*user.value(), root.value(), "udd");
+  ASSERT_TRUE(udd.ok());
+  auto faculty = fresh.Initiate(*user.value(), udd->segno, "Faculty");
+  ASSERT_TRUE(faculty.ok());
+  auto home = fresh.Initiate(*user.value(), faculty->segno, "Jones");
+  ASSERT_TRUE(home.ok());
+  SegmentAttributes attrs;
+  attrs.acl.Set(AclEntry{"Jones", "Faculty", "*", kModeRead | kModeWrite});
+  ASSERT_TRUE(fresh.FsCreateSegment(*user.value(), home->segno, "notes", attrs).ok());
+  auto notes = fresh.Initiate(*user.value(), home->segno, "notes");
+  ASSERT_TRUE(notes.ok());
+  ASSERT_EQ(fresh.SegSetLength(*user.value(), notes->segno, 1), Status::kOk);
+  ASSERT_EQ(fresh.RunAs(*user.value()), Status::kOk);
+  ASSERT_EQ(fresh.cpu().Write(notes->segno, 0, 42), Status::kOk);
+  EXPECT_EQ(fresh.cpu().Read(notes->segno, 0).value(), 42u);
+}
+
+}  // namespace
+}  // namespace multics

@@ -1,0 +1,254 @@
+// Tests for the object-segment format and the host-neutral dynamic linker,
+// including the validate/trust distinction at the heart of experiment E10.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/link/linker.h"
+#include "src/link/object_format.h"
+
+namespace multics {
+namespace {
+
+// --- Name packing -------------------------------------------------------------
+
+TEST(PackNameTest, RoundTrip) {
+  for (const std::string& name :
+       {std::string("a"), std::string("sqrt"), std::string("a_name_that_is_quite_long_32ch")}) {
+    Word packed[kPackedNameWords];
+    PackName(name, packed);
+    EXPECT_EQ(UnpackName(packed), name);
+  }
+}
+
+TEST(PackNameTest, TruncatesAt32) {
+  Word packed[kPackedNameWords];
+  PackName(std::string(40, 'x'), packed);
+  EXPECT_EQ(UnpackName(packed), std::string(32, 'x'));
+}
+
+// --- Builder + reader over a flat image ------------------------------------------
+
+WordReader FlatReader(const std::vector<Word>& image) {
+  return [&image](WordOffset offset) -> Result<Word> {
+    if (offset >= image.size()) {
+      return Status::kOutOfRange;
+    }
+    return image[offset];
+  };
+}
+
+TEST(ObjectFormatTest, BuildAndReadBack) {
+  std::vector<Word> image = ObjectBuilder()
+                                .SetText({1, 2, 3, 4})
+                                .AddSymbol("alpha", 0)
+                                .AddSymbol("beta", 2)
+                                .AddLink("other_", "gamma")
+                                .SetEntryBound(2)
+                                .Build();
+  auto header = ObjectReader::ReadHeader(FlatReader(image),
+                                         static_cast<uint32_t>(image.size()), true);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->text_length, 4u);
+  EXPECT_EQ(header->defs_count, 2u);
+  EXPECT_EQ(header->links_count, 1u);
+  EXPECT_EQ(header->entry_bound, 2u);
+
+  auto defs = ObjectReader::ReadDefs(FlatReader(image), header.value());
+  ASSERT_TRUE(defs.ok());
+  ASSERT_EQ(defs->size(), 2u);
+  EXPECT_EQ((*defs)[0].name, "alpha");
+  EXPECT_EQ((*defs)[1].value, 2u);
+  EXPECT_EQ(ObjectReader::FindSymbol(defs.value(), "beta").value(), 2u);
+  EXPECT_EQ(ObjectReader::FindSymbol(defs.value(), "nope").status(), Status::kSymbolNotFound);
+
+  auto link = ObjectReader::ReadLink(FlatReader(image), header.value(), 0);
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(link->target_segment, "other_");
+  EXPECT_EQ(link->target_symbol, "gamma");
+  EXPECT_FALSE(link->snapped);
+}
+
+TEST(ObjectFormatTest, BadMagicRejectedInBothModes) {
+  std::vector<Word> image = ObjectBuilder().SetText({1}).Build();
+  image[0] = 0xBAD;
+  EXPECT_EQ(ObjectReader::ReadHeader(FlatReader(image), image.size(), true).status(),
+            Status::kBadObjectFormat);
+  EXPECT_EQ(ObjectReader::ReadHeader(FlatReader(image), image.size(), false).status(),
+            Status::kBadObjectFormat);
+}
+
+TEST(ObjectFormatTest, ValidatingModeCatchesWildOffsets) {
+  std::vector<Word> image = ObjectBuilder().SetText({1}).AddSymbol("s", 0).Build();
+  image[3] = 1'000'000;  // defs_offset far past the segment.
+  EXPECT_EQ(ObjectReader::ReadHeader(FlatReader(image), image.size(), true).status(),
+            Status::kBadObjectFormat);
+  // Trusting mode accepts the header — the fault comes later, elsewhere.
+  EXPECT_TRUE(ObjectReader::ReadHeader(FlatReader(image), image.size(), false).ok());
+}
+
+TEST(ObjectFormatTest, WriteSnappedUpdatesRecord) {
+  std::vector<Word> image = ObjectBuilder().SetText({0}).AddLink("t_", "sym").Build();
+  auto header = ObjectReader::ReadHeader(FlatReader(image), image.size(), true);
+  ASSERT_TRUE(header.ok());
+  WordWriter writer = [&image](WordOffset offset, Word value) -> Status {
+    if (offset >= image.size()) {
+      return Status::kOutOfRange;
+    }
+    image[offset] = value;
+    return Status::kOk;
+  };
+  ASSERT_EQ(ObjectReader::WriteSnapped(writer, header.value(), 0, 77, 123), Status::kOk);
+  auto link = ObjectReader::ReadLink(FlatReader(image), header.value(), 0);
+  ASSERT_TRUE(link.ok());
+  EXPECT_TRUE(link->snapped);
+  EXPECT_EQ(link->snapped_segno, 77u);
+  EXPECT_EQ(link->snapped_offset, 123u);
+}
+
+// --- Linker over an in-memory environment --------------------------------------
+
+class MapLinkEnv : public LinkageEnvironment {
+ public:
+  SegNo AddSegment(const std::string& name, std::vector<Word> image) {
+    SegNo segno = next_++;
+    segments_[segno] = std::move(image);
+    names_[name] = segno;
+    return segno;
+  }
+
+  Result<SegNo> FindSegment(const std::string& name) override {
+    auto it = names_.find(name);
+    if (it == names_.end()) {
+      return Status::kNotFound;
+    }
+    return it->second;
+  }
+  Result<Word> ReadWord(SegNo segno, WordOffset offset) override {
+    auto it = segments_.find(segno);
+    if (it == segments_.end()) {
+      return Status::kNoSuchSegment;
+    }
+    if (offset >= it->second.size()) {
+      return Status::kOutOfRange;
+    }
+    return it->second[offset];
+  }
+  Status WriteWord(SegNo segno, WordOffset offset, Word value) override {
+    auto it = segments_.find(segno);
+    if (it == segments_.end()) {
+      return Status::kNoSuchSegment;
+    }
+    if (offset >= it->second.size()) {
+      return Status::kOutOfRange;
+    }
+    it->second[offset] = value;
+    return Status::kOk;
+  }
+  Result<uint32_t> SegmentLengthWords(SegNo segno) override {
+    auto it = segments_.find(segno);
+    if (it == segments_.end()) {
+      return Status::kNoSuchSegment;
+    }
+    return static_cast<uint32_t>(it->second.size());
+  }
+
+ private:
+  std::map<SegNo, std::vector<Word>> segments_;
+  std::map<std::string, SegNo> names_;
+  SegNo next_ = 100;
+};
+
+TEST(LinkerTest, SnapAllResolvesSymbols) {
+  MapLinkEnv env;
+  env.AddSegment("math_", ObjectBuilder()
+                              .SetText(std::vector<Word>(32, 7))
+                              .AddSymbol("sqrt", 10)
+                              .AddSymbol("exp", 20)
+                              .Build());
+  SegNo math = env.FindSegment("math_").value();
+  SegNo app = env.AddSegment("app", ObjectBuilder()
+                                        .SetText({1, 2, 3})
+                                        .AddLink("math_", "sqrt")
+                                        .AddLink("math_", "exp")
+                                        .Build());
+  Linker linker(&env, true);
+  auto result = linker.SnapAll(app);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->snapped, 2u);
+  EXPECT_EQ(result->already_snapped, 0u);
+
+  // Re-snapping finds everything already snapped.
+  auto again = linker.SnapAll(app);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->snapped, 0u);
+  EXPECT_EQ(again->already_snapped, 2u);
+
+  auto one = linker.SnapOne(app, 0);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->first, math);
+  EXPECT_EQ(one->second, 10u);
+}
+
+TEST(LinkerTest, MissingSymbolReported) {
+  MapLinkEnv env;
+  env.AddSegment("math_", ObjectBuilder().SetText({0}).AddSymbol("sqrt", 1).Build());
+  SegNo app =
+      env.AddSegment("app", ObjectBuilder().SetText({0}).AddLink("math_", "log").Build());
+  Linker linker(&env, true);
+  EXPECT_EQ(linker.SnapAll(app).status(), Status::kSymbolNotFound);
+}
+
+TEST(LinkerTest, MissingSegmentReported) {
+  MapLinkEnv env;
+  SegNo app =
+      env.AddSegment("app", ObjectBuilder().SetText({0}).AddLink("ghost_", "x").Build());
+  Linker linker(&env, true);
+  EXPECT_EQ(linker.SnapAll(app).status(), Status::kNotFound);
+}
+
+TEST(LinkerTest, TrustingLinkerTakesWildReferences) {
+  MapLinkEnv env;
+  std::vector<Word> image = ObjectBuilder().SetText({0}).AddLink("m_", "x").Build();
+  image[5] = 500'000;  // links_offset beyond the segment.
+  SegNo app = env.AddSegment("app", std::move(image));
+
+  Linker trusting(&env, false);
+  EXPECT_FALSE(trusting.SnapAll(app).ok());
+  EXPECT_GT(trusting.wild_references(), 0u);  // It reached out of bounds.
+
+  Linker validating(&env, true);
+  EXPECT_EQ(validating.SnapAll(app).status(), Status::kBadObjectFormat);
+  EXPECT_EQ(validating.wild_references(), 0u);  // Rejected before any access.
+}
+
+TEST(LinkerFuzzTest, ValidatingLinkerNeverTakesWildReferences) {
+  Rng rng(20260706);
+  MapLinkEnv env;
+  env.AddSegment("math_", ObjectBuilder().SetText({0}).AddSymbol("sqrt", 1).Build());
+  const std::vector<Word> good = ObjectBuilder()
+                                     .SetText(std::vector<Word>(16, 3))
+                                     .AddSymbol("main", 0)
+                                     .AddLink("math_", "sqrt")
+                                     .Build();
+  uint64_t trusting_wild = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Word> corrupt = CorruptObjectImage(good, rng);
+    SegNo app = env.AddSegment("app" + std::to_string(trial), corrupt);
+
+    Linker validating(&env, true);
+    (void)validating.SnapAll(app);
+    EXPECT_EQ(validating.wild_references(), 0u) << "trial " << trial;
+
+    SegNo app2 = env.AddSegment("app2_" + std::to_string(trial), corrupt);
+    Linker trusting(&env, false);
+    (void)trusting.SnapAll(app2);
+    trusting_wild += trusting.wild_references();
+  }
+  // The trusting linker, over the same corpus, blunders out of bounds often.
+  EXPECT_GT(trusting_wild, 20u);
+}
+
+}  // namespace
+}  // namespace multics

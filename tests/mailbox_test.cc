@@ -1,0 +1,156 @@
+// Tests for the mutual-consent mailbox: membership-by-ACL, send/receive,
+// growth, the guarded-channel property, and the paper's exposure argument —
+// a hostile member can hurt the group, never outsiders.
+
+#include <gtest/gtest.h>
+
+#include "src/init/bootstrap.h"
+#include "src/userring/initiator.h"
+#include "src/userring/mailbox.h"
+
+namespace multics {
+namespace {
+
+class MailboxTest : public ::testing::Test {
+ protected:
+  MailboxTest() {
+    KernelParams params;
+    params.config = KernelConfiguration::Kernelized6180();
+    params.machine.core_frames = 128;
+    kernel_ = std::make_unique<Kernel>(params);
+    BootstrapOptions options;
+    options.users = DefaultUsers();
+    CHECK(Bootstrap::Run(*kernel_, options).ok());
+    MlsLabel secret1{SensitivityLevel::kSecret, CategorySet::Of({1})};
+    jones_ = Make("Jones", "Faculty", secret1);
+    smith_ = Make("Smith", "Faculty", secret1);
+    doe_ = Make("Doe", "Students", MlsLabel::SystemLow());
+
+    // The team room: a secret:{1} directory both Faculty members can use.
+    UserInitiator initiator(kernel_.get(), jones_);
+    auto home = initiator.InitiateDirPath(">udd>Faculty>Jones");
+    CHECK(home.ok());
+    dir_ = home.value();
+  }
+
+  Process* Make(const std::string& person, const std::string& project,
+                const MlsLabel& clearance) {
+    auto process =
+        kernel_->BootstrapProcess(person, Principal{person, project, "a"}, clearance);
+    CHECK(process.ok());
+    return process.value();
+  }
+
+  SegNo DirFor(Process* process) {
+    UserInitiator initiator(kernel_.get(), process);
+    auto home = initiator.InitiateDirPath(">udd>Faculty>Jones");
+    CHECK(home.ok()) << StatusName(home.status());
+    return home.value();
+  }
+
+  std::unique_ptr<Kernel> kernel_;
+  Process* jones_ = nullptr;
+  Process* smith_ = nullptr;
+  Process* doe_ = nullptr;
+  SegNo dir_ = kInvalidSegNo;
+};
+
+TEST_F(MailboxTest, SendAndReceiveAmongMembers) {
+  auto box = Mailbox::Create(kernel_.get(), jones_, dir_, "team_mbx",
+                             {{"Jones", "Faculty", "a"}, {"Smith", "Faculty", "a"}});
+  ASSERT_TRUE(box.ok()) << StatusName(box.status());
+  ASSERT_EQ(box->Send("design review at 1400"), Status::kOk);
+
+  auto smith_box = Mailbox::Open(kernel_.get(), smith_, DirFor(smith_), "team_mbx");
+  ASSERT_TRUE(smith_box.ok()) << StatusName(smith_box.status());
+  auto messages = smith_box->ReadNew();
+  ASSERT_TRUE(messages.ok());
+  ASSERT_EQ(messages->size(), 1u);
+  EXPECT_EQ((*messages)[0].sender, "Jones.Faculty.a");
+  EXPECT_EQ((*messages)[0].text, "design review at 1400");
+
+  // Replies flow the other way; each handle has its own cursor.
+  ASSERT_EQ(smith_box->Send("ack"), Status::kOk);
+  auto at_jones = box->ReadNew();
+  ASSERT_TRUE(at_jones.ok());
+  ASSERT_EQ(at_jones->size(), 2u);  // Sees own message + the reply.
+  EXPECT_EQ((*at_jones)[1].text, "ack");
+  EXPECT_FALSE(box->HasNew().value());
+}
+
+TEST_F(MailboxTest, NonMemberShutOutByAcl) {
+  auto box = Mailbox::Create(kernel_.get(), jones_, dir_, "team_mbx",
+                             {{"Jones", "Faculty", "a"}, {"Smith", "Faculty", "a"}});
+  ASSERT_TRUE(box.ok());
+  // Doe gets only an opaque handle on the secret directory; the first
+  // lookup through it — opening the mailbox — is where the monitor says no.
+  UserInitiator initiator(kernel_.get(), doe_);
+  auto dir = initiator.InitiateDirPath(">udd>Faculty>Jones");
+  ASSERT_TRUE(dir.ok());
+  auto open = Mailbox::Open(kernel_.get(), doe_, dir.value(), "team_mbx");
+  EXPECT_FALSE(open.ok());
+  EXPECT_EQ(open.status(), Status::kMlsReadViolation);  // Can't even see names.
+}
+
+TEST_F(MailboxTest, WakeupRequiresWriteOnGuard) {
+  auto box = Mailbox::Create(kernel_.get(), jones_, dir_, "team_mbx",
+                             {{"Jones", "Faculty", "a"}});
+  ASSERT_TRUE(box.ok());
+  // Smith is not on this box's ACL: the channel's guard stops the wakeup.
+  EXPECT_EQ(kernel_->IpcWakeup(*smith_, box->channel(), 1), Status::kAccessDenied);
+  // And for Jones it sails through.
+  EXPECT_EQ(kernel_->IpcWakeup(*jones_, box->channel(), 1), Status::kOk);
+}
+
+TEST_F(MailboxTest, GrowsAcrossPages) {
+  auto box = Mailbox::Create(kernel_.get(), jones_, dir_, "big_mbx",
+                             {{"Jones", "Faculty", "a"}});
+  ASSERT_TRUE(box.ok());
+  // 40 records x 32 words = 1280 words > one page.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_EQ(box->Send("message number " + std::to_string(i)), Status::kOk) << i;
+  }
+  auto messages = box->ReadNew();
+  ASSERT_TRUE(messages.ok());
+  ASSERT_EQ(messages->size(), 40u);
+  EXPECT_EQ((*messages)[39].text, "message number 39");
+}
+
+TEST_F(MailboxTest, OversizeMessageRejectedLocally) {
+  auto box = Mailbox::Create(kernel_.get(), jones_, dir_, "mbx",
+                             {{"Jones", "Faculty", "a"}});
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box->Send(std::string(Mailbox::kMaxTextBytes + 1, 'x')),
+            Status::kInvalidArgument);
+}
+
+TEST_F(MailboxTest, HostileMemberDamageIsBounded) {
+  // The paper: agreeing to a mutual mechanism exposes you to its members —
+  // and to nothing else. Smith (a member) corrupts the mailbox header.
+  auto box = Mailbox::Create(kernel_.get(), jones_, dir_, "team_mbx",
+                             {{"Jones", "Faculty", "a"}, {"Smith", "Faculty", "a"}});
+  ASSERT_TRUE(box.ok());
+  ASSERT_EQ(box->Send("legit"), Status::kOk);
+
+  auto smith_box = Mailbox::Open(kernel_.get(), smith_, DirFor(smith_), "team_mbx");
+  ASSERT_TRUE(smith_box.ok());
+  ASSERT_EQ(kernel_->RunAs(*smith_), Status::kOk);
+  // Vandalism: clobber the message counter. Members can do this — that is
+  // the consent they gave.
+  ASSERT_EQ(kernel_->cpu().Write(smith_box->segno(), 0, 0), Status::kOk);
+
+  // The group's mailbox is now confused (denial within the group)...
+  EXPECT_FALSE(box->HasNew().value());
+
+  // ...but nothing outside the consenting group was touched: Jones' other
+  // segments are intact and the kernel recorded no unauthorized grant.
+  SegmentAttributes attrs;
+  attrs.acl.Set(AclEntry{"Jones", "Faculty", "*", kModeRead | kModeWrite});
+  ASSERT_TRUE(kernel_->FsCreateSegment(*jones_, dir_, "private_notes", attrs).ok());
+  auto notes = kernel_->Initiate(*smith_, DirFor(smith_), "private_notes");
+  EXPECT_EQ(notes.status(), Status::kAccessDenied);
+  EXPECT_EQ(kernel_->kernel_faults(), 0u);
+}
+
+}  // namespace
+}  // namespace multics

@@ -1,0 +1,568 @@
+// Tests for the memory hierarchy: devices, core map, replacement policies,
+// the two page-control designs, and the policy/mechanism gate split.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hw/machine.h"
+#include "src/mem/active_segment.h"
+#include "src/mem/core_map.h"
+#include "src/mem/page_control_parallel.h"
+#include "src/mem/page_control_sequential.h"
+#include "src/mem/paging_device.h"
+#include "src/mem/policy_gate.h"
+#include "src/mem/replacement.h"
+
+namespace multics {
+namespace {
+
+std::vector<Word> PatternPage(Word tag) {
+  std::vector<Word> page(kPageWords);
+  for (uint32_t i = 0; i < kPageWords; ++i) {
+    page[i] = tag * 100000 + i;
+  }
+  return page;
+}
+
+// --- PagingDevice -------------------------------------------------------------
+
+class PagingDeviceTest : public ::testing::Test {
+ protected:
+  PagingDeviceTest() : machine_(MachineConfig{}), dev_("test", 8, 1000, 1000, &machine_) {}
+  Machine machine_;
+  PagingDevice dev_;
+};
+
+TEST_F(PagingDeviceTest, AllocateFreeRoundTrip) {
+  EXPECT_EQ(dev_.free_pages(), 8u);
+  auto a = dev_.Allocate();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(dev_.free_pages(), 7u);
+  EXPECT_EQ(dev_.Free(a.value()), Status::kOk);
+  EXPECT_EQ(dev_.free_pages(), 8u);
+}
+
+TEST_F(PagingDeviceTest, ExhaustionReported) {
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(dev_.Allocate().ok());
+  }
+  EXPECT_TRUE(dev_.Full());
+  EXPECT_EQ(dev_.Allocate().status(), Status::kResourceExhausted);
+}
+
+TEST_F(PagingDeviceTest, SyncTransferAdvancesClock) {
+  auto addr = dev_.Allocate();
+  ASSERT_TRUE(addr.ok());
+  Cycles before = machine_.clock().now();
+  ASSERT_EQ(dev_.WriteSync(addr.value(), PatternPage(1)), Status::kOk);
+  Cycles elapsed = machine_.clock().now() - before;
+  EXPECT_GE(elapsed, 1000u);  // Latency plus start overhead.
+
+  std::vector<Word> out;
+  ASSERT_EQ(dev_.ReadSync(addr.value(), &out), Status::kOk);
+  EXPECT_EQ(out, PatternPage(1));
+}
+
+TEST_F(PagingDeviceTest, UnwrittenSlotReadsZeros) {
+  auto addr = dev_.Allocate();
+  ASSERT_TRUE(addr.ok());
+  std::vector<Word> out;
+  ASSERT_EQ(dev_.ReadSync(addr.value(), &out), Status::kOk);
+  EXPECT_EQ(out, std::vector<Word>(kPageWords, 0));
+}
+
+TEST_F(PagingDeviceTest, AsyncCompletionViaEvents) {
+  auto addr = dev_.Allocate();
+  ASSERT_TRUE(addr.ok());
+  bool wrote = false;
+  dev_.WriteAsync(addr.value(), PatternPage(7), [&](Status st) {
+    EXPECT_EQ(st, Status::kOk);
+    wrote = true;
+  });
+  EXPECT_FALSE(wrote);  // Not complete until events run.
+  machine_.events().RunUntilIdle();
+  EXPECT_TRUE(wrote);
+
+  bool read = false;
+  dev_.ReadAsync(addr.value(), [&](Status st, std::vector<Word> data) {
+    EXPECT_EQ(st, Status::kOk);
+    EXPECT_EQ(data, PatternPage(7));
+    read = true;
+  });
+  machine_.events().RunUntilIdle();
+  EXPECT_TRUE(read);
+}
+
+TEST_F(PagingDeviceTest, TransfersSerializeOnTheDevice) {
+  auto a = dev_.Allocate();
+  auto b = dev_.Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  int completed = 0;
+  Cycles first_done = 0;
+  Cycles second_done = 0;
+  dev_.WriteAsync(a.value(), PatternPage(1), [&](Status) {
+    first_done = machine_.clock().now();
+    ++completed;
+  });
+  dev_.WriteAsync(b.value(), PatternPage(2), [&](Status) {
+    second_done = machine_.clock().now();
+    ++completed;
+  });
+  machine_.events().RunUntilIdle();
+  ASSERT_EQ(completed, 2);
+  // The second transfer queues behind the first: roughly double the latency.
+  EXPECT_GE(second_done, first_done + 1000);
+}
+
+TEST_F(PagingDeviceTest, InterruptAssertedOnCompletion) {
+  dev_.AttachInterrupt(&machine_.interrupts(), 3);
+  auto addr = dev_.Allocate();
+  ASSERT_TRUE(addr.ok());
+  dev_.WriteAsync(addr.value(), PatternPage(1), [](Status) {});
+  machine_.events().RunUntilIdle();
+  InterruptEvent ev;
+  ASSERT_TRUE(machine_.interrupts().TakePending(&ev));
+  EXPECT_EQ(ev.line, 3u);
+}
+
+// --- CoreMap -------------------------------------------------------------------
+
+TEST(CoreMapTest, AllocateBindRelease) {
+  CoreMap map(4);
+  EXPECT_EQ(map.free_count(), 4u);
+  auto frame = map.AllocateFree();
+  ASSERT_TRUE(frame.ok());
+  ActiveSegment seg(99, 1);
+  map.Bind(frame.value(), &seg, 0);
+  EXPECT_EQ(map.info(frame.value()).owner, &seg);
+  EXPECT_FALSE(map.info(frame.value()).free);
+  map.Release(frame.value());
+  EXPECT_EQ(map.free_count(), 4u);
+  EXPECT_TRUE(map.info(frame.value()).free);
+}
+
+TEST(CoreMapTest, UsedModifiedBitsReadThrough) {
+  CoreMap map(2);
+  ActiveSegment seg(1, 1);
+  auto frame = map.AllocateFree();
+  ASSERT_TRUE(frame.ok());
+  map.Bind(frame.value(), &seg, 0);
+  seg.page_table.entries[0].used = true;
+  seg.page_table.entries[0].modified = true;
+  EXPECT_TRUE(map.UsedBit(frame.value()));
+  EXPECT_TRUE(map.ModifiedBit(frame.value()));
+  map.ClearUsedBit(frame.value());
+  EXPECT_FALSE(map.UsedBit(frame.value()));
+  EXPECT_FALSE(seg.page_table.entries[0].used);
+}
+
+// --- ActiveSegmentTable ----------------------------------------------------------
+
+TEST(ActiveSegmentTableTest, ActivateFindDeactivate) {
+  ActiveSegmentTable ast(2);
+  auto seg = ast.Activate(42, 3, {});
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(ast.Find(42), seg.value());
+  EXPECT_EQ(seg.value()->pages, 3u);
+  EXPECT_EQ(seg.value()->location[0].level, PageLevel::kZero);
+  EXPECT_EQ(ast.Deactivate(42), Status::kOk);
+  EXPECT_EQ(ast.Find(42), nullptr);
+}
+
+TEST(ActiveSegmentTableTest, CapacityEnforced) {
+  ActiveSegmentTable ast(1);
+  ASSERT_TRUE(ast.Activate(1, 1, {}).ok());
+  EXPECT_EQ(ast.Activate(2, 1, {}).status(), Status::kResourceExhausted);
+}
+
+TEST(ActiveSegmentTableTest, DuplicateActivationRejected) {
+  ActiveSegmentTable ast(4);
+  ASSERT_TRUE(ast.Activate(1, 1, {}).ok());
+  EXPECT_EQ(ast.Activate(1, 1, {}).status(), Status::kAlreadyExists);
+}
+
+TEST(ActiveSegmentTableTest, DiskHomesInstalled) {
+  ActiveSegmentTable ast(4);
+  auto seg = ast.Activate(7, 2, {5, kInvalidDevAddr});
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg.value()->location[0].level, PageLevel::kDisk);
+  EXPECT_EQ(seg.value()->location[0].addr, 5u);
+  EXPECT_EQ(seg.value()->location[1].level, PageLevel::kZero);
+}
+
+TEST(ActiveSegmentTableTest, DeactivateWithResidentPagesRefused) {
+  ActiveSegmentTable ast(4);
+  auto seg = ast.Activate(7, 1, {});
+  ASSERT_TRUE(seg.ok());
+  seg.value()->location[0].level = PageLevel::kCore;
+  EXPECT_EQ(ast.Deactivate(7), Status::kFailedPrecondition);
+}
+
+// --- Replacement policies (parameterized across implementations) ----------------
+
+class PolicyTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<ReplacementPolicy> policy_ = MakePolicy(GetParam());
+};
+
+TEST_P(PolicyTest, EmptyCoreMapYieldsNoVictim) {
+  CoreMap map(4);
+  EXPECT_EQ(policy_->SelectVictim(map), kInvalidFrame);
+}
+
+TEST_P(PolicyTest, SelectsOnlyEvictableFrames) {
+  CoreMap map(4);
+  ActiveSegment seg(1, 4);
+  // Frames 0..2 allocated; frame 1 wired.
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto f = map.AllocateFree();
+    ASSERT_TRUE(f.ok());
+    map.Bind(f.value(), &seg, i, /*wired=*/i == 1);
+    policy_->NotifyLoaded(f.value());
+  }
+  for (int round = 0; round < 3; ++round) {
+    FrameIndex victim = policy_->SelectVictim(map);
+    ASSERT_NE(victim, kInvalidFrame);
+    EXPECT_FALSE(map.info(victim).wired);
+    EXPECT_FALSE(map.info(victim).free);
+  }
+}
+
+TEST_P(PolicyTest, AllWiredYieldsNoVictim) {
+  CoreMap map(2);
+  ActiveSegment seg(1, 2);
+  for (uint32_t i = 0; i < 2; ++i) {
+    auto f = map.AllocateFree();
+    ASSERT_TRUE(f.ok());
+    map.Bind(f.value(), &seg, i, /*wired=*/true);
+    policy_->NotifyLoaded(f.value());
+  }
+  EXPECT_EQ(policy_->SelectVictim(map), kInvalidFrame);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values("clock", "fifo", "aging-lru"));
+
+TEST(ClockPolicyTest, SecondChanceSparesUsedPages) {
+  CoreMap map(3);
+  ActiveSegment seg(1, 3);
+  ClockPolicy policy;
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto f = map.AllocateFree();
+    ASSERT_TRUE(f.ok());
+    map.Bind(f.value(), &seg, i);
+    policy.NotifyLoaded(f.value());
+  }
+  // Mark page in frame 0 used; the first victim must not be frame 0.
+  seg.page_table.entries[map.info(0).page].used = true;
+  FrameIndex victim = policy.SelectVictim(map);
+  EXPECT_NE(victim, 0u);
+  // The sweep cleared frame 0's used bit along the way.
+  EXPECT_FALSE(seg.page_table.entries[map.info(0).page].used);
+}
+
+TEST(FifoPolicyTest, EvictsOldestFirst) {
+  CoreMap map(3);
+  ActiveSegment seg(1, 3);
+  FifoPolicy policy;
+  std::vector<FrameIndex> order;
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto f = map.AllocateFree();
+    ASSERT_TRUE(f.ok());
+    map.Bind(f.value(), &seg, i);
+    policy.NotifyLoaded(f.value());
+    order.push_back(f.value());
+  }
+  EXPECT_EQ(policy.SelectVictim(map), order[0]);
+}
+
+TEST(MakePolicyTest, UnknownNameReturnsNull) { EXPECT_EQ(MakePolicy("optimal"), nullptr); }
+
+// --- Page control fixtures --------------------------------------------------------
+
+class PageControlTest : public ::testing::Test {
+ protected:
+  PageControlTest()
+      : machine_(MachineConfig{.core_frames = 8}),
+        core_map_(8),
+        bulk_("bulk", 16, 2000, 2000, &machine_),
+        disk_("disk", 512, 20000, 20000, &machine_),
+        ast_(32) {}
+
+  ActiveSegment* NewSegment(uint64_t uid, uint32_t pages) {
+    auto seg = ast_.Activate(uid, pages, {});
+    CHECK(seg.ok());
+    return seg.value();
+  }
+
+  // Simulates a store through the faulted-in page.
+  void WriteThrough(PageControl& pc, ActiveSegment* seg, PageNo page, uint32_t offset,
+                    Word value) {
+    ASSERT_EQ(pc.EnsureResident(seg, page, AccessMode::kWrite), Status::kOk);
+    PageTableEntry& pte = seg->page_table.entries[page];
+    machine_.core().WriteWord(pte.frame, offset, value);
+    pte.used = true;
+    pte.modified = true;
+  }
+
+  Word ReadThrough(PageControl& pc, ActiveSegment* seg, PageNo page, uint32_t offset) {
+    CHECK(pc.EnsureResident(seg, page, AccessMode::kRead) == Status::kOk);
+    PageTableEntry& pte = seg->page_table.entries[page];
+    pte.used = true;
+    return machine_.core().ReadWord(pte.frame, offset);
+  }
+
+  Machine machine_;
+  CoreMap core_map_;
+  PagingDevice bulk_;
+  PagingDevice disk_;
+  ActiveSegmentTable ast_;
+  ClockPolicy policy_;
+};
+
+TEST_F(PageControlTest, SequentialZeroFillFirstTouch) {
+  SequentialPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_);
+  ActiveSegment* seg = NewSegment(1, 4);
+  EXPECT_EQ(pc.EnsureResident(seg, 0, AccessMode::kRead), Status::kOk);
+  EXPECT_TRUE(seg->page_table.entries[0].present);
+  EXPECT_EQ(pc.metrics().zero_fills, 1u);
+  EXPECT_EQ(seg->location[0].level, PageLevel::kCore);
+}
+
+TEST_F(PageControlTest, SequentialEvictionPreservesData) {
+  SequentialPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_);
+  // 2 segments x 8 pages = 16 pages through 8 frames.
+  ActiveSegment* a = NewSegment(1, 8);
+  ActiveSegment* b = NewSegment(2, 8);
+  for (PageNo p = 0; p < 8; ++p) {
+    WriteThrough(pc, a, p, 5, 1000 + p);
+  }
+  for (PageNo p = 0; p < 8; ++p) {
+    WriteThrough(pc, b, p, 5, 2000 + p);
+  }
+  EXPECT_GT(pc.metrics().core_evictions, 0u);
+  // Everything must read back despite having travelled through the hierarchy.
+  for (PageNo p = 0; p < 8; ++p) {
+    EXPECT_EQ(ReadThrough(pc, a, p, 5), 1000 + p);
+  }
+  for (PageNo p = 0; p < 8; ++p) {
+    EXPECT_EQ(ReadThrough(pc, b, p, 5), 2000 + p);
+  }
+}
+
+TEST_F(PageControlTest, SequentialCascadeWhenBulkFull) {
+  SequentialPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_);
+  // Touch many more pages than core + bulk can hold: 8 + 16 = 24 < 40.
+  ActiveSegment* seg = NewSegment(1, 40);
+  for (PageNo p = 0; p < 40; ++p) {
+    WriteThrough(pc, seg, p, 0, p);
+  }
+  EXPECT_GT(pc.metrics().cascades, 0u);
+  EXPECT_GT(pc.metrics().bulk_evictions, 0u);
+  // Re-read a page that must have reached disk.
+  EXPECT_EQ(ReadThrough(pc, seg, 0, 0), 0u);
+  EXPECT_GT(pc.metrics().fetches_from_disk, 0u);
+}
+
+TEST_F(PageControlTest, SequentialFaultPathLengthGrowsUnderPressure) {
+  SequentialPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_);
+  ActiveSegment* seg = NewSegment(1, 40);
+  for (PageNo p = 0; p < 40; ++p) {
+    WriteThrough(pc, seg, p, 0, p);
+  }
+  // Under cascade pressure some fault paths execute 3 protected steps.
+  EXPECT_EQ(pc.metrics().fault_path_steps.max(), 3.0);
+}
+
+TEST_F(PageControlTest, SequentialFlushWritesEverythingToDisk) {
+  SequentialPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_);
+  ActiveSegment* seg = NewSegment(1, 4);
+  for (PageNo p = 0; p < 4; ++p) {
+    WriteThrough(pc, seg, p, 9, 70 + p);
+  }
+  ASSERT_EQ(pc.FlushSegment(seg), Status::kOk);
+  for (PageNo p = 0; p < 4; ++p) {
+    EXPECT_EQ(seg->location[p].level, PageLevel::kDisk);
+    EXPECT_FALSE(seg->page_table.entries[p].present);
+  }
+  EXPECT_EQ(core_map_.free_count(), 8u);
+  // Deactivation is now legal, and reactivation finds the data.
+  std::vector<DevAddr> homes;
+  for (PageNo p = 0; p < 4; ++p) {
+    homes.push_back(seg->location[p].addr);
+  }
+  ASSERT_EQ(ast_.Deactivate(1), Status::kOk);
+  auto again = ast_.Activate(1, 4, homes);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ReadThrough(pc, again.value(), 2, 9), 72u);
+}
+
+TEST_F(PageControlTest, ParallelDaemonKeepsFramesFree) {
+  ParallelPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_,
+                         ParallelPageControlConfig{.core_low_water = 2, .core_high_water = 4});
+  ActiveSegment* seg = NewSegment(1, 8);
+  for (PageNo p = 0; p < 8; ++p) {
+    WriteThrough(pc, seg, p, 0, p);
+  }
+  // Core is now full; the daemon was woken. Let it run.
+  machine_.events().RunUntilIdle();
+  EXPECT_GE(core_map_.free_count(), 2u);
+  EXPECT_GT(pc.core_daemon_wakeups(), 0u);
+}
+
+TEST_F(PageControlTest, ParallelPreservesDataThroughHierarchy) {
+  ParallelPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_);
+  ActiveSegment* a = NewSegment(1, 12);
+  ActiveSegment* b = NewSegment(2, 12);
+  for (PageNo p = 0; p < 12; ++p) {
+    WriteThrough(pc, a, p, 3, 5000 + p);
+    WriteThrough(pc, b, p, 3, 6000 + p);
+  }
+  machine_.events().RunUntilIdle();
+  for (PageNo p = 0; p < 12; ++p) {
+    EXPECT_EQ(ReadThrough(pc, a, p, 3), 5000 + p) << p;
+    EXPECT_EQ(ReadThrough(pc, b, p, 3), 6000 + p) << p;
+  }
+}
+
+TEST_F(PageControlTest, ParallelFaultPathIsAlwaysOneStep) {
+  ParallelPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_);
+  ActiveSegment* seg = NewSegment(1, 30);
+  for (PageNo p = 0; p < 30; ++p) {
+    WriteThrough(pc, seg, p, 0, p);
+    machine_.events().RunUntil(machine_.clock().now());  // Let daemons breathe.
+  }
+  EXPECT_EQ(pc.metrics().fault_path_steps.max(), 1.0);  // The paper's claim.
+}
+
+TEST_F(PageControlTest, ParallelFlushDrainsInFlightWork) {
+  ParallelPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_,
+                         ParallelPageControlConfig{.core_low_water = 4, .core_high_water = 8});
+  ActiveSegment* seg = NewSegment(1, 16);
+  for (PageNo p = 0; p < 16; ++p) {
+    WriteThrough(pc, seg, p, 1, 800 + p);
+  }
+  // Do not run events: evictions may be mid-flight. Flush must drain them.
+  ASSERT_EQ(pc.FlushSegment(seg), Status::kOk);
+  for (PageNo p = 0; p < 16; ++p) {
+    EXPECT_EQ(seg->location[p].level, PageLevel::kDisk) << p;
+  }
+  ASSERT_EQ(pc.FlushSegment(seg), Status::kOk);  // Idempotent.
+  EXPECT_EQ(ReadThrough(pc, seg, 7, 1), 807u);
+}
+
+TEST_F(PageControlTest, OutOfRangePageRejected) {
+  SequentialPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_);
+  ActiveSegment* seg = NewSegment(1, 2);
+  EXPECT_EQ(pc.EnsureResident(seg, 2, AccessMode::kRead), Status::kOutOfRange);
+}
+
+TEST_F(PageControlTest, ResidentPageIsANoop) {
+  SequentialPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &policy_);
+  ActiveSegment* seg = NewSegment(1, 1);
+  ASSERT_EQ(pc.EnsureResident(seg, 0, AccessMode::kRead), Status::kOk);
+  uint64_t faults = pc.metrics().faults;
+  ASSERT_EQ(pc.EnsureResident(seg, 0, AccessMode::kRead), Status::kOk);
+  EXPECT_EQ(pc.metrics().faults, faults);  // No new fault recorded.
+}
+
+// --- Policy/mechanism gates -------------------------------------------------------
+
+class PolicyGateTest : public PageControlTest {};
+
+TEST_F(PolicyGateTest, GateCrossingsAreCountedAndCharged) {
+  PageMechanismGates gates(&machine_, &core_map_);
+  Cycles before = machine_.clock().now();
+  (void)gates.FrameCount();
+  (void)gates.GetUsage(0);
+  gates.ClearUsedBit(0);
+  EXPECT_EQ(gates.gate_crossings(), 3u);
+  EXPECT_GT(machine_.clock().now(), before);
+}
+
+TEST_F(PolicyGateTest, GarbageArgumentsAnsweredNotTrusted) {
+  PageMechanismGates gates(&machine_, &core_map_);
+  auto usage = gates.GetUsage(UINT32_MAX);
+  EXPECT_FALSE(usage.valid);
+  gates.ClearUsedBit(UINT32_MAX);  // Must not crash anything.
+  EXPECT_EQ(gates.rejected_arguments(), 2u);
+}
+
+TEST_F(PolicyGateTest, GatedClockBehavesLikeDirectClock) {
+  PageMechanismGates gates(&machine_, &core_map_);
+  GatedClockPolicy gated(&gates);
+  ActiveSegment seg(1, 4);
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto f = core_map_.AllocateFree();
+    ASSERT_TRUE(f.ok());
+    core_map_.Bind(f.value(), &seg, i);
+  }
+  seg.page_table.entries[core_map_.info(0).page].used = true;
+  FrameIndex victim = gated.SelectVictim(core_map_);
+  EXPECT_NE(victim, kInvalidFrame);
+  EXPECT_NE(victim, 0u);  // Second chance honoured, through gates only.
+}
+
+TEST_F(PolicyGateTest, MaliciousPolicyCausesOnlyDenial) {
+  PageMechanismGates gates(&machine_, &core_map_);
+  MaliciousPolicy evil(&gates, /*seed=*/99);
+  SequentialPageControl pc(&machine_, &core_map_, &bulk_, &disk_, &evil);
+
+  ActiveSegment* a = NewSegment(1, 8);
+  ActiveSegment* b = NewSegment(2, 8);
+  for (PageNo p = 0; p < 8; ++p) {
+    WriteThrough(pc, a, p, 5, 1000 + p);
+    WriteThrough(pc, b, p, 5, 2000 + p);
+  }
+  // The malicious policy thrashed (denial), but every word survives:
+  // integrity and confidentiality were never in its hands.
+  for (PageNo p = 0; p < 8; ++p) {
+    EXPECT_EQ(ReadThrough(pc, a, p, 5), 1000 + p);
+    EXPECT_EQ(ReadThrough(pc, b, p, 5), 2000 + p);
+  }
+  EXPECT_GT(evil.garbage_probes(), 0u);
+  EXPECT_GT(gates.rejected_arguments(), 0u);
+}
+
+TEST_F(PolicyGateTest, MaliciousPolicyThrashesMoreThanClock) {
+  // Same reference string under clock vs malicious policy: the malicious
+  // one must induce at least as many (in practice many more) evictions.
+  auto run = [&](bool malicious) -> uint64_t {
+    Machine machine(MachineConfig{.core_frames = 8});
+    CoreMap core_map(8);
+    PagingDevice bulk("bulk", 64, 2000, 2000, &machine);
+    PagingDevice disk("disk", 512, 20000, 20000, &machine);
+    ActiveSegmentTable ast(8);
+    PageMechanismGates gates(&machine, &core_map);
+    ClockPolicy good_policy;
+    MaliciousPolicy evil_policy(&gates, /*seed=*/7);
+    ReplacementPolicy* policy =
+        malicious ? static_cast<ReplacementPolicy*>(&evil_policy) : &good_policy;
+    SequentialPageControl pc(&machine, &core_map, &bulk, &disk, policy);
+    auto seg = ast.Activate(1, 16, {});
+    CHECK(seg.ok());
+    // Loop with strong locality over the first 6 pages, occasional far touch.
+    uint64_t faults = 0;
+    for (int round = 0; round < 40; ++round) {
+      for (PageNo p = 0; p < 6; ++p) {
+        uint64_t before = pc.metrics().faults;
+        CHECK(pc.EnsureResident(seg.value(), p, AccessMode::kRead) == Status::kOk);
+        seg.value()->page_table.entries[p].used = true;
+        faults += pc.metrics().faults - before;
+      }
+      PageNo far = 6 + (round % 10);
+      uint64_t before = pc.metrics().faults;
+      CHECK(pc.EnsureResident(seg.value(), far, AccessMode::kRead) == Status::kOk);
+      faults += pc.metrics().faults - before;
+    }
+    return faults;
+  };
+
+  uint64_t good_faults = run(false);
+  uint64_t evil_faults = run(true);
+  EXPECT_GT(evil_faults, good_faults);
+}
+
+}  // namespace
+}  // namespace multics

@@ -1,0 +1,163 @@
+// Tests for the Mitre compartment model: lattice laws (as parameterized
+// property sweeps) and the information-flow rules.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/mls/label.h"
+
+namespace multics {
+namespace {
+
+TEST(CategorySetTest, BasicSetOps) {
+  CategorySet a = CategorySet::Of({1, 3, 5});
+  CategorySet b = CategorySet::Of({3, 5});
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_EQ(a.Count(), 3);
+  EXPECT_TRUE(a.Contains(3));
+  EXPECT_FALSE(a.Contains(2));
+  EXPECT_EQ(a.Union(b), a);
+  EXPECT_EQ(a.Intersect(b), b);
+  EXPECT_EQ(a.Without(1), b);
+  EXPECT_EQ(b.With(1), a);
+}
+
+TEST(MlsLabelTest, DominanceBasics) {
+  MlsLabel secret{SensitivityLevel::kSecret, CategorySet::Of({1})};
+  MlsLabel conf{SensitivityLevel::kConfidential, CategorySet::Of({1})};
+  EXPECT_TRUE(secret.Dominates(conf));
+  EXPECT_FALSE(conf.Dominates(secret));
+  EXPECT_TRUE(secret.Dominates(secret));
+}
+
+TEST(MlsLabelTest, CategoriesMakeLabelsIncomparable) {
+  MlsLabel a{SensitivityLevel::kSecret, CategorySet::Of({1})};
+  MlsLabel b{SensitivityLevel::kSecret, CategorySet::Of({2})};
+  EXPECT_TRUE(a.IsIncomparableWith(b));
+  MlsLabel high{SensitivityLevel::kTopSecret, CategorySet::Of({2})};
+  EXPECT_TRUE(a.IsIncomparableWith(high));  // Missing category 1.
+}
+
+TEST(MlsLabelTest, SystemLowAndHighBracketEverything) {
+  MlsLabel mid{SensitivityLevel::kSecret, CategorySet::Of({0, 7})};
+  EXPECT_TRUE(MlsLabel::SystemHigh().Dominates(mid));
+  EXPECT_TRUE(mid.Dominates(MlsLabel::SystemLow()));
+}
+
+TEST(MlsFlowTest, SimpleSecurityNoReadUp) {
+  MlsLabel subject{SensitivityLevel::kConfidential, {}};
+  MlsLabel object{SensitivityLevel::kSecret, {}};
+  EXPECT_FALSE(MlsCanRead(subject, object));
+  EXPECT_TRUE(MlsCanRead(object, subject));
+}
+
+TEST(MlsFlowTest, StarPropertyNoWriteDown) {
+  MlsLabel subject{SensitivityLevel::kSecret, {}};
+  MlsLabel lower{SensitivityLevel::kConfidential, {}};
+  EXPECT_FALSE(MlsCanWrite(subject, lower));
+  EXPECT_TRUE(MlsCanWrite(subject, subject));
+  MlsLabel higher{SensitivityLevel::kTopSecret, {}};
+  EXPECT_TRUE(MlsCanWrite(subject, higher));  // Write-up (append) permitted.
+}
+
+TEST(MlsParseTest, RoundTrip) {
+  auto label = ParseMlsLabel("secret:{1,3}");
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(label->level, SensitivityLevel::kSecret);
+  EXPECT_TRUE(label->categories.Contains(1));
+  EXPECT_TRUE(label->categories.Contains(3));
+  EXPECT_EQ(label->ToString(), "secret:{1,3}");
+
+  auto plain = ParseMlsLabel("unclassified");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(*plain, MlsLabel::SystemLow());
+}
+
+TEST(MlsParseTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseMlsLabel("zebra").ok());
+  EXPECT_FALSE(ParseMlsLabel("secret:(1)").ok());
+  EXPECT_FALSE(ParseMlsLabel("secret:{99}").ok());
+}
+
+// --- Property sweep: the label set really is a lattice -----------------------
+
+std::vector<MlsLabel> SampleLabels() {
+  std::vector<MlsLabel> labels;
+  const std::vector<CategorySet> cats = {
+      CategorySet{},           CategorySet::Of({0}),    CategorySet::Of({1}),
+      CategorySet::Of({0, 1}), CategorySet::Of({2, 5}), CategorySet::Of({0, 1, 2, 5}),
+  };
+  for (int level = 0; level < kSensitivityLevels; ++level) {
+    for (const auto& c : cats) {
+      labels.push_back(MlsLabel{static_cast<SensitivityLevel>(level), c});
+    }
+  }
+  return labels;
+}
+
+class MlsLatticeProperty : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  MlsLabel A() const { return SampleLabels()[std::get<0>(GetParam())]; }
+  MlsLabel B() const { return SampleLabels()[std::get<1>(GetParam())]; }
+};
+
+TEST_P(MlsLatticeProperty, LubIsAnUpperBound) {
+  MlsLabel lub = MlsLabel::Lub(A(), B());
+  EXPECT_TRUE(lub.Dominates(A()));
+  EXPECT_TRUE(lub.Dominates(B()));
+}
+
+TEST_P(MlsLatticeProperty, LubIsLeast) {
+  // Any sample label dominating both A and B must dominate lub(A,B).
+  MlsLabel lub = MlsLabel::Lub(A(), B());
+  for (const auto& c : SampleLabels()) {
+    if (c.Dominates(A()) && c.Dominates(B())) {
+      EXPECT_TRUE(c.Dominates(lub)) << c.ToString() << " vs " << lub.ToString();
+    }
+  }
+}
+
+TEST_P(MlsLatticeProperty, GlbIsALowerBound) {
+  MlsLabel glb = MlsLabel::Glb(A(), B());
+  EXPECT_TRUE(A().Dominates(glb));
+  EXPECT_TRUE(B().Dominates(glb));
+}
+
+TEST_P(MlsLatticeProperty, DominanceIsAntisymmetric) {
+  if (A().Dominates(B()) && B().Dominates(A())) {
+    EXPECT_EQ(A(), B());
+  }
+}
+
+TEST_P(MlsLatticeProperty, FlowIsConsistentWithDominance) {
+  // Read and write rules must never both allow flow between incomparable
+  // labels, or information could hop compartments.
+  if (A().IsIncomparableWith(B())) {
+    EXPECT_FALSE(MlsCanRead(A(), B()));
+    EXPECT_FALSE(MlsCanWrite(A(), B()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, MlsLatticeProperty,
+                         ::testing::Combine(::testing::Range(0, 24), ::testing::Range(0, 24)));
+
+class MlsTransitivityProperty : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MlsTransitivityProperty, DominanceIsTransitive) {
+  auto labels = SampleLabels();
+  const MlsLabel& a = labels[std::get<0>(GetParam())];
+  const MlsLabel& b = labels[std::get<1>(GetParam())];
+  const MlsLabel& c = labels[std::get<2>(GetParam())];
+  if (a.Dominates(b) && b.Dominates(c)) {
+    EXPECT_TRUE(a.Dominates(c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Triples, MlsTransitivityProperty,
+                         ::testing::Combine(::testing::Range(0, 24, 3), ::testing::Range(0, 24, 3),
+                                            ::testing::Range(0, 24, 3)));
+
+}  // namespace
+}  // namespace multics

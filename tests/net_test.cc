@@ -1,0 +1,238 @@
+// Tests for the network module: the two buffer designs (E5), the network
+// attachment, and the legacy per-device stacks (E12 substrate).
+
+#include <gtest/gtest.h>
+
+#include "src/net/buffers.h"
+#include "src/net/device_io.h"
+#include "src/net/network.h"
+
+namespace multics {
+namespace {
+
+NetMessage Msg(uint64_t seq, const std::string& data) { return NetMessage{seq, data}; }
+
+// --- CircularBuffer -----------------------------------------------------------
+
+TEST(CircularBufferTest, FifoWhenNotFull) {
+  CircularBuffer buffer(256);
+  ASSERT_EQ(buffer.Enqueue(Msg(0, "one")), Status::kOk);
+  ASSERT_EQ(buffer.Enqueue(Msg(1, "two")), Status::kOk);
+  EXPECT_EQ(buffer.Dequeue()->data, "one");
+  EXPECT_EQ(buffer.Dequeue()->data, "two");
+  EXPECT_EQ(buffer.Dequeue().status(), Status::kNotFound);
+  EXPECT_EQ(buffer.messages_lost(), 0u);
+}
+
+TEST(CircularBufferTest, WraparoundDestroysOldMessages) {
+  // Each message is 1 header word + 1 data word = 2 words; capacity 8 words
+  // holds 4 messages.
+  CircularBuffer buffer(8);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(buffer.Enqueue(Msg(i, "12345678")), Status::kOk);
+  }
+  EXPECT_EQ(buffer.messages_lost(), 6u);
+  // The survivors are the newest four.
+  EXPECT_EQ(buffer.Dequeue()->sequence, 6u);
+}
+
+TEST(CircularBufferTest, OversizeMessageRejected) {
+  CircularBuffer buffer(4);
+  EXPECT_EQ(buffer.Enqueue(Msg(0, std::string(100, 'x'))), Status::kBufferOverrun);
+}
+
+// --- InfiniteBuffer -----------------------------------------------------------
+
+TEST(InfiniteBufferTest, NeverLosesMessages) {
+  uint32_t grown_to = 0;
+  InfiniteBuffer buffer([&](uint32_t pages) {
+    grown_to = pages;
+    return Status::kOk;
+  });
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_EQ(buffer.Enqueue(Msg(i, "a fairly long message body here")), Status::kOk);
+  }
+  EXPECT_EQ(buffer.messages_lost(), 0u);
+  EXPECT_EQ(buffer.queued(), 2000u);
+  EXPECT_GT(grown_to, 1u);  // It grew through the VM.
+  for (uint64_t i = 0; i < 2000; ++i) {
+    auto message = buffer.Dequeue();
+    ASSERT_TRUE(message.ok());
+    EXPECT_EQ(message->sequence, i);
+  }
+}
+
+TEST(InfiniteBufferTest, ResidencyShrinksAsConsumed) {
+  InfiniteBuffer buffer([](uint32_t) { return Status::kOk; });
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(buffer.Enqueue(Msg(i, std::string(64, 'x'))), Status::kOk);
+  }
+  uint32_t peak = buffer.resident_pages();
+  EXPECT_GT(peak, 2u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(buffer.Dequeue().ok());
+  }
+  EXPECT_LE(buffer.resident_pages(), 1u);  // Consumed pages returned to the VM.
+}
+
+TEST(InfiniteBufferTest, VmExhaustionSurfaces) {
+  InfiniteBuffer buffer([](uint32_t pages) {
+    return pages > 2 ? Status::kSegmentTooLong : Status::kOk;
+  });
+  Status last = Status::kOk;
+  for (int i = 0; i < 10000 && last == Status::kOk; ++i) {
+    last = buffer.Enqueue(Msg(i, std::string(64, 'y')));
+  }
+  EXPECT_EQ(last, Status::kSegmentTooLong);
+}
+
+// --- NetworkAttachment ----------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : machine_(MachineConfig{}), net_(&machine_, {}) {}
+  Machine machine_;
+  NetworkAttachment net_;
+};
+
+TEST_F(NetworkTest, RoundTripWithLatency) {
+  auto conn = net_.Open("host:mit-ai", std::make_unique<CircularBuffer>(1024));
+  ASSERT_TRUE(conn.ok());
+
+  ASSERT_EQ(net_.InjectFromRemote(conn.value(), "hello multics"), Status::kOk);
+  // Nothing until the wire latency elapses.
+  EXPECT_EQ(net_.Receive(conn.value()).status(), Status::kNotFound);
+  machine_.events().RunUntilIdle();
+  auto message = net_.Receive(conn.value());
+  ASSERT_TRUE(message.ok());
+  EXPECT_EQ(message->data, "hello multics");
+  EXPECT_EQ(net_.packets_in(), 1u);
+}
+
+TEST_F(NetworkTest, ArrivalAssertsInterrupt) {
+  auto conn = net_.Open("tty:jones", std::make_unique<CircularBuffer>(1024));
+  ASSERT_TRUE(conn.ok());
+  ASSERT_EQ(net_.InjectFromRemote(conn.value(), "x"), Status::kOk);
+  machine_.events().RunUntilIdle();
+  InterruptEvent ev;
+  ASSERT_TRUE(machine_.interrupts().TakePending(&ev));
+  EXPECT_EQ(ev.line, 8u);  // Default attachment line.
+  EXPECT_EQ(ev.payload, conn.value());
+}
+
+TEST_F(NetworkTest, SendReachesRemoteSink) {
+  auto conn = net_.Open("host:bbn", std::make_unique<CircularBuffer>(1024));
+  ASSERT_TRUE(conn.ok());
+  std::vector<std::string> remote_got;
+  net_.SetRemoteSink(conn.value(), [&](const std::string& data) { remote_got.push_back(data); });
+  ASSERT_EQ(net_.Send(conn.value(), "telnet data"), Status::kOk);
+  EXPECT_TRUE(remote_got.empty());
+  machine_.events().RunUntilIdle();
+  ASSERT_EQ(remote_got.size(), 1u);
+  EXPECT_EQ(remote_got[0], "telnet data");
+}
+
+TEST_F(NetworkTest, ClosedConnectionRejects) {
+  auto conn = net_.Open("host:x", std::make_unique<CircularBuffer>(64));
+  ASSERT_TRUE(conn.ok());
+  ASSERT_EQ(net_.Close(conn.value()), Status::kOk);
+  EXPECT_EQ(net_.Send(conn.value(), "x"), Status::kConnectionClosed);
+  EXPECT_EQ(net_.Receive(conn.value()).status(), Status::kConnectionClosed);
+}
+
+TEST_F(NetworkTest, SequenceNumbersDetectLoss) {
+  auto conn = net_.Open("host:y", std::make_unique<CircularBuffer>(8));
+  ASSERT_TRUE(conn.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(net_.InjectFromRemote(conn.value(), "12345678"), Status::kOk);
+  }
+  machine_.events().RunUntilIdle();
+  EXPECT_GT(net_.total_lost(), 0u);
+}
+
+// --- Device stacks ----------------------------------------------------------------
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest() : machine_(MachineConfig{}) {}
+  Machine machine_;
+};
+
+TEST_F(DeviceTest, TtyAssemblesLines) {
+  TtyLine tty(&machine_, 0);
+  for (char c : std::string("hello\n")) {
+    tty.TypeCharacter(c);
+  }
+  EXPECT_EQ(tty.ReadLine().value(), "hello");
+  EXPECT_EQ(tty.ReadLine().status(), Status::kNotFound);
+}
+
+TEST_F(DeviceTest, TtyEraseAndKill) {
+  TtyLine tty(&machine_, 0);
+  for (char c : std::string("helpp#o\n")) {
+    tty.TypeCharacter(c);
+  }
+  EXPECT_EQ(tty.ReadLine().value(), "helpo");
+  for (char c : std::string("garbage@redo\n")) {
+    tty.TypeCharacter(c);
+  }
+  EXPECT_EQ(tty.ReadLine().value(), "redo");
+}
+
+TEST_F(DeviceTest, TtyLineCompletionInterrupts) {
+  TtyLine tty(&machine_, 3);
+  for (char c : std::string("x\n")) {
+    tty.TypeCharacter(c);
+  }
+  InterruptEvent ev;
+  ASSERT_TRUE(machine_.interrupts().TakePending(&ev));
+  EXPECT_EQ(ev.line, 3u);
+}
+
+TEST_F(DeviceTest, CardReaderPadsTo80Columns) {
+  CardReader reader(&machine_);
+  reader.LoadDeck({"short", std::string(100, 'y')});
+  auto card = reader.ReadCard();
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(card->size(), 80u);
+  auto long_card = reader.ReadCard();
+  ASSERT_TRUE(long_card.ok());
+  EXPECT_EQ(long_card->size(), 80u);
+  EXPECT_TRUE(reader.EndOfDeck());
+  EXPECT_EQ(reader.ReadCard().status(), Status::kDeviceError);
+}
+
+TEST_F(DeviceTest, PrinterPaginates) {
+  LinePrinter printer(&machine_);
+  for (int i = 0; i < 61; ++i) {
+    ASSERT_EQ(printer.PrintLine("line"), Status::kOk);
+  }
+  EXPECT_EQ(printer.lines_printed(), 61u);
+  EXPECT_EQ(printer.pages(), 2u);  // Auto-eject at 60.
+}
+
+TEST_F(DeviceTest, PrinterTruncatesAt136) {
+  LinePrinter printer(&machine_);
+  ASSERT_EQ(printer.PrintLine(std::string(200, 'z')), Status::kOk);
+  EXPECT_EQ(printer.output()[0].size(), 136u);
+}
+
+TEST_F(DeviceTest, TapeSequentialSemantics) {
+  TapeDrive tape(&machine_);
+  ASSERT_EQ(tape.WriteRecord("r0"), Status::kOk);
+  ASSERT_EQ(tape.WriteRecord("r1"), Status::kOk);
+  ASSERT_EQ(tape.WriteRecord("r2"), Status::kOk);
+  EXPECT_EQ(tape.ReadRecord().status(), Status::kOutOfRange);  // At end.
+  ASSERT_EQ(tape.Rewind(), Status::kOk);
+  EXPECT_EQ(tape.ReadRecord().value(), "r0");
+  ASSERT_EQ(tape.SkipRecords(1), Status::kOk);
+  EXPECT_EQ(tape.ReadRecord().value(), "r2");
+
+  // Writing mid-tape truncates the tail, as real tape does.
+  ASSERT_EQ(tape.Rewind(), Status::kOk);
+  ASSERT_EQ(tape.WriteRecord("new0"), Status::kOk);
+  EXPECT_EQ(tape.record_count(), 1u);
+}
+
+}  // namespace
+}  // namespace multics

@@ -1,0 +1,196 @@
+// Fault-injection tests for the salvager: corrupt the hierarchy the way
+// crashes did, then verify detection (dry run) and repair.
+
+#include <gtest/gtest.h>
+
+#include "src/fs/salvager.h"
+#include "src/mem/page_control_sequential.h"
+
+namespace multics {
+namespace {
+
+class SalvagerTest : public ::testing::Test {
+ protected:
+  SalvagerTest()
+      : machine_(MachineConfig{.core_frames = 32}),
+        core_map_(32),
+        bulk_("bulk", 64, 2000, 2000, &machine_),
+        disk_("disk", 4096, 20000, 20000, &machine_),
+        ast_(64),
+        store_(&machine_, &ast_, &disk_),
+        page_control_(&machine_, &core_map_, &bulk_, &disk_, &policy_),
+        hierarchy_(&store_) {
+    store_.AttachPageControl(&page_control_);
+    CHECK(hierarchy_.Init() == Status::kOk);
+  }
+
+  SegmentAttributes Any() {
+    SegmentAttributes attrs;
+    attrs.acl.Set(AclEntry{"*", "*", "*", kModeRead | kModeWrite});
+    return attrs;
+  }
+
+  Machine machine_;
+  CoreMap core_map_;
+  PagingDevice bulk_;
+  PagingDevice disk_;
+  ActiveSegmentTable ast_;
+  ClockPolicy policy_;
+  SegmentStore store_;
+  SequentialPageControl page_control_;
+  Hierarchy hierarchy_;
+};
+
+TEST_F(SalvagerTest, CleanHierarchyNeedsNoRepairs) {
+  auto dir = hierarchy_.CreateDirectory(hierarchy_.root(), "d", Any(), /*quota=*/8);
+  ASSERT_TRUE(dir.ok());
+  auto seg = hierarchy_.CreateSegment(dir.value(), "s", Any());
+  ASSERT_TRUE(seg.ok());
+  ASSERT_EQ(store_.SetLength(seg.value(), 2), Status::kOk);
+
+  auto report = Salvager::Run(hierarchy_, /*repair=*/false);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_repairs(), 0u);
+  EXPECT_GE(report->directories_scanned, 2u);
+  EXPECT_GE(report->entries_checked, 2u);
+}
+
+TEST_F(SalvagerTest, DanglingEntryDetectedAndRemoved) {
+  auto seg = hierarchy_.CreateSegment(hierarchy_.root(), "ghost", Any());
+  ASSERT_TRUE(seg.ok());
+  // Crash damage: the branch disappears but the entry stays.
+  ASSERT_EQ(store_.Delete(seg.value()), Status::kOk);
+
+  auto dry = Salvager::Run(hierarchy_, false);
+  ASSERT_TRUE(dry.ok());
+  EXPECT_EQ(dry->dangling_entries_removed, 1u);
+  EXPECT_TRUE(hierarchy_.Lookup(hierarchy_.root(), "ghost").ok());  // Dry run left it.
+
+  auto repair = Salvager::Run(hierarchy_, true);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(repair->dangling_entries_removed, 1u);
+  EXPECT_FALSE(hierarchy_.Lookup(hierarchy_.root(), "ghost").ok());
+
+  auto after = Salvager::Run(hierarchy_, false);
+  EXPECT_EQ(after->total_repairs(), 0u);
+}
+
+TEST_F(SalvagerTest, BadLinkRemoved) {
+  ASSERT_EQ(hierarchy_.CreateLink(hierarchy_.root(), "good", ">fine"), Status::kOk);
+  // Crash damage: a link record whose target no longer parses.
+  auto root_dir = hierarchy_.RawDirectory(hierarchy_.root());
+  ASSERT_TRUE(root_dir.ok());
+  ASSERT_EQ(root_dir.value()->Add(DirEntry{"mangled", kInvalidUid, true, "no-leading-gt"}),
+            Status::kOk);
+
+  auto dry = Salvager::Run(hierarchy_, false);
+  ASSERT_TRUE(dry.ok());
+  EXPECT_EQ(dry->bad_links_removed, 1u);
+  auto repair = Salvager::Run(hierarchy_, true);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(repair->bad_links_removed, 1u);
+  EXPECT_FALSE(hierarchy_.Lookup(hierarchy_.root(), "mangled").ok());
+  EXPECT_TRUE(hierarchy_.Lookup(hierarchy_.root(), "good").ok());
+}
+
+TEST_F(SalvagerTest, OrphanReattachedUnderLostFound) {
+  auto dir = hierarchy_.CreateDirectory(hierarchy_.root(), "d", Any());
+  ASSERT_TRUE(dir.ok());
+  auto seg = hierarchy_.CreateSegment(dir.value(), "s", Any());
+  ASSERT_TRUE(seg.ok());
+  ASSERT_EQ(store_.SetLength(seg.value(), 1), Status::kOk);
+
+  // Crash damage: the directory entry vanishes; the branch survives.
+  // Remove the name without deleting the branch by renaming trickery is not
+  // possible through the API, so simulate via delete of the *entry only*:
+  // DeleteEntry would delete the branch too. Instead, orphan the directory
+  // 'd' itself by removing it from the root.
+  // (Root directory object is reachable via the friend declaration only to
+  //  the salvager, so we emulate: delete entry, branch goes too — then
+  //  recreate branch-level orphan via store.)
+  SegmentAttributes attrs = Any();
+  auto orphan = store_.Create(attrs, /*is_directory=*/false, dir.value());
+  ASSERT_TRUE(orphan.ok());  // A branch in 'd' that no entry names.
+
+  auto dry = Salvager::Run(hierarchy_, false);
+  ASSERT_TRUE(dry.ok());
+  EXPECT_EQ(dry->orphans_reattached, 1u);
+
+  auto repair = Salvager::Run(hierarchy_, true);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(repair->orphans_reattached, 1u);
+
+  // Now reachable under >lost_found.
+  auto lost = hierarchy_.ResolvePath(
+      Path::Parse(">lost_found>orphan_" + std::to_string(orphan.value())).value());
+  ASSERT_TRUE(lost.ok());
+  EXPECT_EQ(lost.value(), orphan.value());
+
+  auto after = Salvager::Run(hierarchy_, false);
+  EXPECT_EQ(after->orphans_reattached, 0u);
+}
+
+TEST_F(SalvagerTest, QuotaDriftCorrected) {
+  auto dir = hierarchy_.CreateDirectory(hierarchy_.root(), "q", Any(), /*quota=*/16);
+  ASSERT_TRUE(dir.ok());
+  auto seg = hierarchy_.CreateSegment(dir.value(), "s", Any());
+  ASSERT_TRUE(seg.ok());
+  ASSERT_EQ(store_.SetLength(seg.value(), 4), Status::kOk);
+
+  // Crash damage: the quota cell drifts.
+  store_.Get(dir.value()).value()->quota_used = 11;
+
+  auto dry = Salvager::Run(hierarchy_, false);
+  ASSERT_TRUE(dry.ok());
+  EXPECT_EQ(dry->quota_corrections, 1u);
+  EXPECT_EQ(store_.Get(dir.value()).value()->quota_used, 11u);  // Untouched.
+
+  auto repair = Salvager::Run(hierarchy_, true);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(repair->quota_corrections, 1u);
+  EXPECT_EQ(store_.Get(dir.value()).value()->quota_used, 4u);
+
+  // And the corrected quota is live: 12 more pages fit, 13 do not.
+  EXPECT_EQ(store_.SetLength(seg.value(), 16), Status::kOk);
+  EXPECT_EQ(store_.SetLength(seg.value(), 17), Status::kQuotaExceeded);
+}
+
+TEST_F(SalvagerTest, ParentFixup) {
+  auto dir = hierarchy_.CreateDirectory(hierarchy_.root(), "d", Any());
+  ASSERT_TRUE(dir.ok());
+  auto seg = hierarchy_.CreateSegment(dir.value(), "s", Any());
+  ASSERT_TRUE(seg.ok());
+  // Crash damage: the branch forgets its parent.
+  store_.Get(seg.value()).value()->parent = 424242;
+
+  auto repair = Salvager::Run(hierarchy_, true);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_GE(repair->parent_fixups, 1u);
+  EXPECT_EQ(store_.Get(seg.value()).value()->parent, dir.value());
+}
+
+TEST_F(SalvagerTest, RepairIsIdempotent) {
+  // A pile of damage at once.
+  auto dir = hierarchy_.CreateDirectory(hierarchy_.root(), "d", Any(), 8);
+  ASSERT_TRUE(dir.ok());
+  auto seg = hierarchy_.CreateSegment(dir.value(), "s", Any());
+  ASSERT_TRUE(seg.ok());
+  ASSERT_EQ(store_.SetLength(seg.value(), 2), Status::kOk);
+  auto ghost = hierarchy_.CreateSegment(dir.value(), "ghost", Any());
+  ASSERT_TRUE(ghost.ok());
+  ASSERT_EQ(store_.Delete(ghost.value()), Status::kOk);
+  auto orphan = store_.Create(Any(), false, dir.value());
+  ASSERT_TRUE(orphan.ok());
+  store_.Get(dir.value()).value()->quota_used = 99;
+
+  auto first = Salvager::Run(hierarchy_, true);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->total_repairs(), 2u);
+
+  auto second = Salvager::Run(hierarchy_, true);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->total_repairs(), 0u);
+}
+
+}  // namespace
+}  // namespace multics

@@ -1,0 +1,176 @@
+// Tests for the user-ring command environment: every command, including the
+// denials a user sees when the reference monitor says no.
+
+#include <gtest/gtest.h>
+
+#include "src/init/bootstrap.h"
+#include "src/link/object_format.h"
+#include "src/userring/shell.h"
+
+namespace multics {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  ShellTest() {
+    KernelParams params;
+    params.config = KernelConfiguration::Kernelized6180();
+    params.machine.core_frames = 128;
+    kernel_ = std::make_unique<Kernel>(params);
+    BootstrapOptions options;
+    options.users = DefaultUsers();
+    CHECK(Bootstrap::Run(*kernel_, options).ok());
+    auto user = kernel_->BootstrapProcess(
+        "jones", Principal{"Jones", "Faculty", "a"},
+        MlsLabel{SensitivityLevel::kSecret, CategorySet::Of({1})});
+    CHECK(user.ok());
+    user_ = user.value();
+    shell_ = std::make_unique<Shell>(kernel_.get(), user_);
+  }
+
+  CommandResult Run(const std::string& line) { return shell_->Execute(line); }
+
+  std::unique_ptr<Kernel> kernel_;
+  Process* user_ = nullptr;
+  std::unique_ptr<Shell> shell_;
+};
+
+TEST_F(ShellTest, TokenizeSplitsOnBlanks) {
+  EXPECT_EQ(Tokenize("  a  bb ccc "), (std::vector<std::string>{"a", "bb", "ccc"}));
+  EXPECT_TRUE(Tokenize("").empty());
+}
+
+TEST_F(ShellTest, WhoReportsIdentity) {
+  CommandResult result = Run("who");
+  ASSERT_EQ(result.status, Status::kOk);
+  EXPECT_NE(result.Text().find("Jones.Faculty.a"), std::string::npos);
+  EXPECT_NE(result.Text().find("ring=4"), std::string::npos);
+}
+
+TEST_F(ShellTest, CwdDefaultsToRootAndChanges) {
+  EXPECT_EQ(Run("cwd").output[0], ">");
+  CommandResult result = Run("cwd >udd>Faculty>Jones");
+  ASSERT_EQ(result.status, Status::kOk);
+  EXPECT_EQ(shell_->cwd(), ">udd>Faculty>Jones");
+  EXPECT_EQ(Run("cwd >no>such>place").status, Status::kNotFound);
+  EXPECT_EQ(shell_->cwd(), ">udd>Faculty>Jones");  // Unchanged on failure.
+}
+
+TEST_F(ShellTest, CreateListStatusDelete) {
+  ASSERT_EQ(Run("cwd >udd>Faculty>Jones").status, Status::kOk);
+  ASSERT_EQ(Run("create_segment memo").status, Status::kOk);
+  CommandResult list = Run("list");
+  ASSERT_EQ(list.status, Status::kOk);
+  EXPECT_NE(list.Text().find("memo"), std::string::npos);
+
+  CommandResult status = Run("status memo");
+  ASSERT_EQ(status.status, Status::kOk);
+  EXPECT_NE(status.Text().find("segment"), std::string::npos);
+  EXPECT_NE(status.Text().find("secret"), std::string::npos);
+
+  ASSERT_EQ(Run("delete memo").status, Status::kOk);
+  EXPECT_EQ(Run("status memo").status, Status::kNotFound);
+}
+
+TEST_F(ShellTest, SetAndPrintRoundTrip) {
+  ASSERT_EQ(Run("cwd >udd>Faculty>Jones").status, Status::kOk);
+  ASSERT_EQ(Run("create_segment data").status, Status::kOk);
+  ASSERT_EQ(Run("set data 5 12345").status, Status::kOk);
+  CommandResult print = Run("print data 5");
+  ASSERT_EQ(print.status, Status::kOk);
+  EXPECT_NE(print.Text().find("12345"), std::string::npos);
+  // Growing store: offset on the second page grows the segment.
+  ASSERT_EQ(Run("set data 1500 77").status, Status::kOk);
+  EXPECT_NE(Run("print data 1500").Text().find("77"), std::string::npos);
+}
+
+TEST_F(ShellTest, RenameAddNameAndLink) {
+  ASSERT_EQ(Run("cwd >udd>Faculty>Jones").status, Status::kOk);
+  ASSERT_EQ(Run("create_segment alpha").status, Status::kOk);
+  ASSERT_EQ(Run("rename alpha beta").status, Status::kOk);
+  ASSERT_EQ(Run("add_name beta bee").status, Status::kOk);
+  EXPECT_EQ(Run("status bee").status, Status::kOk);
+  ASSERT_EQ(Run("link lib >system_library").status, Status::kOk);
+  EXPECT_NE(Run("status lib").Text().find("link->"), std::string::npos);
+}
+
+TEST_F(ShellTest, AclCommandsControlColleagues) {
+  ASSERT_EQ(Run("cwd >udd>Faculty>Jones").status, Status::kOk);
+  ASSERT_EQ(Run("create_segment shared").status, Status::kOk);
+  ASSERT_EQ(Run("set shared 0 9").status, Status::kOk);
+  ASSERT_EQ(Run("set_acl shared Smith.Faculty.* r").status, Status::kOk);
+  CommandResult acl = Run("list_acl shared");
+  ASSERT_EQ(acl.status, Status::kOk);
+  EXPECT_NE(acl.Text().find("Smith.Faculty.* r--"), std::string::npos);
+
+  // Smith's own shell can now read but not write.
+  auto smith = kernel_->BootstrapProcess(
+      "smith", Principal{"Smith", "Faculty", "a"},
+      MlsLabel{SensitivityLevel::kSecret, CategorySet::Of({1})});
+  ASSERT_TRUE(smith.ok());
+  Shell smith_shell(kernel_.get(), smith.value());
+  ASSERT_EQ(smith_shell.Execute("cwd >udd>Faculty>Jones").status, Status::kOk);
+  EXPECT_EQ(smith_shell.Execute("print shared 0").status, Status::kOk);
+  EXPECT_EQ(smith_shell.Execute("set shared 0 1").status, Status::kAccessDenied);
+}
+
+TEST_F(ShellTest, TruncateAndQuota) {
+  ASSERT_EQ(Run("cwd >udd>Faculty>Jones").status, Status::kOk);
+  ASSERT_EQ(Run("create_dir box 3").status, Status::kOk);
+  ASSERT_EQ(Run("cwd >udd>Faculty>Jones>box").status, Status::kOk);
+  ASSERT_EQ(Run("create_segment fat").status, Status::kOk);
+  ASSERT_EQ(Run("truncate fat 3").status, Status::kOk);
+  EXPECT_EQ(Run("truncate fat 4").status, Status::kQuotaExceeded);
+  ASSERT_EQ(Run("truncate fat 1").status, Status::kOk);
+}
+
+TEST_F(ShellTest, InitiateTerminateViaNames) {
+  CommandResult result = Run("initiate >system_library>math_");
+  ASSERT_EQ(result.status, Status::kOk);
+  EXPECT_TRUE(shell_->rnm().Lookup("math_").ok());
+  ASSERT_EQ(Run("terminate math_").status, Status::kOk);
+  EXPECT_FALSE(shell_->rnm().Lookup("math_").ok());
+  EXPECT_EQ(Run("terminate math_").status, Status::kNoSuchReferenceName);
+}
+
+TEST_F(ShellTest, SnapLinksAnObjectSegment) {
+  ASSERT_EQ(Run("cwd >udd>Faculty>Jones").status, Status::kOk);
+  ASSERT_EQ(Run("create_segment prog").status, Status::kOk);
+  // Write a real object image through the shell's own `set` command.
+  std::vector<Word> image = ObjectBuilder()
+                                .SetText({1, 2, 3})
+                                .AddSymbol("main", 0)
+                                .AddLink("math_", "sqrt")
+                                .Build();
+  ASSERT_EQ(Run("truncate prog 1").status, Status::kOk);
+  for (WordOffset i = 0; i < image.size(); ++i) {
+    if (image[i] != 0) {
+      ASSERT_EQ(Run("set prog " + std::to_string(i) + " " + std::to_string(image[i])).status,
+                Status::kOk);
+    }
+  }
+  ASSERT_EQ(Run("sr >system_library").status, Status::kOk);
+  CommandResult snapped = Run("snap prog");
+  ASSERT_EQ(snapped.status, Status::kOk) << snapped.Text();
+  EXPECT_NE(snapped.Text().find("1 links snapped"), std::string::npos);
+}
+
+TEST_F(ShellTest, UnknownCommandRejected) {
+  EXPECT_EQ(Run("frobnicate x").status, Status::kInvalidArgument);
+  EXPECT_EQ(Run("rename onlyone").status, Status::kInvalidArgument);
+}
+
+TEST_F(ShellTest, DenialsAreOutputNotCrashes) {
+  // The student's shell cannot create in Jones' home.
+  auto doe = kernel_->BootstrapProcess("doe", Principal{"Doe", "Students", "a"},
+                                       MlsLabel::SystemLow());
+  ASSERT_TRUE(doe.ok());
+  Shell doe_shell(kernel_.get(), doe.value());
+  ASSERT_EQ(doe_shell.Execute("cwd >udd>Faculty>Jones").status, Status::kOk);
+  CommandResult denied = doe_shell.Execute("create_segment graffiti");
+  EXPECT_NE(denied.status, Status::kOk);
+  EXPECT_FALSE(denied.output.empty());
+}
+
+}  // namespace
+}  // namespace multics

@@ -1,0 +1,240 @@
+// Whole-system integration under the scheduler: real processes (not direct
+// calls) exchanging work through a mailbox, executing shell commands against
+// the kernel, with the reference monitor, paging, IPC guards, and the
+// traffic controller all in the loop at once. Also: the protection-decision
+// invariance property — the monitor's verdicts do not depend on which
+// supervisor configuration hosts them.
+
+#include <gtest/gtest.h>
+
+#include "src/init/bootstrap.h"
+#include "src/userring/initiator.h"
+#include "src/userring/mailbox.h"
+#include "src/userring/shell.h"
+
+namespace multics {
+namespace {
+
+SegNo DirForProcess(Kernel& kernel, Process* process) {
+  UserInitiator initiator(&kernel, process);
+  auto home = initiator.InitiateDirPath(">udd>Faculty>Jones");
+  CHECK(home.ok());
+  return home.value();
+}
+
+TEST(SystemIntegrationTest, ScheduledProcessesDriveTheKernel) {
+  KernelParams params;
+  params.config = KernelConfiguration::Kernelized6180();
+  params.machine.core_frames = 128;
+  Kernel kernel(params);
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  ASSERT_TRUE(Bootstrap::Run(kernel, options).ok());
+
+  MlsLabel secret1{SensitivityLevel::kSecret, CategorySet::Of({1})};
+  Principal jones{"Jones", "Faculty", "a"};
+
+  // The operator's command script, fed one line per scheduling quantum.
+  const std::vector<std::string> script = {
+      "cwd >udd>Faculty>Jones", "create_segment report",  "set report 0 1975",
+      "print report 0",         "create_dir archive 8",   "rename report annual_report",
+      "status annual_report",   "list",                   "logout",
+  };
+
+  // Shared state the two tasks communicate through *besides* the mailbox.
+  struct SessionState {
+    std::unique_ptr<Mailbox> terminal_box;  // Owned by the producer.
+    std::unique_ptr<Mailbox> user_box;      // The consumer's handle.
+    std::unique_ptr<Shell> shell;
+    size_t sent = 0;
+    size_t executed = 0;
+    size_t failed = 0;
+    bool logout_seen = false;
+  };
+  auto state = std::make_shared<SessionState>();
+
+  // The user's interactive process: waits on the mailbox channel, executes
+  // whatever arrived through its shell.
+  auto user_process = kernel.BootstrapProcess(
+      "jones_interactive", jones, secret1,
+      std::make_unique<FnTask>([state, &kernel](TaskContext& ctx) {
+        if (state->user_box == nullptr) {
+          return TaskState::kReady;  // Mailbox not wired up yet.
+        }
+        auto await = kernel.IpcAwait(*kernel.traffic().Find(ctx.self().pid()), ctx,
+                                     state->user_box->channel());
+        if (!await.ok() || !await.value()) {
+          return TaskState::kBlocked;
+        }
+        auto messages = state->user_box->ReadNew();
+        if (!messages.ok()) {
+          return TaskState::kReady;
+        }
+        for (const MailboxMessage& message : messages.value()) {
+          if (message.text == "logout") {
+            state->logout_seen = true;
+            return TaskState::kDone;
+          }
+          CommandResult result = state->shell->Execute(message.text);
+          ++state->executed;
+          if (result.status != Status::kOk) {
+            ++state->failed;
+          }
+        }
+        return TaskState::kReady;
+      }));
+  ASSERT_TRUE(user_process.ok());
+  state->shell = std::make_unique<Shell>(&kernel, user_process.value());
+
+  // The terminal daemon: a dedicated process delivering one line per step.
+  auto terminal = kernel.BootstrapProcess(
+      "terminal_daemon", jones, secret1,
+      std::make_unique<FnTask>([state, &script](TaskContext& ctx) {
+        ctx.Charge(50);
+        if (state->sent >= script.size()) {
+          return TaskState::kDone;
+        }
+        if (state->terminal_box->Send(script[state->sent]) == Status::kOk) {
+          ++state->sent;
+        }
+        return TaskState::kReady;
+      }));
+  ASSERT_TRUE(terminal.ok());
+
+  // Wire the mailbox up (both handles belong to Jones' principal).
+  UserInitiator initiator(&kernel, user_process.value());
+  auto home = initiator.InitiateDirPath(">udd>Faculty>Jones");
+  ASSERT_TRUE(home.ok());
+  auto creator_box =
+      Mailbox::Create(&kernel, terminal.value(), DirForProcess(kernel, terminal.value()),
+                      "tty_q", {jones});
+  ASSERT_TRUE(creator_box.ok()) << StatusName(creator_box.status());
+  state->terminal_box = std::make_unique<Mailbox>(std::move(creator_box.value()));
+  auto consumer_box = Mailbox::Open(&kernel, user_process.value(), home.value(), "tty_q");
+  ASSERT_TRUE(consumer_box.ok());
+  state->user_box = std::make_unique<Mailbox>(std::move(consumer_box.value()));
+
+  // Run the world.
+  kernel.traffic().RunUntilQuiescent();
+
+  EXPECT_EQ(state->sent, script.size());
+  EXPECT_TRUE(state->logout_seen);
+  EXPECT_EQ(state->executed, script.size() - 1);  // All but "logout".
+  EXPECT_EQ(state->failed, 0u) << "some shell command failed";
+
+  // The session's effects are durably in the hierarchy.
+  auto report = kernel.hierarchy().ResolvePath(
+      Path::Parse(">udd>Faculty>Jones>annual_report").value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(kernel.DumpReadWord(report.value(), 0).value(), 1975u);
+  EXPECT_TRUE(kernel.hierarchy()
+                  .ResolvePath(Path::Parse(">udd>Faculty>Jones>archive").value())
+                  .ok());
+  EXPECT_EQ(kernel.kernel_faults(), 0u);
+}
+
+// --- Protection decisions are configuration-invariant ------------------------------
+
+class ConfigInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfigInvariance, MonitorVerdictsIdenticalAcrossConfigurations) {
+  // The same cast of subjects and objects must get byte-identical
+  // grant/denial decisions whether the supervisor is the 645 legacy pile,
+  // the 6180 legacy pile, or the kernelized minimum: the security model is
+  // a property of the reference monitor, not of the packaging around it.
+  struct Decision {
+    std::string subject;
+    std::string object;
+    uint8_t modes;
+  };
+  std::vector<std::vector<Decision>> per_config;
+
+  std::vector<KernelConfiguration> configs = {KernelConfiguration::Legacy645(),
+                                              KernelConfiguration::Legacy6180(),
+                                              KernelConfiguration::Kernelized6180()};
+  // The 645 config predates MLS; force it on so the model is constant.
+  configs[0].mls_enforcement = true;
+
+  for (const KernelConfiguration& config : configs) {
+    KernelParams params;
+    params.config = config;
+    params.machine.core_frames = 64;
+    Kernel kernel(params);
+    BootstrapOptions options;
+    options.users = DefaultUsers();
+    ASSERT_TRUE(Bootstrap::Run(kernel, options).ok());
+
+    std::vector<std::pair<std::string, MlsLabel>> subjects = {
+        {"Jones.Faculty", {SensitivityLevel::kSecret, CategorySet::Of({1})}},
+        {"Smith.Faculty", {SensitivityLevel::kConfidential, {}}},
+        {"Doe.Students", MlsLabel::SystemLow()},
+    };
+    // Objects at assorted labels with assorted ACLs, created by the trusted
+    // initializer so the set is identical in every configuration.
+    auto init = kernel.BootstrapProcess("setup", Principal{"Init", "SysDaemon", "z"},
+                                        MlsLabel::SystemHigh());
+    ASSERT_TRUE(init.ok());
+    init.value()->set_ring(kRingSupervisor);
+    auto root = kernel.RootDir(*init.value());
+    ASSERT_TRUE(root.ok());
+    struct ObjectSpec {
+      const char* name;
+      MlsLabel label;
+      AclEntry entry;
+    };
+    const std::vector<ObjectSpec> objects = {
+        {"open_low", MlsLabel::SystemLow(), {"*", "*", "*", kModeRead | kModeWrite}},
+        {"open_secret1",
+         {SensitivityLevel::kSecret, CategorySet::Of({1})},
+         {"*", "*", "*", kModeRead | kModeWrite}},
+        {"faculty_conf",
+         {SensitivityLevel::kConfidential, {}},
+         {"*", "Faculty", "*", kModeRead | kModeWrite}},
+        {"jones_only_ts",
+         {SensitivityLevel::kTopSecret, CategorySet::Of({1, 2})},
+         {"Jones", "Faculty", "*", kModeRead | kModeWrite}},
+    };
+    for (const ObjectSpec& spec : objects) {
+      SegmentAttributes attrs;
+      attrs.acl.Set(spec.entry);
+      attrs.label = spec.label;
+      ASSERT_TRUE(kernel.FsCreateSegment(*init.value(), root.value(), spec.name, attrs).ok());
+    }
+
+    std::vector<Decision> decisions;
+    for (const auto& [subject_name, clearance] : subjects) {
+      auto principal = Principal::Parse(subject_name);
+      ASSERT_TRUE(principal.ok());
+      for (const ObjectSpec& spec : objects) {
+        auto uid = kernel.hierarchy().Lookup(kernel.hierarchy().root(), spec.name);
+        ASSERT_TRUE(uid.ok());
+        Branch* branch = kernel.store().Get(uid->uid).value();
+        uint8_t modes = kernel.monitor().SegmentModes(*branch, principal.value(), clearance);
+        decisions.push_back(Decision{subject_name, spec.name, modes});
+      }
+    }
+    per_config.push_back(std::move(decisions));
+  }
+
+  ASSERT_EQ(per_config.size(), 3u);
+  for (size_t i = 0; i < per_config[0].size(); ++i) {
+    EXPECT_EQ(per_config[0][i].modes, per_config[1][i].modes)
+        << per_config[0][i].subject << " x " << per_config[0][i].object;
+    EXPECT_EQ(per_config[1][i].modes, per_config[2][i].modes)
+        << per_config[1][i].subject << " x " << per_config[1][i].object;
+  }
+  // And the matrix is not vacuous: some grants, some denials.
+  int granted = 0;
+  for (const auto& decision : per_config[0]) {
+    if (decision.modes != kModeNull) {
+      ++granted;
+    }
+  }
+  EXPECT_GT(granted, 2);
+  EXPECT_LT(granted, static_cast<int>(per_config[0].size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Once, ConfigInvariance, ::testing::Values(0));
+
+}  // namespace
+}  // namespace multics

@@ -1,0 +1,149 @@
+// Tests for the footnote-6 object verifier: model extraction, clean passes,
+// and detection of every tampering class — trapdoor symbols, moved entry
+// points, text substitution, unplanned links, and widened gate surfaces.
+
+#include <gtest/gtest.h>
+
+#include "src/link/verifier.h"
+
+namespace multics {
+namespace {
+
+std::vector<Word> KernelModule() {
+  return ObjectBuilder()
+      .SetText(std::vector<Word>{10, 20, 30, 40, 50})
+      .AddSymbol("initiate_", 0)
+      .AddSymbol("terminate_", 2)
+      .AddLink("page_control_", "ensure_resident")
+      .SetEntryBound(2)
+      .Build();
+}
+
+WordReader FlatReader(const std::vector<Word>& image) {
+  return [&image](WordOffset offset) -> Result<Word> {
+    if (offset >= image.size()) {
+      return Status::kOutOfRange;
+    }
+    return image[offset];
+  };
+}
+
+VerifyReport Verify(const std::vector<Word>& image, const ObjectModel& model) {
+  auto report = VerifyObject(FlatReader(image), static_cast<uint32_t>(image.size()), model);
+  CHECK(report.ok());
+  return report.value();
+}
+
+TEST(VerifierTest, ModelRoundTripMatches) {
+  std::vector<Word> image = KernelModule();
+  auto model = ObjectModel::FromTrustedImage(image);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->symbols.size(), 2u);
+  EXPECT_EQ(model->links.size(), 1u);
+  EXPECT_EQ(model->entry_bound, 2u);
+
+  VerifyReport report = Verify(image, model.value());
+  EXPECT_TRUE(report.matches) << report.discrepancies.size();
+  EXPECT_TRUE(report.discrepancies.empty());
+}
+
+TEST(VerifierTest, TrapdoorSymbolDetected) {
+  auto model = ObjectModel::FromTrustedImage(KernelModule());
+  ASSERT_TRUE(model.ok());
+  // The "compiler" (or an attacker) slips in an extra entry point.
+  std::vector<Word> tampered = ObjectBuilder()
+                                   .SetText(std::vector<Word>{10, 20, 30, 40, 50})
+                                   .AddSymbol("initiate_", 0)
+                                   .AddSymbol("terminate_", 2)
+                                   .AddSymbol("backdoor_", 4)
+                                   .AddLink("page_control_", "ensure_resident")
+                                   .SetEntryBound(2)
+                                   .Build();
+  VerifyReport report = Verify(tampered, model.value());
+  EXPECT_FALSE(report.matches);
+  bool flagged = false;
+  for (const std::string& d : report.discrepancies) {
+    if (d.find("trapdoor") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(VerifierTest, TextSubstitutionDetected) {
+  auto model = ObjectModel::FromTrustedImage(KernelModule());
+  ASSERT_TRUE(model.ok());
+  std::vector<Word> tampered = KernelModule();
+  // Flip one word of text (same length, same everything else).
+  auto header = ObjectReader::ReadHeader(FlatReader(tampered), tampered.size(), true);
+  ASSERT_TRUE(header.ok());
+  tampered[header->text_offset + 3] ^= 1;
+  VerifyReport report = Verify(tampered, model.value());
+  EXPECT_FALSE(report.matches);
+  ASSERT_FALSE(report.discrepancies.empty());
+  EXPECT_NE(report.discrepancies[0].find("digest"), std::string::npos);
+}
+
+TEST(VerifierTest, UnplannedLinkDetected) {
+  auto model = ObjectModel::FromTrustedImage(KernelModule());
+  ASSERT_TRUE(model.ok());
+  std::vector<Word> tampered = ObjectBuilder()
+                                   .SetText(std::vector<Word>{10, 20, 30, 40, 50})
+                                   .AddSymbol("initiate_", 0)
+                                   .AddSymbol("terminate_", 2)
+                                   .AddLink("page_control_", "ensure_resident")
+                                   .AddLink("network_", "exfiltrate")
+                                   .SetEntryBound(2)
+                                   .Build();
+  VerifyReport report = Verify(tampered, model.value());
+  EXPECT_FALSE(report.matches);
+  bool flagged = false;
+  for (const std::string& d : report.discrepancies) {
+    if (d.find("unplanned") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(VerifierTest, RetargetedLinkDetected) {
+  auto model = ObjectModel::FromTrustedImage(KernelModule());
+  ASSERT_TRUE(model.ok());
+  std::vector<Word> tampered = ObjectBuilder()
+                                   .SetText(std::vector<Word>{10, 20, 30, 40, 50})
+                                   .AddSymbol("initiate_", 0)
+                                   .AddSymbol("terminate_", 2)
+                                   .AddLink("evil_", "ensure_resident")
+                                   .SetEntryBound(2)
+                                   .Build();
+  VerifyReport report = Verify(tampered, model.value());
+  EXPECT_FALSE(report.matches);
+}
+
+TEST(VerifierTest, WidenedGateSurfaceDetected) {
+  auto model = ObjectModel::FromTrustedImage(KernelModule());
+  ASSERT_TRUE(model.ok());
+  std::vector<Word> tampered = KernelModule();
+  tampered[7] = 6;  // entry_bound: 2 -> 6.
+  VerifyReport report = Verify(tampered, model.value());
+  EXPECT_FALSE(report.matches);
+  EXPECT_NE(report.discrepancies[0].find("gate surface"), std::string::npos);
+}
+
+TEST(VerifierTest, MalformedObjectReportedNotTrusted) {
+  auto model = ObjectModel::FromTrustedImage(KernelModule());
+  ASSERT_TRUE(model.ok());
+  std::vector<Word> garbage(8, 0);
+  VerifyReport report = Verify(garbage, model.value());
+  EXPECT_FALSE(report.matches);
+  EXPECT_NE(report.discrepancies[0].find("malformed"), std::string::npos);
+}
+
+TEST(VerifierTest, DigestIsOrderSensitive) {
+  EXPECT_NE(TextDigest({1, 2, 3}), TextDigest({3, 2, 1}));
+  EXPECT_EQ(TextDigest({}), TextDigest({}));
+  EXPECT_NE(TextDigest({0}), TextDigest({}));
+}
+
+}  // namespace
+}  // namespace multics
