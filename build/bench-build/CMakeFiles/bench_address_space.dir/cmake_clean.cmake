@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_address_space"
+  "../bench/bench_address_space.pdb"
+  "CMakeFiles/bench_address_space.dir/bench_address_space.cc.o"
+  "CMakeFiles/bench_address_space.dir/bench_address_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_address_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

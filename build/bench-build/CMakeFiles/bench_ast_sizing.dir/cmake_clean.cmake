@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ast_sizing"
+  "../bench/bench_ast_sizing.pdb"
+  "CMakeFiles/bench_ast_sizing.dir/bench_ast_sizing.cc.o"
+  "CMakeFiles/bench_ast_sizing.dir/bench_ast_sizing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ast_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cost_of_security"
+  "../bench/bench_cost_of_security.pdb"
+  "CMakeFiles/bench_cost_of_security.dir/bench_cost_of_security.cc.o"
+  "CMakeFiles/bench_cost_of_security.dir/bench_cost_of_security.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_of_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gate_census"
+  "../bench/bench_gate_census.pdb"
+  "CMakeFiles/bench_gate_census.dir/bench_gate_census.cc.o"
+  "CMakeFiles/bench_gate_census.dir/bench_gate_census.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gate_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_io_consolidation"
+  "../bench/bench_io_consolidation.pdb"
+  "CMakeFiles/bench_io_consolidation.dir/bench_io_consolidation.cc.o"
+  "CMakeFiles/bench_io_consolidation.dir/bench_io_consolidation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_linker.cc" "bench-build/CMakeFiles/bench_linker.dir/bench_linker.cc.o" "gcc" "bench-build/CMakeFiles/bench_linker.dir/bench_linker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/init/CMakeFiles/mx_init.dir/DependInfo.cmake"
+  "/root/repo/build/src/userring/CMakeFiles/mx_userring.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/mx_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/mx_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mls/CMakeFiles/mx_mls.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/mx_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_linker"
+  "../bench/bench_linker.pdb"
+  "CMakeFiles/bench_linker.dir/bench_linker.cc.o"
+  "CMakeFiles/bench_linker.dir/bench_linker.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

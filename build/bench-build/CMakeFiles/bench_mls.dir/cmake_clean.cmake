@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mls"
+  "../bench/bench_mls.pdb"
+  "CMakeFiles/bench_mls.dir/bench_mls.cc.o"
+  "CMakeFiles/bench_mls.dir/bench_mls.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_network_buffer"
+  "../bench/bench_network_buffer.pdb"
+  "CMakeFiles/bench_network_buffer.dir/bench_network_buffer.cc.o"
+  "CMakeFiles/bench_network_buffer.dir/bench_network_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

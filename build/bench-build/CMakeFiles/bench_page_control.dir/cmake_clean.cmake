@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_page_control"
+  "../bench/bench_page_control.pdb"
+  "CMakeFiles/bench_page_control.dir/bench_page_control.cc.o"
+  "CMakeFiles/bench_page_control.dir/bench_page_control.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_page_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

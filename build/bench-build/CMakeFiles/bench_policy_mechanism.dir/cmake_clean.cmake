@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_policy_mechanism"
+  "../bench/bench_policy_mechanism.pdb"
+  "CMakeFiles/bench_policy_mechanism.dir/bench_policy_mechanism.cc.o"
+  "CMakeFiles/bench_policy_mechanism.dir/bench_policy_mechanism.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

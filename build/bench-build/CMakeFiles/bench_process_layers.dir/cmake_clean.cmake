@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_process_layers"
+  "../bench/bench_process_layers.pdb"
+  "CMakeFiles/bench_process_layers.dir/bench_process_layers.cc.o"
+  "CMakeFiles/bench_process_layers.dir/bench_process_layers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_process_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ring_crossing"
+  "../bench/bench_ring_crossing.pdb"
+  "CMakeFiles/bench_ring_crossing.dir/bench_ring_crossing.cc.o"
+  "CMakeFiles/bench_ring_crossing.dir/bench_ring_crossing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ring_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certify_modules.dir/certify_modules.cpp.o"
+  "CMakeFiles/certify_modules.dir/certify_modules.cpp.o.d"
+  "certify_modules"
+  "certify_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certify_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_census.dir/kernel_census.cpp.o"
+  "CMakeFiles/kernel_census.dir/kernel_census.cpp.o.d"
+  "kernel_census"
+  "kernel_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutual_consent.dir/mutual_consent.cpp.o"
+  "CMakeFiles/mutual_consent.dir/mutual_consent.cpp.o.d"
+  "mutual_consent"
+  "mutual_consent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutual_consent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

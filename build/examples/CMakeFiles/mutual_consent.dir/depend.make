@@ -1,0 +1,2 @@
+# Empty dependencies file for mutual_consent.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_login.dir/network_login.cpp.o"
+  "CMakeFiles/network_login.dir/network_login.cpp.o.d"
+  "network_login"
+  "network_login.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_login.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_ring_linking.dir/user_ring_linking.cpp.o"
+  "CMakeFiles/user_ring_linking.dir/user_ring_linking.cpp.o.d"
+  "user_ring_linking"
+  "user_ring_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_ring_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

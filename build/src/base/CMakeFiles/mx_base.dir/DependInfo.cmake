@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/event_queue.cc" "src/base/CMakeFiles/mx_base.dir/event_queue.cc.o" "gcc" "src/base/CMakeFiles/mx_base.dir/event_queue.cc.o.d"
+  "/root/repo/src/base/log.cc" "src/base/CMakeFiles/mx_base.dir/log.cc.o" "gcc" "src/base/CMakeFiles/mx_base.dir/log.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/base/CMakeFiles/mx_base.dir/random.cc.o" "gcc" "src/base/CMakeFiles/mx_base.dir/random.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/base/CMakeFiles/mx_base.dir/stats.cc.o" "gcc" "src/base/CMakeFiles/mx_base.dir/stats.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/base/CMakeFiles/mx_base.dir/status.cc.o" "gcc" "src/base/CMakeFiles/mx_base.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_base.dir/event_queue.cc.o"
+  "CMakeFiles/mx_base.dir/event_queue.cc.o.d"
+  "CMakeFiles/mx_base.dir/log.cc.o"
+  "CMakeFiles/mx_base.dir/log.cc.o.d"
+  "CMakeFiles/mx_base.dir/random.cc.o"
+  "CMakeFiles/mx_base.dir/random.cc.o.d"
+  "CMakeFiles/mx_base.dir/stats.cc.o"
+  "CMakeFiles/mx_base.dir/stats.cc.o.d"
+  "CMakeFiles/mx_base.dir/status.cc.o"
+  "CMakeFiles/mx_base.dir/status.cc.o.d"
+  "libmx_base.a"
+  "libmx_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

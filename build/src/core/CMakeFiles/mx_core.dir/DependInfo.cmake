@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cc" "src/core/CMakeFiles/mx_core.dir/audit.cc.o" "gcc" "src/core/CMakeFiles/mx_core.dir/audit.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/mx_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/mx_core.dir/config.cc.o.d"
+  "/root/repo/src/core/flaw_registry.cc" "src/core/CMakeFiles/mx_core.dir/flaw_registry.cc.o" "gcc" "src/core/CMakeFiles/mx_core.dir/flaw_registry.cc.o.d"
+  "/root/repo/src/core/gate.cc" "src/core/CMakeFiles/mx_core.dir/gate.cc.o" "gcc" "src/core/CMakeFiles/mx_core.dir/gate.cc.o.d"
+  "/root/repo/src/core/kernel.cc" "src/core/CMakeFiles/mx_core.dir/kernel.cc.o" "gcc" "src/core/CMakeFiles/mx_core.dir/kernel.cc.o.d"
+  "/root/repo/src/core/kernel_addr.cc" "src/core/CMakeFiles/mx_core.dir/kernel_addr.cc.o" "gcc" "src/core/CMakeFiles/mx_core.dir/kernel_addr.cc.o.d"
+  "/root/repo/src/core/kernel_fs.cc" "src/core/CMakeFiles/mx_core.dir/kernel_fs.cc.o" "gcc" "src/core/CMakeFiles/mx_core.dir/kernel_fs.cc.o.d"
+  "/root/repo/src/core/kernel_io.cc" "src/core/CMakeFiles/mx_core.dir/kernel_io.cc.o" "gcc" "src/core/CMakeFiles/mx_core.dir/kernel_io.cc.o.d"
+  "/root/repo/src/core/kernel_link.cc" "src/core/CMakeFiles/mx_core.dir/kernel_link.cc.o" "gcc" "src/core/CMakeFiles/mx_core.dir/kernel_link.cc.o.d"
+  "/root/repo/src/core/reference_monitor.cc" "src/core/CMakeFiles/mx_core.dir/reference_monitor.cc.o" "gcc" "src/core/CMakeFiles/mx_core.dir/reference_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/link/CMakeFiles/mx_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/mx_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/mx_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mls/CMakeFiles/mx_mls.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_core.dir/audit.cc.o"
+  "CMakeFiles/mx_core.dir/audit.cc.o.d"
+  "CMakeFiles/mx_core.dir/config.cc.o"
+  "CMakeFiles/mx_core.dir/config.cc.o.d"
+  "CMakeFiles/mx_core.dir/flaw_registry.cc.o"
+  "CMakeFiles/mx_core.dir/flaw_registry.cc.o.d"
+  "CMakeFiles/mx_core.dir/gate.cc.o"
+  "CMakeFiles/mx_core.dir/gate.cc.o.d"
+  "CMakeFiles/mx_core.dir/kernel.cc.o"
+  "CMakeFiles/mx_core.dir/kernel.cc.o.d"
+  "CMakeFiles/mx_core.dir/kernel_addr.cc.o"
+  "CMakeFiles/mx_core.dir/kernel_addr.cc.o.d"
+  "CMakeFiles/mx_core.dir/kernel_fs.cc.o"
+  "CMakeFiles/mx_core.dir/kernel_fs.cc.o.d"
+  "CMakeFiles/mx_core.dir/kernel_io.cc.o"
+  "CMakeFiles/mx_core.dir/kernel_io.cc.o.d"
+  "CMakeFiles/mx_core.dir/kernel_link.cc.o"
+  "CMakeFiles/mx_core.dir/kernel_link.cc.o.d"
+  "CMakeFiles/mx_core.dir/reference_monitor.cc.o"
+  "CMakeFiles/mx_core.dir/reference_monitor.cc.o.d"
+  "libmx_core.a"
+  "libmx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/acl.cc" "src/fs/CMakeFiles/mx_fs.dir/acl.cc.o" "gcc" "src/fs/CMakeFiles/mx_fs.dir/acl.cc.o.d"
+  "/root/repo/src/fs/hierarchy.cc" "src/fs/CMakeFiles/mx_fs.dir/hierarchy.cc.o" "gcc" "src/fs/CMakeFiles/mx_fs.dir/hierarchy.cc.o.d"
+  "/root/repo/src/fs/kst.cc" "src/fs/CMakeFiles/mx_fs.dir/kst.cc.o" "gcc" "src/fs/CMakeFiles/mx_fs.dir/kst.cc.o.d"
+  "/root/repo/src/fs/pathname.cc" "src/fs/CMakeFiles/mx_fs.dir/pathname.cc.o" "gcc" "src/fs/CMakeFiles/mx_fs.dir/pathname.cc.o.d"
+  "/root/repo/src/fs/salvager.cc" "src/fs/CMakeFiles/mx_fs.dir/salvager.cc.o" "gcc" "src/fs/CMakeFiles/mx_fs.dir/salvager.cc.o.d"
+  "/root/repo/src/fs/segment_store.cc" "src/fs/CMakeFiles/mx_fs.dir/segment_store.cc.o" "gcc" "src/fs/CMakeFiles/mx_fs.dir/segment_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/mx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mls/CMakeFiles/mx_mls.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

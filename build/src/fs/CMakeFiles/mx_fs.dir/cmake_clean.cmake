@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_fs.dir/acl.cc.o"
+  "CMakeFiles/mx_fs.dir/acl.cc.o.d"
+  "CMakeFiles/mx_fs.dir/hierarchy.cc.o"
+  "CMakeFiles/mx_fs.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mx_fs.dir/kst.cc.o"
+  "CMakeFiles/mx_fs.dir/kst.cc.o.d"
+  "CMakeFiles/mx_fs.dir/pathname.cc.o"
+  "CMakeFiles/mx_fs.dir/pathname.cc.o.d"
+  "CMakeFiles/mx_fs.dir/salvager.cc.o"
+  "CMakeFiles/mx_fs.dir/salvager.cc.o.d"
+  "CMakeFiles/mx_fs.dir/segment_store.cc.o"
+  "CMakeFiles/mx_fs.dir/segment_store.cc.o.d"
+  "libmx_fs.a"
+  "libmx_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_hw.dir/interrupt.cc.o"
+  "CMakeFiles/mx_hw.dir/interrupt.cc.o.d"
+  "CMakeFiles/mx_hw.dir/processor.cc.o"
+  "CMakeFiles/mx_hw.dir/processor.cc.o.d"
+  "CMakeFiles/mx_hw.dir/ring.cc.o"
+  "CMakeFiles/mx_hw.dir/ring.cc.o.d"
+  "libmx_hw.a"
+  "libmx_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

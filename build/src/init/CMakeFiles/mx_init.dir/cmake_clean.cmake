@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_init.dir/bootstrap.cc.o"
+  "CMakeFiles/mx_init.dir/bootstrap.cc.o.d"
+  "CMakeFiles/mx_init.dir/image.cc.o"
+  "CMakeFiles/mx_init.dir/image.cc.o.d"
+  "libmx_init.a"
+  "libmx_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

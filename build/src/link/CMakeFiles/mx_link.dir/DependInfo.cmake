@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/binder.cc" "src/link/CMakeFiles/mx_link.dir/binder.cc.o" "gcc" "src/link/CMakeFiles/mx_link.dir/binder.cc.o.d"
+  "/root/repo/src/link/linker.cc" "src/link/CMakeFiles/mx_link.dir/linker.cc.o" "gcc" "src/link/CMakeFiles/mx_link.dir/linker.cc.o.d"
+  "/root/repo/src/link/object_format.cc" "src/link/CMakeFiles/mx_link.dir/object_format.cc.o" "gcc" "src/link/CMakeFiles/mx_link.dir/object_format.cc.o.d"
+  "/root/repo/src/link/verifier.cc" "src/link/CMakeFiles/mx_link.dir/verifier.cc.o" "gcc" "src/link/CMakeFiles/mx_link.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/mx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_link.dir/binder.cc.o"
+  "CMakeFiles/mx_link.dir/binder.cc.o.d"
+  "CMakeFiles/mx_link.dir/linker.cc.o"
+  "CMakeFiles/mx_link.dir/linker.cc.o.d"
+  "CMakeFiles/mx_link.dir/object_format.cc.o"
+  "CMakeFiles/mx_link.dir/object_format.cc.o.d"
+  "CMakeFiles/mx_link.dir/verifier.cc.o"
+  "CMakeFiles/mx_link.dir/verifier.cc.o.d"
+  "libmx_link.a"
+  "libmx_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/active_segment.cc" "src/mem/CMakeFiles/mx_mem.dir/active_segment.cc.o" "gcc" "src/mem/CMakeFiles/mx_mem.dir/active_segment.cc.o.d"
+  "/root/repo/src/mem/core_map.cc" "src/mem/CMakeFiles/mx_mem.dir/core_map.cc.o" "gcc" "src/mem/CMakeFiles/mx_mem.dir/core_map.cc.o.d"
+  "/root/repo/src/mem/page_control_base.cc" "src/mem/CMakeFiles/mx_mem.dir/page_control_base.cc.o" "gcc" "src/mem/CMakeFiles/mx_mem.dir/page_control_base.cc.o.d"
+  "/root/repo/src/mem/page_control_parallel.cc" "src/mem/CMakeFiles/mx_mem.dir/page_control_parallel.cc.o" "gcc" "src/mem/CMakeFiles/mx_mem.dir/page_control_parallel.cc.o.d"
+  "/root/repo/src/mem/page_control_sequential.cc" "src/mem/CMakeFiles/mx_mem.dir/page_control_sequential.cc.o" "gcc" "src/mem/CMakeFiles/mx_mem.dir/page_control_sequential.cc.o.d"
+  "/root/repo/src/mem/paging_device.cc" "src/mem/CMakeFiles/mx_mem.dir/paging_device.cc.o" "gcc" "src/mem/CMakeFiles/mx_mem.dir/paging_device.cc.o.d"
+  "/root/repo/src/mem/policy_gate.cc" "src/mem/CMakeFiles/mx_mem.dir/policy_gate.cc.o" "gcc" "src/mem/CMakeFiles/mx_mem.dir/policy_gate.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/mem/CMakeFiles/mx_mem.dir/replacement.cc.o" "gcc" "src/mem/CMakeFiles/mx_mem.dir/replacement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/mx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_mem.dir/active_segment.cc.o"
+  "CMakeFiles/mx_mem.dir/active_segment.cc.o.d"
+  "CMakeFiles/mx_mem.dir/core_map.cc.o"
+  "CMakeFiles/mx_mem.dir/core_map.cc.o.d"
+  "CMakeFiles/mx_mem.dir/page_control_base.cc.o"
+  "CMakeFiles/mx_mem.dir/page_control_base.cc.o.d"
+  "CMakeFiles/mx_mem.dir/page_control_parallel.cc.o"
+  "CMakeFiles/mx_mem.dir/page_control_parallel.cc.o.d"
+  "CMakeFiles/mx_mem.dir/page_control_sequential.cc.o"
+  "CMakeFiles/mx_mem.dir/page_control_sequential.cc.o.d"
+  "CMakeFiles/mx_mem.dir/paging_device.cc.o"
+  "CMakeFiles/mx_mem.dir/paging_device.cc.o.d"
+  "CMakeFiles/mx_mem.dir/policy_gate.cc.o"
+  "CMakeFiles/mx_mem.dir/policy_gate.cc.o.d"
+  "CMakeFiles/mx_mem.dir/replacement.cc.o"
+  "CMakeFiles/mx_mem.dir/replacement.cc.o.d"
+  "libmx_mem.a"
+  "libmx_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

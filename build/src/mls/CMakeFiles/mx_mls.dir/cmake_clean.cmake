@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_mls.dir/label.cc.o"
+  "CMakeFiles/mx_mls.dir/label.cc.o.d"
+  "libmx_mls.a"
+  "libmx_mls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_mls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mx_mls.
+# This may be replaced when dependencies are built.

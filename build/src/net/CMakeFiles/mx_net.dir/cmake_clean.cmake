@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_net.dir/buffers.cc.o"
+  "CMakeFiles/mx_net.dir/buffers.cc.o.d"
+  "CMakeFiles/mx_net.dir/device_io.cc.o"
+  "CMakeFiles/mx_net.dir/device_io.cc.o.d"
+  "CMakeFiles/mx_net.dir/network.cc.o"
+  "CMakeFiles/mx_net.dir/network.cc.o.d"
+  "libmx_net.a"
+  "libmx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

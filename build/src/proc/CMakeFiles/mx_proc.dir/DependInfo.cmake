@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/ipc.cc" "src/proc/CMakeFiles/mx_proc.dir/ipc.cc.o" "gcc" "src/proc/CMakeFiles/mx_proc.dir/ipc.cc.o.d"
+  "/root/repo/src/proc/traffic_controller.cc" "src/proc/CMakeFiles/mx_proc.dir/traffic_controller.cc.o" "gcc" "src/proc/CMakeFiles/mx_proc.dir/traffic_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/mx_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mls/CMakeFiles/mx_mls.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mx_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mx_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_proc.dir/ipc.cc.o"
+  "CMakeFiles/mx_proc.dir/ipc.cc.o.d"
+  "CMakeFiles/mx_proc.dir/traffic_controller.cc.o"
+  "CMakeFiles/mx_proc.dir/traffic_controller.cc.o.d"
+  "libmx_proc.a"
+  "libmx_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/userring/answering_service.cc" "src/userring/CMakeFiles/mx_userring.dir/answering_service.cc.o" "gcc" "src/userring/CMakeFiles/mx_userring.dir/answering_service.cc.o.d"
+  "/root/repo/src/userring/backup.cc" "src/userring/CMakeFiles/mx_userring.dir/backup.cc.o" "gcc" "src/userring/CMakeFiles/mx_userring.dir/backup.cc.o.d"
+  "/root/repo/src/userring/initiator.cc" "src/userring/CMakeFiles/mx_userring.dir/initiator.cc.o" "gcc" "src/userring/CMakeFiles/mx_userring.dir/initiator.cc.o.d"
+  "/root/repo/src/userring/mailbox.cc" "src/userring/CMakeFiles/mx_userring.dir/mailbox.cc.o" "gcc" "src/userring/CMakeFiles/mx_userring.dir/mailbox.cc.o.d"
+  "/root/repo/src/userring/rnm.cc" "src/userring/CMakeFiles/mx_userring.dir/rnm.cc.o" "gcc" "src/userring/CMakeFiles/mx_userring.dir/rnm.cc.o.d"
+  "/root/repo/src/userring/shell.cc" "src/userring/CMakeFiles/mx_userring.dir/shell.cc.o" "gcc" "src/userring/CMakeFiles/mx_userring.dir/shell.cc.o.d"
+  "/root/repo/src/userring/subsystem.cc" "src/userring/CMakeFiles/mx_userring.dir/subsystem.cc.o" "gcc" "src/userring/CMakeFiles/mx_userring.dir/subsystem.cc.o.d"
+  "/root/repo/src/userring/user_linker.cc" "src/userring/CMakeFiles/mx_userring.dir/user_linker.cc.o" "gcc" "src/userring/CMakeFiles/mx_userring.dir/user_linker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/mx_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/mx_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/mx_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mls/CMakeFiles/mx_mls.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_userring.dir/answering_service.cc.o"
+  "CMakeFiles/mx_userring.dir/answering_service.cc.o.d"
+  "CMakeFiles/mx_userring.dir/backup.cc.o"
+  "CMakeFiles/mx_userring.dir/backup.cc.o.d"
+  "CMakeFiles/mx_userring.dir/initiator.cc.o"
+  "CMakeFiles/mx_userring.dir/initiator.cc.o.d"
+  "CMakeFiles/mx_userring.dir/mailbox.cc.o"
+  "CMakeFiles/mx_userring.dir/mailbox.cc.o.d"
+  "CMakeFiles/mx_userring.dir/rnm.cc.o"
+  "CMakeFiles/mx_userring.dir/rnm.cc.o.d"
+  "CMakeFiles/mx_userring.dir/shell.cc.o"
+  "CMakeFiles/mx_userring.dir/shell.cc.o.d"
+  "CMakeFiles/mx_userring.dir/subsystem.cc.o"
+  "CMakeFiles/mx_userring.dir/subsystem.cc.o.d"
+  "CMakeFiles/mx_userring.dir/user_linker.cc.o"
+  "CMakeFiles/mx_userring.dir/user_linker.cc.o.d"
+  "libmx_userring.a"
+  "libmx_userring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_userring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

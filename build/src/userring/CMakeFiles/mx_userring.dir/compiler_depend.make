@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mx_userring.
+# This may be replaced when dependencies are built.

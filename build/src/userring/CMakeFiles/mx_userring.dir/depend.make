@@ -1,0 +1,2 @@
+# Empty dependencies file for mx_userring.
+# This may be replaced when dependencies are built.

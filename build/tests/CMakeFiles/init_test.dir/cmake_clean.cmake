@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/init_test.dir/init_test.cc.o"
+  "CMakeFiles/init_test.dir/init_test.cc.o.d"
+  "init_test"
+  "init_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/init_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_gates_test.dir/kernel_gates_test.cc.o"
+  "CMakeFiles/kernel_gates_test.dir/kernel_gates_test.cc.o.d"
+  "kernel_gates_test"
+  "kernel_gates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_gates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailbox_test.dir/mailbox_test.cc.o"
+  "CMakeFiles/mailbox_test.dir/mailbox_test.cc.o.d"
+  "mailbox_test"
+  "mailbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salvager_test.dir/salvager_test.cc.o"
+  "CMakeFiles/salvager_test.dir/salvager_test.cc.o.d"
+  "salvager_test"
+  "salvager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salvager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/userring_test.dir/userring_test.cc.o"
+  "CMakeFiles/userring_test.dir/userring_test.cc.o.d"
+  "userring_test"
+  "userring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/userring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
