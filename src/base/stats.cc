@@ -79,23 +79,29 @@ void Distribution::Clear() {
   sum_sq_ = 0.0;
 }
 
+namespace {
+
+auto CounterLowerBound(auto& counters, const std::string& name) {
+  return std::lower_bound(counters.begin(), counters.end(), name,
+                          [](const auto& entry, const std::string& key) {
+                            return entry.first < key;
+                          });
+}
+
+}  // namespace
+
 void CounterSet::Increment(const std::string& name, uint64_t delta) {
-  for (auto& [key, value] : counters_) {
-    if (key == name) {
-      value += delta;
-      return;
-    }
+  auto it = CounterLowerBound(counters_, name);
+  if (it != counters_.end() && it->first == name) {
+    it->second += delta;
+    return;
   }
-  counters_.emplace_back(name, delta);
+  counters_.emplace(it, name, delta);
 }
 
 uint64_t CounterSet::Get(const std::string& name) const {
-  for (const auto& [key, value] : counters_) {
-    if (key == name) {
-      return value;
-    }
-  }
-  return 0;
+  auto it = CounterLowerBound(counters_, name);
+  return it != counters_.end() && it->first == name ? it->second : 0;
 }
 
 std::vector<std::pair<std::string, uint64_t>> CounterSet::Snapshot() const { return counters_; }

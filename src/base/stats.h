@@ -39,7 +39,10 @@ class Distribution {
 };
 
 // Named monotonic counters, used for structural metrics (gate crossings,
-// kernel instructions executed, pages moved, audit denials...).
+// kernel instructions executed, pages moved, audit denials...). Every cycle
+// charge goes through Increment, so lookups are O(log n) binary searches on
+// a name-sorted vector; Snapshot() is therefore deterministically
+// name-ordered.
 class CounterSet {
  public:
   void Increment(const std::string& name, uint64_t delta = 1);
@@ -48,6 +51,7 @@ class CounterSet {
   void Clear();
 
  private:
+  // Kept sorted by name.
   std::vector<std::pair<std::string, uint64_t>> counters_;
 };
 

@@ -13,6 +13,7 @@ void AuditLog::Record(Cycles time, const std::string& principal, const std::stri
     return;
   }
   ++denials_;
+  ++denials_by_status_[static_cast<int32_t>(outcome)];
   switch (outcome) {
     case Status::kMlsReadViolation:
     case Status::kMlsWriteViolation:
@@ -31,13 +32,8 @@ void AuditLog::Record(Cycles time, const std::string& principal, const std::stri
 }
 
 uint64_t AuditLog::denials_with(Status status) const {
-  uint64_t n = 0;
-  for (const AuditRecord& record : recent_) {
-    if (record.outcome == status) {
-      ++n;
-    }
-  }
-  return n;
+  auto it = denials_by_status_.find(static_cast<int32_t>(status));
+  return it == denials_by_status_.end() ? 0 : it->second;
 }
 
 void AuditLog::Clear() {
@@ -47,6 +43,7 @@ void AuditLog::Clear() {
   mls_denials_ = 0;
   acl_denials_ = 0;
   ring_denials_ = 0;
+  denials_by_status_.clear();
 }
 
 }  // namespace multics

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <unordered_map>
 
 #include "src/base/clock.h"
 #include "src/base/status.h"
@@ -33,7 +34,14 @@ class AuditLog {
 
   uint64_t grants() const { return grants_; }
   uint64_t denials() const { return denials_; }
+  // Lifetime count of denials with exactly this status. Backed by counters,
+  // not the bounded `recent_` window, so it stays correct on long runs.
   uint64_t denials_with(Status status) const;
+
+  // Lifetime per-category counts (MLS = read-up/write-down, ACL, rings).
+  uint64_t mls_denials() const { return mls_denials_; }
+  uint64_t acl_denials() const { return acl_denials_; }
+  uint64_t ring_denials() const { return ring_denials_; }
 
   const std::deque<AuditRecord>& recent() const { return recent_; }
 
@@ -47,6 +55,7 @@ class AuditLog {
   uint64_t mls_denials_ = 0;
   uint64_t acl_denials_ = 0;
   uint64_t ring_denials_ = 0;
+  std::unordered_map<int32_t, uint64_t> denials_by_status_;
 };
 
 }  // namespace multics

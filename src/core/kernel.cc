@@ -209,6 +209,26 @@ void Kernel::RegisterGates() {
 
 // --- Gate prologue -------------------------------------------------------------------
 
+GateSpan::GateSpan(Kernel* kernel, Process& caller, const char* name, uint32_t arg_words)
+    : kernel_(kernel), name_(name), status_(kernel->EnterGate(caller, name, arg_words)) {
+  if (status_ == Status::kOk) {
+    start_ = kernel_->machine_.clock().now();
+    kernel_->machine_.meter().Emit(TraceEventKind::kGateEnter, name_);
+  }
+}
+
+GateSpan::~GateSpan() {
+  if (status_ != Status::kOk) {
+    return;
+  }
+  Meter& meter = kernel_->machine_.meter();
+  const Cycles elapsed = kernel_->machine_.clock().now() - start_;
+  meter.Emit(TraceEventKind::kGateExit, name_, elapsed);
+  if (meter.enabled()) {
+    meter.AddSample(std::string("gate/") + name_, static_cast<double>(elapsed));
+  }
+}
+
 Status Kernel::EnterGate(Process& caller, const char* name, uint32_t arg_words) {
   Status st = gates_.RecordCall(name);
   if (st != Status::kOk) {
@@ -255,7 +275,7 @@ Result<Process*> Kernel::BootstrapProcess(const std::string& name, const Princip
 Result<Process*> Kernel::ProcCreate(Process& caller, const std::string& name,
                                     const Principal& principal, const MlsLabel& clearance,
                                     std::unique_ptr<Task> program) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "proc_create"));
+  MX_ENTER_GATE(caller, "proc_create");
   Principal effective = principal;
   MlsLabel label = clearance;
   if (caller.ring() > kRingSupervisor) {
@@ -274,7 +294,7 @@ Result<Process*> Kernel::ProcCreate(Process& caller, const std::string& name,
 }
 
 Status Kernel::ProcDestroy(Process& caller, ProcessId pid) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "proc_destroy"));
+  MX_ENTER_GATE(caller, "proc_destroy");
   Process* victim = traffic_.Find(pid);
   if (victim == nullptr) {
     return Status::kNoSuchProcess;
@@ -297,7 +317,7 @@ Status Kernel::ProcDestroy(Process& caller, ProcessId pid) {
 }
 
 Result<std::string> Kernel::ProcGetInfo(Process& caller, ProcessId pid) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "proc_get_info"));
+  MX_ENTER_GATE(caller, "proc_get_info");
   Process* process = traffic_.Find(pid);
   if (process == nullptr) {
     return Status::kNoSuchProcess;
@@ -309,7 +329,7 @@ Result<std::string> Kernel::ProcGetInfo(Process& caller, ProcessId pid) {
 }
 
 Result<std::string> Kernel::ProcMetering(Process& caller) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "proc_metering", 2));
+  MX_ENTER_GATE(caller, "proc_metering", 2);
   const ProcessAccounting& accounting = caller.accounting();
   return "cpu=" + std::to_string(accounting.cpu_used) + " stolen=" +
          std::to_string(accounting.stolen_by_interrupts) + " dispatches=" +
@@ -467,7 +487,7 @@ size_t Kernel::KernelAddressSpaceStateBytes(const Process& process) const {
 // --- Admin gates ------------------------------------------------------------------------------
 
 Status Kernel::Shutdown(Process& caller) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "shutdown"));
+  MX_ENTER_GATE(caller, "shutdown");
   if (caller.ring() > kRingSupervisor) {
     return Status::kAccessDenied;
   }
@@ -476,7 +496,7 @@ Status Kernel::Shutdown(Process& caller) {
 }
 
 Result<std::string> Kernel::MeteringInfo(Process& caller) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "metering_info"));
+  MX_ENTER_GATE(caller, "metering_info");
   const PageControlMetrics& pm = page_control_->metrics();
   std::string out = "config=" + params_.config.Name();
   out += " gates=" + std::to_string(gates_.count());
@@ -505,7 +525,7 @@ Result<MlsLabel> Kernel::CheckPassword(const std::string& person, const std::str
 Result<Process*> Kernel::LoginLegacy(Process& caller, const std::string& person,
                                      const std::string& project, const std::string& password,
                                      const MlsLabel& clearance) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "login"));
+  MX_ENTER_GATE(caller, "login");
   auto max_clearance = CheckPassword(person, project, password);
   if (!max_clearance.ok()) {
     audit_.Record(machine_.clock().now(), person + "." + project, "login", kInvalidUid,

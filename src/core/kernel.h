@@ -357,7 +357,37 @@ class Kernel {
   Process* current_ = nullptr;
   uint64_t kernel_faults_ = 0;
   uint64_t address_space_ops_ = 0;
+
+  friend class GateSpan;
 };
+
+// RAII gate prologue: performs EnterGate (existence check, call accounting,
+// ring-crossing charge) and, when the gate exists, brackets the gate body
+// with kGateEnter/kGateExit trace events and feeds the elapsed cycles into
+// the meter's per-gate distribution "gate/<name>". `name` must be a string
+// literal — the flight recorder keeps the pointer.
+class GateSpan {
+ public:
+  GateSpan(Kernel* kernel, Process& caller, const char* name, uint32_t arg_words = 2);
+  ~GateSpan();
+
+  GateSpan(const GateSpan&) = delete;
+  GateSpan& operator=(const GateSpan&) = delete;
+
+  Status status() const { return status_; }
+
+ private:
+  Kernel* kernel_;
+  const char* name_;
+  Cycles start_ = 0;
+  Status status_;
+};
+
+// Gate-body prologue: enter the gate (returning its error on refusal) and
+// keep the RAII span alive for the rest of the enclosing scope.
+#define MX_ENTER_GATE(caller, name, ...)                                   \
+  GateSpan mx_gate_span(this, (caller), (name)__VA_OPT__(, ) __VA_ARGS__); \
+  MX_RETURN_IF_ERROR(mx_gate_span.status())
 
 }  // namespace multics
 

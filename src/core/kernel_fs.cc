@@ -20,7 +20,7 @@ struct EntryRef {
 
 Result<Uid> Kernel::FsCreateSegment(Process& caller, SegNo dir_segno, const std::string& name,
                                     const SegmentAttributes& attrs) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_create_seg", 12));
+  MX_ENTER_GATE(caller, "fs_create_seg", 12);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * dir_branch, store_.Get(dir_uid));
   MX_RETURN_IF_ERROR(monitor_.RequireDirectory(*dir_branch, caller.principal(),
@@ -44,7 +44,7 @@ Result<Uid> Kernel::FsCreateSegment(Process& caller, SegNo dir_segno, const std:
 
 Result<Uid> Kernel::FsCreateDirectory(Process& caller, SegNo dir_segno, const std::string& name,
                                       const SegmentAttributes& attrs, uint32_t quota_pages) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_create_dir", 12));
+  MX_ENTER_GATE(caller, "fs_create_dir", 12);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * dir_branch, store_.Get(dir_uid));
   MX_RETURN_IF_ERROR(monitor_.RequireDirectory(*dir_branch, caller.principal(),
@@ -60,7 +60,7 @@ Result<Uid> Kernel::FsCreateDirectory(Process& caller, SegNo dir_segno, const st
 
 Status Kernel::FsCreateLink(Process& caller, SegNo dir_segno, const std::string& name,
                             const std::string& target) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_create_link", 10));
+  MX_ENTER_GATE(caller, "fs_create_link", 10);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * dir_branch, store_.Get(dir_uid));
   MX_RETURN_IF_ERROR(monitor_.RequireDirectory(*dir_branch, caller.principal(),
@@ -70,7 +70,7 @@ Status Kernel::FsCreateLink(Process& caller, SegNo dir_segno, const std::string&
 }
 
 Status Kernel::FsDelete(Process& caller, SegNo dir_segno, const std::string& name) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_delete_entry", 8));
+  MX_ENTER_GATE(caller, "fs_delete_entry", 8);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * dir_branch, store_.Get(dir_uid));
   MX_RETURN_IF_ERROR(monitor_.RequireDirectory(*dir_branch, caller.principal(),
@@ -81,7 +81,7 @@ Status Kernel::FsDelete(Process& caller, SegNo dir_segno, const std::string& nam
 
 Status Kernel::FsRename(Process& caller, SegNo dir_segno, const std::string& from,
                         const std::string& to) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_rename", 10));
+  MX_ENTER_GATE(caller, "fs_rename", 10);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * dir_branch, store_.Get(dir_uid));
   MX_RETURN_IF_ERROR(monitor_.RequireDirectory(*dir_branch, caller.principal(),
@@ -92,7 +92,7 @@ Status Kernel::FsRename(Process& caller, SegNo dir_segno, const std::string& fro
 
 Status Kernel::FsAddName(Process& caller, SegNo dir_segno, const std::string& existing,
                          const std::string& additional) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_add_name", 10));
+  MX_ENTER_GATE(caller, "fs_add_name", 10);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * dir_branch, store_.Get(dir_uid));
   MX_RETURN_IF_ERROR(monitor_.RequireDirectory(*dir_branch, caller.principal(),
@@ -102,7 +102,7 @@ Status Kernel::FsAddName(Process& caller, SegNo dir_segno, const std::string& ex
 }
 
 Result<std::vector<std::string>> Kernel::FsList(Process& caller, SegNo dir_segno) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_list_dir", 4));
+  MX_ENTER_GATE(caller, "fs_list_dir", 4);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * dir_branch, store_.Get(dir_uid));
   MX_RETURN_IF_ERROR(monitor_.RequireDirectory(*dir_branch, caller.principal(),
@@ -119,7 +119,7 @@ Result<std::vector<std::string>> Kernel::FsList(Process& caller, SegNo dir_segno
 
 Result<BranchStatus> Kernel::FsStatus(Process& caller, SegNo dir_segno,
                                       const std::string& name) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_status_seg", 8));
+  MX_ENTER_GATE(caller, "fs_status_seg", 8);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * dir_branch, store_.Get(dir_uid));
   MX_RETURN_IF_ERROR(monitor_.RequireDirectory(*dir_branch, caller.principal(),
@@ -174,7 +174,7 @@ Result<Uid> TargetForAclOp(Kernel& kernel, Process& caller, SegNo dir_segno,
 
 Status Kernel::FsSetAcl(Process& caller, SegNo dir_segno, const std::string& name,
                         const AclEntry& entry) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_set_acl", 12));
+  MX_ENTER_GATE(caller, "fs_set_acl", 12);
   MX_ASSIGN_OR_RETURN(Uid uid, TargetForAclOp(*this, caller, dir_segno, name, "fs_set_acl"));
   MX_ASSIGN_OR_RETURN(Branch * branch, store_.Get(uid));
   branch->acl.Set(entry);
@@ -185,7 +185,7 @@ Status Kernel::FsSetAcl(Process& caller, SegNo dir_segno, const std::string& nam
 Status Kernel::FsRemoveAclEntry(Process& caller, SegNo dir_segno, const std::string& name,
                                 const std::string& person, const std::string& project,
                                 const std::string& tag) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_remove_acl_entry", 12));
+  MX_ENTER_GATE(caller, "fs_remove_acl_entry", 12);
   MX_ASSIGN_OR_RETURN(Uid uid,
                       TargetForAclOp(*this, caller, dir_segno, name, "fs_remove_acl_entry"));
   MX_ASSIGN_OR_RETURN(Branch * branch, store_.Get(uid));
@@ -196,7 +196,7 @@ Status Kernel::FsRemoveAclEntry(Process& caller, SegNo dir_segno, const std::str
 
 Result<std::vector<std::string>> Kernel::FsListAcl(Process& caller, SegNo dir_segno,
                                                    const std::string& name) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_list_acl", 8));
+  MX_ENTER_GATE(caller, "fs_list_acl", 8);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * dir_branch, store_.Get(dir_uid));
   MX_RETURN_IF_ERROR(monitor_.RequireDirectory(*dir_branch, caller.principal(),
@@ -219,7 +219,7 @@ Result<std::vector<std::string>> Kernel::FsListAcl(Process& caller, SegNo dir_se
 Status Kernel::FsSetRingBrackets(Process& caller, SegNo dir_segno, const std::string& name,
                                  const RingBrackets& brackets, bool gate,
                                  uint32_t gate_entries) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_set_ring_brackets", 12));
+  MX_ENTER_GATE(caller, "fs_set_ring_brackets", 12);
   if (!brackets.Valid()) {
     return Status::kInvalidArgument;
   }
@@ -242,7 +242,7 @@ Status Kernel::FsSetRingBrackets(Process& caller, SegNo dir_segno, const std::st
 
 Status Kernel::FsSetMaxLength(Process& caller, SegNo dir_segno, const std::string& name,
                               uint32_t max_pages) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_set_max_length", 10));
+  MX_ENTER_GATE(caller, "fs_set_max_length", 10);
   MX_ASSIGN_OR_RETURN(Uid uid,
                       TargetForAclOp(*this, caller, dir_segno, name, "fs_set_max_length"));
   MX_ASSIGN_OR_RETURN(Branch * branch, store_.Get(uid));
@@ -254,7 +254,7 @@ Status Kernel::FsSetMaxLength(Process& caller, SegNo dir_segno, const std::strin
 }
 
 Status Kernel::FsSetQuota(Process& caller, SegNo dir_segno, uint32_t quota_pages) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_set_quota", 6));
+  MX_ENTER_GATE(caller, "fs_set_quota", 6);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * dir_branch, store_.Get(dir_uid));
   MX_RETURN_IF_ERROR(monitor_.RequireDirectory(*dir_branch, caller.principal(),
@@ -268,7 +268,7 @@ Status Kernel::FsSetQuota(Process& caller, SegNo dir_segno, uint32_t quota_pages
 }
 
 Result<uint32_t> Kernel::FsGetQuota(Process& caller, SegNo dir_segno) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "fs_get_quota", 4));
+  MX_ENTER_GATE(caller, "fs_get_quota", 4);
   MX_ASSIGN_OR_RETURN(Uid dir_uid, ResolveDirSegno(caller, dir_segno));
   MX_ASSIGN_OR_RETURN(Branch * branch, store_.Get(dir_uid));
   return branch->quota_pages;
@@ -277,7 +277,7 @@ Result<uint32_t> Kernel::FsGetQuota(Process& caller, SegNo dir_segno) {
 // --- Segment gates -------------------------------------------------------------------
 
 Result<uint32_t> Kernel::SegGetLength(Process& caller, SegNo segno) {
-  MX_RETURN_IF_ERROR(EnterGate(caller, "seg_get_length", 4));
+  MX_ENTER_GATE(caller, "seg_get_length", 4);
   MX_ASSIGN_OR_RETURN(Uid uid, ResolveDirSegno(caller, segno));
   MX_ASSIGN_OR_RETURN(Branch * branch, store_.Get(uid));
   if (ActiveSegment* seg = ast_.Find(uid); seg != nullptr) {
@@ -301,7 +301,7 @@ Status Kernel::SegSetLength(Process& caller, SegNo segno, uint32_t pages) {
       }
     }
   }
-  MX_RETURN_IF_ERROR(EnterGate(caller, gate, 6));
+  MX_ENTER_GATE(caller, gate, 6);
   MX_ASSIGN_OR_RETURN(Uid uid, ResolveDirSegno(caller, segno));
   MX_ASSIGN_OR_RETURN(Branch * branch, store_.Get(uid));
   // Changing the length modifies the segment: write access required.

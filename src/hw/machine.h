@@ -13,6 +13,7 @@
 #include "src/hw/core_memory.h"
 #include "src/hw/cost_model.h"
 #include "src/hw/interrupt.h"
+#include "src/meter/meter.h"
 
 namespace multics {
 
@@ -65,6 +66,11 @@ class Machine {
   const CounterSet& charges() const { return charges_; }
   CounterSet& charges_mutable() { return charges_; }
 
+  // The machine-wide metering/tracing registry. Observational only: it never
+  // advances the clock, so enabling it cannot perturb any measurement.
+  Meter& meter() { return meter_; }
+  const Meter& meter() const { return meter_; }
+
  private:
   MachineConfig config_;
   SimClock clock_;
@@ -72,6 +78,7 @@ class Machine {
   CoreMemory core_;
   InterruptController interrupts_;
   CounterSet charges_;
+  Meter meter_{&clock_};
 };
 
 }  // namespace multics

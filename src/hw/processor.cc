@@ -51,6 +51,7 @@ Result<FrameIndex> Processor::Resolve(SegNo segno, WordOffset offset, AccessMode
       }
       ++segment_faults_;
       machine_->Charge(machine_->costs().fault_entry, "fault_path");
+      machine_->meter().Emit(TraceEventKind::kFaultTaken, "segment_fault", segno);
       Status st = faults_->HandleSegmentFault(segno);
       if (st != Status::kOk) {
         return st;
@@ -81,6 +82,7 @@ Result<FrameIndex> Processor::Resolve(SegNo segno, WordOffset offset, AccessMode
       }
       ++page_faults_;
       machine_->Charge(machine_->costs().fault_entry, "fault_path");
+      machine_->meter().Emit(TraceEventKind::kFaultTaken, "page_fault", segno);
       Status st = faults_->HandlePageFault(segno, PageOf(offset), mode);
       if (st != Status::kOk) {
         return st;
@@ -131,6 +133,7 @@ Status Processor::Call(SegNo target, WordOffset entry_offset, uint32_t arg_words
       }
       ++segment_faults_;
       machine_->Charge(machine_->costs().fault_entry, "fault_path");
+      machine_->meter().Emit(TraceEventKind::kFaultTaken, "segment_fault", target);
       MX_RETURN_IF_ERROR(faults_->HandleSegmentFault(target));
       continue;
     }
@@ -169,6 +172,7 @@ Status Processor::Call(SegNo target, WordOffset entry_offset, uint32_t arg_words
                          costs.software_ring_arg_copy_per_word * arg_words;
           machine_->Charge(total, "call_cross");
         }
+        machine_->meter().Emit(TraceEventKind::kRingCrossing, "call_cross", new_ring);
         ring_stack_.push_back(ring_);
         ring_ = new_ring;
         return Status::kOk;
@@ -179,6 +183,8 @@ Status Processor::Call(SegNo target, WordOffset entry_offset, uint32_t arg_words
         }
         ++cross_ring_calls_;
         machine_->Charge(costs.intra_ring_call, "call_outward");
+        machine_->meter().Emit(TraceEventKind::kRingCrossing, "call_outward",
+                               sdw.brackets.write_limit);
         ring_stack_.push_back(ring_);
         ring_ = sdw.brackets.write_limit;
         return Status::kOk;
@@ -204,6 +210,9 @@ Status Processor::Return() {
     machine_->Charge(costs.intra_ring_return + costs.software_ring_trap +
                          costs.software_ring_swap,
                      "return_cross");
+  }
+  if (caller_ring != ring_) {
+    machine_->meter().Emit(TraceEventKind::kRingCrossing, "return_cross", caller_ring);
   }
   ring_ = caller_ring;
   return Status::kOk;

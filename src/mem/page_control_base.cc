@@ -46,6 +46,7 @@ Status PageControlBase::FetchIntoFrameSync(ActiveSegment* seg, PageNo page, Fram
       machine_->core().ZeroPage(frame);
       ChargeStep("page_control_cpu", 20);
       ++metrics_.zero_fills;
+      machine_->meter().Emit(TraceEventKind::kPageFetch, "fetch_zero", page);
       break;
     }
     case PageLevel::kBulk: {
@@ -55,6 +56,7 @@ Status PageControlBase::FetchIntoFrameSync(ActiveSegment* seg, PageNo page, Fram
       MX_RETURN_IF_ERROR(bulk_->Free(loc.addr));
       RemoveBulkResident(seg, page);
       ++metrics_.fetches_from_bulk;
+      machine_->meter().Emit(TraceEventKind::kPageFetch, "fetch_bulk", page);
       break;
     }
     case PageLevel::kDisk: {
@@ -63,6 +65,7 @@ Status PageControlBase::FetchIntoFrameSync(ActiveSegment* seg, PageNo page, Fram
       machine_->core().WritePage(frame, data);
       MX_RETURN_IF_ERROR(disk_->Free(loc.addr));
       ++metrics_.fetches_from_disk;
+      machine_->meter().Emit(TraceEventKind::kPageFetch, "fetch_disk", page);
       break;
     }
     case PageLevel::kCore:
@@ -90,12 +93,14 @@ Status PageControlBase::EvictCorePageSync(FrameIndex frame, bool* cascaded) {
   // Disconnect the PTE before the copy leaves core.
   PageTableEntry& pte = seg->page_table.entries[page];
   pte.present = false;
+  machine_->meter().Emit(TraceEventKind::kPageEvictStart, "evict_sync", page);
 
   if (bulk_->Full()) {
     if (cascaded != nullptr) {
       *cascaded = true;
     }
     ++metrics_.cascades;
+    machine_->meter().Emit(TraceEventKind::kCascade, "cascade", page);
     MX_RETURN_IF_ERROR(MoveOldestBulkPageToDiskSync());
   }
 
@@ -109,6 +114,7 @@ Status PageControlBase::EvictCorePageSync(FrameIndex frame, bool* cascaded) {
   policy_->NotifyFreed(frame);
   core_map_->Release(frame);
   ++metrics_.core_evictions;
+  machine_->meter().Emit(TraceEventKind::kPageEvictDone, "evict_sync", page);
   return Status::kOk;
 }
 
@@ -126,6 +132,7 @@ Status PageControlBase::MoveOldestBulkPageToDiskSync() {
   MX_RETURN_IF_ERROR(disk_->WriteSync(disk_addr, std::move(data)));
   loc = PageLoc{PageLevel::kDisk, disk_addr};
   ++metrics_.bulk_evictions;
+  machine_->meter().Emit(TraceEventKind::kPageEvictDone, "bulk_to_disk", page);
   return Status::kOk;
 }
 

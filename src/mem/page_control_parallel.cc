@@ -50,6 +50,7 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
         pte.present = true;
         pte.used = true;
         ++metrics_.reclaims;
+        machine_->meter().Emit(TraceEventKind::kPageReclaim, "reclaim_core", page);
         metrics_.fault_latency.Add(static_cast<double>(machine_->clock().now() - start));
         metrics_.fault_path_steps.Add(1.0);
         return Status::kOk;
@@ -60,6 +61,7 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
       seg->location[page] = PageLoc{PageLevel::kBulk, seg->location[page].addr};
       AddBulkResident(seg, page);
       ++metrics_.reclaims;
+      machine_->meter().Emit(TraceEventKind::kPageReclaim, "reclaim_bulk", page);
     }
 
     // Take a free frame; the free-core daemon is supposed to have one ready.
@@ -162,6 +164,7 @@ void ParallelPageControl::WakeCoreDaemon() {
   }
   core_daemon_running_ = true;
   ++core_daemon_wakeups_;
+  machine_->meter().Emit(TraceEventKind::kDaemonWakeup, "free_core_daemon");
   machine_->Charge(machine_->costs().wakeup, "ipc");
   machine_->events().ScheduleAfter(machine_->costs().vp_switch, [this] { CoreDaemonStep(); });
 }
@@ -195,6 +198,7 @@ void ParallelPageControl::StartAsyncEviction(FrameIndex victim) {
 
   ++evictions_in_flight_;
   ++metrics_.core_evictions;
+  machine_->meter().Emit(TraceEventKind::kPageEvictStart, "evict_async", page);
 
   // Prefer the bulk store; if it is full, write straight to disk and let the
   // free-bulk daemon catch up.
@@ -204,6 +208,7 @@ void ParallelPageControl::StartAsyncEviction(FrameIndex victim) {
     device = disk_;
     target = PageLevel::kDisk;
     ++metrics_.cascades;
+    machine_->meter().Emit(TraceEventKind::kCascade, "cascade_async", page);
     WakeBulkDaemon();
   } else if (bulk_->free_pages() < config_.bulk_low_water) {
     WakeBulkDaemon();
@@ -239,6 +244,8 @@ void ParallelPageControl::StartAsyncEviction(FrameIndex victim) {
                        if (target == PageLevel::kBulk) {
                          AddBulkResident(seg, page);
                        }
+                       machine_->meter().Emit(TraceEventKind::kPageEvictDone, "evict_async",
+                                              page);
                        FrameInfo& info = core_map_->info_mutable(victim);
                        info.evicting = false;
                        policy_->NotifyFreed(victim);
@@ -257,6 +264,7 @@ void ParallelPageControl::WakeBulkDaemon() {
   }
   bulk_daemon_running_ = true;
   ++bulk_daemon_wakeups_;
+  machine_->meter().Emit(TraceEventKind::kDaemonWakeup, "free_bulk_daemon");
   machine_->Charge(machine_->costs().wakeup, "ipc");
   machine_->events().ScheduleAfter(machine_->costs().vp_switch, [this] { BulkDaemonStep(); });
 }
@@ -306,6 +314,7 @@ void ParallelPageControl::BulkDaemonStep() {
             (void)bulk_->Free(bulk_addr);
             seg->location[page] = PageLoc{PageLevel::kDisk, addr};
             --bulk_moves_in_flight_;
+            machine_->meter().Emit(TraceEventKind::kPageEvictDone, "bulk_to_disk_async", page);
           });
     });
   }

@@ -1,0 +1,132 @@
+#include "src/meter/export.h"
+
+#include <cinttypes>
+#include <sstream>
+
+namespace multics {
+
+namespace {
+
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(*s) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", *s);
+          *out += buffer;
+        } else {
+          out->push_back(*s);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Chrome phase for each event kind: duration pairs for gates and spans,
+// instants for everything else.
+char PhaseOf(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kGateEnter:
+    case TraceEventKind::kSpanBegin:
+      return 'B';
+    case TraceEventKind::kGateExit:
+    case TraceEventKind::kSpanEnd:
+      return 'E';
+    default:
+      return 'i';
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Meter& meter) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const FlightRecorder& recorder = meter.recorder();
+  for (size_t i = 0; i < recorder.size(); ++i) {
+    const TraceEvent& ev = recorder.at(i);
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    char line[160];
+    const char phase = PhaseOf(ev.kind);
+    out += "{\"name\":";
+    AppendJsonString(&out, ev.name);
+    out += ",\"cat\":";
+    AppendJsonString(&out, TraceEventKindName(ev.kind));
+    std::snprintf(line, sizeof(line), ",\"ph\":\"%c\",\"ts\":%" PRIu64 ",\"pid\":1,\"tid\":1",
+                  phase, ev.time);
+    out += line;
+    if (phase == 'i') {
+      out += ",\"s\":\"t\"";
+    }
+    std::snprintf(line, sizeof(line), ",\"args\":{\"arg\":%" PRIu64 ",\"depth\":%u}}", ev.arg,
+                  ev.depth);
+    out += line;
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteChromeTraceFile(const Meter& meter, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::kDeviceError;
+  }
+  const std::string json = ChromeTraceJson(meter);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size() ? Status::kOk : Status::kDeviceError;
+}
+
+std::string MeterReport(const Meter& meter) {
+  std::ostringstream os;
+  os << "meter: " << (meter.enabled() ? "enabled" : "disabled") << ", "
+     << meter.recorder().total_recorded() << " events recorded ("
+     << meter.recorder().dropped() << " dropped by ring wrap)\n";
+
+  os << "\nevent totals by kind:\n";
+  for (size_t k = 0; k < kTraceEventKindCount; ++k) {
+    uint64_t n = meter.events_of(static_cast<TraceEventKind>(k));
+    if (n > 0) {
+      os << "  " << TraceEventKindName(static_cast<TraceEventKind>(k)) << ": " << n << "\n";
+    }
+  }
+
+  auto counters = meter.CounterSnapshot();
+  if (!counters.empty()) {
+    os << "\ncounters:\n";
+    for (const auto& [name, value] : counters) {
+      os << "  " << name << ": " << value << "\n";
+    }
+  }
+
+  auto distributions = meter.DistributionSnapshot();
+  if (!distributions.empty()) {
+    os << "\ncycle distributions:\n";
+    for (const auto& [name, dist] : distributions) {
+      os << "  " << name << ": " << dist->Summary() << "\n";
+    }
+  }
+  return os.str();
+}
+
+void PrintMeterReport(const Meter& meter, std::FILE* out) {
+  const std::string report = MeterReport(meter);
+  std::fwrite(report.data(), 1, report.size(), out);
+}
+
+}  // namespace multics

@@ -1,0 +1,34 @@
+// Exporters for the metering subsystem: a human-readable table (benches,
+// interactive debugging) and Chrome trace_event-format JSON so a run can be
+// opened in Perfetto / chrome://tracing.
+//
+// Both render only deterministic data (sim-clock stamps, name-sorted maps),
+// so the exported bytes are identical across same-seed runs.
+
+#ifndef SRC_METER_EXPORT_H_
+#define SRC_METER_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/meter/meter.h"
+
+namespace multics {
+
+// Chrome trace_event JSON ("JSON Object Format"): gate calls and spans
+// become B/E duration pairs, everything else becomes instant events. The
+// sim-clock cycle count is written as the microsecond timestamp.
+std::string ChromeTraceJson(const Meter& meter);
+
+Status WriteChromeTraceFile(const Meter& meter, const std::string& path);
+
+// Human-readable report: per-kind event totals, named counters, and each
+// distribution's Summary() line.
+std::string MeterReport(const Meter& meter);
+
+void PrintMeterReport(const Meter& meter, std::FILE* out = stdout);
+
+}  // namespace multics
+
+#endif  // SRC_METER_EXPORT_H_

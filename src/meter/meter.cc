@@ -1,0 +1,91 @@
+#include "src/meter/meter.h"
+
+namespace multics {
+
+Meter::Meter(const SimClock* clock, size_t recorder_capacity)
+    : clock_(clock), recorder_(recorder_capacity) {}
+
+void Meter::Count(std::string_view name, uint64_t delta) {
+  if (!enabled_) {
+    return;
+  }
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Meter::AddSample(std::string_view name, double sample) {
+  if (!enabled_) {
+    return;
+  }
+  auto it = distributions_.find(name);
+  if (it == distributions_.end()) {
+    it = distributions_.emplace(std::string(name), Distribution{}).first;
+  }
+  it->second.Add(sample);
+}
+
+void Meter::Emit(TraceEventKind kind, const char* name, uint64_t arg) {
+  if (!enabled_) {
+    return;
+  }
+  ++kind_totals_[static_cast<size_t>(kind)];
+  recorder_.Push(TraceEvent{clock_->now(), kind, span_depth_, name, arg});
+}
+
+uint64_t Meter::counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Distribution* Meter::FindDistribution(std::string_view name) const {
+  auto it = distributions_.find(name);
+  return it == distributions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Meter::CounterSnapshot() const {
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, const Distribution*>> Meter::DistributionSnapshot() const {
+  std::vector<std::pair<std::string, const Distribution*>> out;
+  out.reserve(distributions_.size());
+  for (const auto& [name, dist] : distributions_) {
+    out.emplace_back(name, &dist);
+  }
+  return out;
+}
+
+void Meter::Clear() {
+  recorder_.Clear();
+  span_depth_ = 0;
+  kind_totals_.fill(0);
+  counters_.clear();
+  distributions_.clear();
+}
+
+TraceSpan::TraceSpan(Meter* meter, const char* name, uint64_t arg)
+    : meter_(meter != nullptr && meter->enabled() ? meter : nullptr), name_(name), arg_(arg) {
+  if (meter_ == nullptr) {
+    return;
+  }
+  start_ = meter_->now();
+  // Begin/end events carry this span's own depth (1 = outermost).
+  ++meter_->span_depth_;
+  meter_->Emit(TraceEventKind::kSpanBegin, name_, arg_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (meter_ == nullptr) {
+    return;
+  }
+  const Cycles elapsed = meter_->now() - start_;
+  meter_->Emit(TraceEventKind::kSpanEnd, name_, elapsed);
+  --meter_->span_depth_;
+  meter_->AddSample(name_, static_cast<double>(elapsed));
+}
+
+}  // namespace multics

@@ -1,0 +1,104 @@
+// The Meter: the kernel-wide metering and tracing registry.
+//
+// One Meter lives on the Machine, so every layer — processor, page control,
+// traffic controller, gate layer, network — records into the same place.
+// Three kinds of data:
+//   * named monotonic counters (Count),
+//   * named cycle Distributions (AddSample) — e.g. one histogram per gate,
+//   * structured TraceEvents in the bounded FlightRecorder (Emit), plus a
+//     per-kind event total kept in a flat array.
+//
+// The meter is strictly observational: it never touches the sim clock, never
+// charges cycles, and never alters control flow, so enabling or disabling it
+// cannot change what any bench measures. When disabled every entry point is
+// a single predictable branch; names are compared/stored only when enabled.
+//
+// Determinism: everything is stamped with the sim clock and stored in
+// deterministic containers, so two same-seed runs export byte-identical
+// traces — a cross-subsystem regression invariant (tests/meter_test.cc).
+
+#ifndef SRC_METER_METER_H_
+#define SRC_METER_METER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/stats.h"
+#include "src/meter/trace.h"
+
+namespace multics {
+
+class Meter {
+ public:
+  explicit Meter(const SimClock* clock, size_t recorder_capacity = 65536);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  Cycles now() const { return clock_->now(); }
+
+  // --- Recording (all no-ops while disabled) -------------------------------
+  void Count(std::string_view name, uint64_t delta = 1);
+  void AddSample(std::string_view name, double sample);
+  // `name` must be a static string (a literal); the recorder keeps the
+  // pointer, not a copy.
+  void Emit(TraceEventKind kind, const char* name, uint64_t arg = 0);
+
+  // --- Inspection ----------------------------------------------------------
+  uint64_t counter(std::string_view name) const;
+  const Distribution* FindDistribution(std::string_view name) const;
+  uint64_t events_of(TraceEventKind kind) const {
+    return kind_totals_[static_cast<size_t>(kind)];
+  }
+
+  // Name-sorted (std::map order), so output built from these is deterministic.
+  std::vector<std::pair<std::string, uint64_t>> CounterSnapshot() const;
+  std::vector<std::pair<std::string, const Distribution*>> DistributionSnapshot() const;
+
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+
+  uint32_t span_depth() const { return span_depth_; }
+
+  // Drops all recorded data; keeps the enabled flag.
+  void Clear();
+
+ private:
+  friend class TraceSpan;
+
+  const SimClock* clock_;
+  bool enabled_ = true;
+  FlightRecorder recorder_;
+  uint32_t span_depth_ = 0;
+  std::array<uint64_t, kTraceEventKindCount> kind_totals_{};
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, Distribution, std::less<>> distributions_;
+};
+
+// RAII helper for nested durations: emits kSpanBegin on construction and
+// kSpanEnd (arg = elapsed cycles) on destruction, and adds the elapsed
+// cycles to the distribution named `name`. The enabled check happens once,
+// at construction; a span on a disabled meter costs two null checks.
+class TraceSpan {
+ public:
+  TraceSpan(Meter* meter, const char* name, uint64_t arg = 0);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Meter* meter_;  // Null when the meter was disabled at construction.
+  const char* name_;
+  uint64_t arg_;
+  Cycles start_ = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_METER_METER_H_

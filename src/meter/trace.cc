@@ -1,0 +1,55 @@
+#include "src/meter/trace.h"
+
+#include "src/base/log.h"
+
+namespace multics {
+
+namespace {
+
+const char* kKindNames[kTraceEventKindCount] = {
+    "gate_enter",     "gate_exit",   "ring_crossing", "fault_taken", "page_fetch",
+    "page_evict_start", "page_evict_done", "page_reclaim", "cascade",     "daemon_wakeup",
+    "ipc_wakeup",     "ipc_block",   "dispatch",      "interrupt",   "packet_in",
+    "packet_out",     "span_begin",  "span_end",
+};
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  return kKindNames[static_cast<size_t>(kind)];
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::Push(const TraceEvent& event) {
+  ring_[head_] = event;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    ++size_;
+  }
+  ++total_;
+}
+
+const TraceEvent& FlightRecorder::at(size_t i) const {
+  CHECK(i < size_);
+  // Oldest retained event sits just past the write head once wrapped.
+  size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  return ring_[(start + i) % ring_.size()];
+}
+
+std::vector<TraceEvent> FlightRecorder::Snapshot() const {
+  std::vector<TraceEvent> events;
+  events.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    events.push_back(at(i));
+  }
+  return events;
+}
+
+void FlightRecorder::Clear() {
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+}  // namespace multics

@@ -29,6 +29,7 @@ Status NetworkAttachment::Send(ConnId conn, const std::string& data) {
   }
   ++packets_out_;
   machine_->Charge(machine_->costs().instruction * 20, "net_cpu");
+  machine_->meter().Emit(TraceEventKind::kPacketOut, "packet_out", conn);
   // Deliver to the remote sink after the wire latency.
   auto sink = it->second.remote_sink;
   if (sink) {
@@ -69,6 +70,7 @@ Status NetworkAttachment::InjectFromRemote(ConnId conn, const std::string& data)
     message.data = data;
     (void)it->second.buffer->Enqueue(message);
     ++packets_in_;
+    machine_->meter().Emit(TraceEventKind::kPacketIn, "packet_in", conn);
     (void)machine_->interrupts().Assert(config_.interrupt_line, conn);
   });
   return Status::kOk;

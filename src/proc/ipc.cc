@@ -1,5 +1,7 @@
 #include "src/proc/ipc.h"
 
+#include "src/meter/meter.h"
+
 namespace multics {
 
 ChannelId EventChannelTable::Create(ProcessId owner, uint64_t guard_uid) {
@@ -8,6 +10,9 @@ ChannelId EventChannelTable::Create(ProcessId owner, uint64_t guard_uid) {
   channel.owner = owner;
   channel.guard_uid = guard_uid;
   channels_[id] = std::move(channel);
+  if (meter_ != nullptr) {
+    meter_->Count("ipc/channels_created");
+  }
   return id;
 }
 
@@ -38,6 +43,9 @@ Result<ProcessId> EventChannelTable::Wakeup(ChannelId id, EventMessage message) 
   }
   it->second.queue.push_back(message);
   ++total_wakeups_;
+  if (meter_ != nullptr) {
+    meter_->Count("ipc/wakeups_queued");
+  }
   ProcessId waiter = it->second.waiter;
   it->second.waiter = kNoProcess;
   return waiter;
@@ -53,6 +61,9 @@ Result<EventMessage> EventChannelTable::TryReceive(ChannelId id) {
   }
   EventMessage message = it->second.queue.front();
   it->second.queue.pop_front();
+  if (meter_ != nullptr) {
+    meter_->Count("ipc/receives");
+  }
   return message;
 }
 

@@ -18,6 +18,8 @@
 
 namespace multics {
 
+class Meter;
+
 using ChannelId = uint64_t;
 using ProcessId = uint64_t;
 inline constexpr ProcessId kNoProcess = 0;
@@ -29,6 +31,11 @@ struct EventMessage {
 
 class EventChannelTable {
  public:
+  // Optional metering hook (the traffic controller attaches the machine's
+  // meter): channel creations, queued wakeups, and receives are counted
+  // under "ipc/...".
+  void AttachMeter(Meter* meter) { meter_ = meter; }
+
   // Creates a channel owned by `owner`, guarded by segment `guard_uid`
   // (0 = unguarded, kernel-internal channels).
   ChannelId Create(ProcessId owner, uint64_t guard_uid = 0);
@@ -61,6 +68,7 @@ class EventChannelTable {
     ProcessId waiter = kNoProcess;
   };
 
+  Meter* meter_ = nullptr;
   std::unordered_map<ChannelId, Channel> channels_;
   ChannelId next_id_ = 1;
   uint64_t total_wakeups_ = 0;

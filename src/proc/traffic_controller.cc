@@ -22,6 +22,7 @@ bool TaskContext::Await(ChannelId channel) {
   (void)controller_->channels_.SetWaiter(channel, self_->pid());
   self_->set_blocked_on(channel);
   controller_->machine_->Charge(controller_->machine_->costs().block, "ipc");
+  controller_->machine_->meter().Emit(TraceEventKind::kIpcBlock, "ipc_block", channel);
   return false;
 }
 
@@ -32,7 +33,9 @@ Status TaskContext::Wakeup(ChannelId channel, uint64_t data) {
 // --- TrafficController ----------------------------------------------------------
 
 TrafficController::TrafficController(Machine* machine, uint32_t virtual_processors)
-    : machine_(machine), vp_count_(virtual_processors) {}
+    : machine_(machine), vp_count_(virtual_processors) {
+  channels_.AttachMeter(&machine_->meter());
+}
 
 bool TrafficController::IsDedicated(const Process* process) const {
   for (const Process* d : dedicated_) {
@@ -106,6 +109,7 @@ Status TrafficController::Wakeup(ChannelId channel, EventMessage message) {
     return waiter.status();
   }
   machine_->Charge(machine_->costs().wakeup, "ipc");
+  machine_->meter().Emit(TraceEventKind::kIpcWakeup, "ipc_wakeup", channel);
   if (waiter.value() != kNoProcess) {
     if (Process* process = Find(waiter.value()); process != nullptr) {
       MakeReady(process);
@@ -147,6 +151,7 @@ void TrafficController::DispatchPendingInterrupts() {
     }
     const HandlerSpec& spec = it->second;
     const CostModel& costs = machine_->costs();
+    machine_->meter().Emit(TraceEventKind::kInterrupt, "interrupt", ev.line);
     if (interrupt_strategy_ == InterruptStrategy::kInlineInCurrentProcess || spec.inline_mode) {
       // The handler inhabits whatever process was running: its full body
       // executes now, on the interrupted VP, and the victim pays.
@@ -213,6 +218,7 @@ bool TrafficController::RunSlice() {
   if (next != last_running_) {
     ++context_switches_;
     machine_->Charge(machine_->costs().process_switch, "scheduler");
+    machine_->meter().Emit(TraceEventKind::kDispatch, "dispatch", next->pid());
   }
   last_running_ = next;
 

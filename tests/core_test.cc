@@ -136,6 +136,35 @@ TEST_F(KernelTest, AclDenialIsEnforcedAndAudited) {
   EXPECT_GT(kernel_->audit().denials(), denials_before);
 }
 
+TEST(AuditLogTest, DenialCountsSurviveTheRecentWindow) {
+  // denials_with() used to scan only the bounded `recent_` deque, so counts
+  // silently saturated at the window size. It is lifetime-backed now.
+  AuditLog log(/*keep_recent=*/16);
+  for (int i = 0; i < 100; ++i) {
+    log.Record(i, "Jones.Faculty", "initiate", 1, Status::kAccessDenied);
+  }
+  for (int i = 0; i < 40; ++i) {
+    log.Record(100 + i, "Jones.Faculty", "read", 2, Status::kMlsReadViolation);
+  }
+  log.Record(200, "Jones.Faculty", "call", 3, Status::kRingViolation);
+  log.Record(201, "Jones.Faculty", "initiate", 1, Status::kOk);
+
+  EXPECT_EQ(log.recent().size(), 16u);  // Window stays bounded...
+  EXPECT_EQ(log.denials_with(Status::kAccessDenied), 100u);  // ...counts don't.
+  EXPECT_EQ(log.denials_with(Status::kMlsReadViolation), 40u);
+  EXPECT_EQ(log.denials_with(Status::kRingViolation), 1u);
+  EXPECT_EQ(log.denials_with(Status::kOk), 0u);
+  EXPECT_EQ(log.acl_denials(), 100u);
+  EXPECT_EQ(log.mls_denials(), 40u);
+  EXPECT_EQ(log.ring_denials(), 1u);
+  EXPECT_EQ(log.denials(), 141u);
+  EXPECT_EQ(log.grants(), 1u);
+
+  log.Clear();
+  EXPECT_EQ(log.denials_with(Status::kAccessDenied), 0u);
+  EXPECT_EQ(log.denials(), 0u);
+}
+
 TEST_F(KernelTest, ReadOnlyAclStopsWritesAtTheHardware) {
   SegNo segno = MakeSegment("readonly", RwForAll());
   ASSERT_EQ(kernel_->FsSetAcl(*user_, HomeDir(*user_), "readonly",

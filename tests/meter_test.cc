@@ -1,0 +1,211 @@
+// The metering subsystem: flight-recorder ring semantics, span nesting,
+// the disabled fast path, export well-formedness, and the two invariants
+// the rest of the repo leans on — same-seed runs produce byte-identical
+// traces, and turning the meter off cannot change any measured cycle count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/init/bootstrap.h"
+#include "src/meter/export.h"
+#include "src/meter/meter.h"
+#include "src/userring/initiator.h"
+
+namespace multics {
+namespace {
+
+TEST(FlightRecorderTest, KeepsEverythingBeforeWrap) {
+  SimClock clock;
+  FlightRecorder recorder(/*capacity=*/8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    clock.Advance(10);
+    recorder.Push(TraceEvent{clock.now(), TraceEventKind::kDispatch, 0, "d", i});
+  }
+  EXPECT_EQ(recorder.capacity(), 8u);
+  EXPECT_EQ(recorder.size(), 5u);
+  EXPECT_EQ(recorder.total_recorded(), 5u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  for (size_t i = 0; i < recorder.size(); ++i) {
+    EXPECT_EQ(recorder.at(i).arg, i);
+    EXPECT_EQ(recorder.at(i).time, (i + 1) * 10);
+  }
+}
+
+TEST(FlightRecorderTest, WrapDropsOldestKeepsOrder) {
+  SimClock clock;
+  FlightRecorder recorder(/*capacity=*/4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    clock.Advance(1);
+    recorder.Push(TraceEvent{clock.now(), TraceEventKind::kDispatch, 0, "d", i});
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  // The survivors are the newest four, oldest-first.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(recorder.at(i).arg, 6 + i);
+  }
+  auto snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  EXPECT_EQ(snapshot.front().arg, 6u);
+  EXPECT_EQ(snapshot.back().arg, 9u);
+}
+
+TEST(MeterTest, SpansNestAndPairUp) {
+  SimClock clock;
+  Meter meter(&clock, /*recorder_capacity=*/64);
+  {
+    TraceSpan outer(&meter, "outer");
+    EXPECT_EQ(meter.span_depth(), 1u);
+    clock.Advance(100);
+    {
+      TraceSpan inner(&meter, "inner");
+      EXPECT_EQ(meter.span_depth(), 2u);
+      clock.Advance(7);
+    }
+    EXPECT_EQ(meter.span_depth(), 1u);
+  }
+  EXPECT_EQ(meter.span_depth(), 0u);
+  EXPECT_EQ(meter.events_of(TraceEventKind::kSpanBegin), 2u);
+  EXPECT_EQ(meter.events_of(TraceEventKind::kSpanEnd), 2u);
+
+  // outer begin (depth 1), inner begin (depth 2), inner end, outer end.
+  ASSERT_EQ(meter.recorder().size(), 4u);
+  EXPECT_EQ(meter.recorder().at(0).depth, 1u);
+  EXPECT_EQ(meter.recorder().at(1).depth, 2u);
+  EXPECT_EQ(meter.recorder().at(2).arg, 7u);    // inner elapsed
+  EXPECT_EQ(meter.recorder().at(3).arg, 107u);  // outer elapsed
+
+  const Distribution* inner_hist = meter.FindDistribution("inner");
+  ASSERT_NE(inner_hist, nullptr);
+  EXPECT_EQ(inner_hist->count(), 1u);
+  EXPECT_EQ(inner_hist->max(), 7.0);
+}
+
+TEST(MeterTest, DisabledMeterRecordsNothing) {
+  SimClock clock;
+  Meter meter(&clock, /*recorder_capacity=*/64);
+  meter.set_enabled(false);
+  meter.Count("c");
+  meter.AddSample("d", 3.0);
+  meter.Emit(TraceEventKind::kFaultTaken, "f");
+  {
+    TraceSpan span(&meter, "s");
+    clock.Advance(5);
+    EXPECT_EQ(meter.span_depth(), 0u);
+  }
+  EXPECT_EQ(meter.recorder().total_recorded(), 0u);
+  EXPECT_EQ(meter.counter("c"), 0u);
+  EXPECT_EQ(meter.FindDistribution("d"), nullptr);
+  EXPECT_EQ(meter.events_of(TraceEventKind::kFaultTaken), 0u);
+
+  // Re-enabling resumes recording; nothing from the disabled window appears.
+  meter.set_enabled(true);
+  meter.Count("c", 2);
+  EXPECT_EQ(meter.counter("c"), 2u);
+  EXPECT_EQ(meter.CounterSnapshot().size(), 1u);
+}
+
+// Boots a kernel and runs a small but layered workload: gate calls, user-ring
+// name resolution, paging traffic. Returns the machine so callers can read
+// the meter/clock.
+std::unique_ptr<Kernel> RunWorkload(bool meter_enabled) {
+  KernelParams params;
+  params.config = KernelConfiguration::Kernelized6180();
+  params.machine.core_frames = 48;  // Small enough to force evictions.
+  auto kernel = std::make_unique<Kernel>(params);
+  kernel->machine().meter().set_enabled(meter_enabled);
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  auto report = Bootstrap::Run(*kernel, options);
+  CHECK(report.ok());
+  auto user = kernel->BootstrapProcess(
+      "jones", Principal{"Jones", "Faculty", "a"},
+      MlsLabel{SensitivityLevel::kSecret, CategorySet::Of({1})});
+  CHECK(user.ok());
+  UserInitiator initiator(kernel.get(), user.value());
+  auto home = initiator.InitiateDirPath(">udd>Faculty>Jones");
+  CHECK(home.ok());
+  for (int i = 0; i < 8; ++i) {
+    SegmentAttributes attrs;
+    attrs.acl.Set(AclEntry{"Jones", "Faculty", "*", kModeRead | kModeWrite | kModeExecute});
+    auto uid = kernel->FsCreateSegment(*user.value(), home.value(), "w" + std::to_string(i), attrs);
+    CHECK(uid.ok());
+    auto init = kernel->Initiate(*user.value(), home.value(), "w" + std::to_string(i));
+    CHECK(init.ok());
+    CHECK(kernel->SegSetLength(*user.value(), init->segno, 2) == Status::kOk);
+    CHECK(kernel->RunAs(*user.value()) == Status::kOk);
+    for (WordOffset offset = 0; offset < 2 * kPageWords; offset += 211) {
+      CHECK(kernel->cpu().Write(init->segno, offset, offset) == Status::kOk);
+    }
+  }
+  return kernel;
+}
+
+TEST(MeterSystemTest, SameSeedRunsProduceIdenticalTraces) {
+  auto a = RunWorkload(/*meter_enabled=*/true);
+  auto b = RunWorkload(/*meter_enabled=*/true);
+  const std::string trace_a = ChromeTraceJson(a->machine().meter());
+  const std::string trace_b = ChromeTraceJson(b->machine().meter());
+  EXPECT_GT(a->machine().meter().recorder().total_recorded(), 0u);
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(MeterReport(a->machine().meter()), MeterReport(b->machine().meter()));
+}
+
+TEST(MeterSystemTest, DisablingTheMeterLeavesCycleCountsUnchanged) {
+  auto metered = RunWorkload(/*meter_enabled=*/true);
+  auto dark = RunWorkload(/*meter_enabled=*/false);
+  // The meter is observational: the same workload lands on the exact same
+  // cycle with it on or off, and all cycle-charge counters agree.
+  EXPECT_EQ(metered->machine().clock().now(), dark->machine().clock().now());
+  EXPECT_EQ(metered->machine().charges().Snapshot(), dark->machine().charges().Snapshot());
+  EXPECT_GT(metered->machine().meter().recorder().total_recorded(), 0u);
+  EXPECT_EQ(dark->machine().meter().recorder().total_recorded(), 0u);
+}
+
+TEST(MeterSystemTest, ChromeTraceJsonIsWellFormed) {
+  auto kernel = RunWorkload(/*meter_enabled=*/true);
+  const std::string json = ChromeTraceJson(kernel->machine().meter());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+
+  // Braces and brackets balance and never go negative (no parser available,
+  // but the exporter emits no strings containing braces).
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+
+  // Every gate enter has a matching exit in the trace.
+  const Meter& meter = kernel->machine().meter();
+  EXPECT_EQ(meter.events_of(TraceEventKind::kGateEnter),
+            meter.events_of(TraceEventKind::kGateExit));
+}
+
+}  // namespace
+}  // namespace multics
