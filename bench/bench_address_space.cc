@@ -13,14 +13,15 @@
 // pathname-walk cycles, and the gate surface involved.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/userring/rnm.h"
 #include "src/userring/user_linker.h"
 
 namespace multics {
 namespace {
 
-constexpr int kSegments = 24;
-constexpr int kRounds = 4;
+int kSegments = 24;
+int kRounds = 4;
 
 struct Outcome {
   size_t kernel_state_bytes = 0;
@@ -116,10 +117,13 @@ Outcome RunKernelized() {
   return outcome;
 }
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader(
       "E3: protected address-space management, legacy vs kernelized",
       "factor of ten reduction in protected code/state; simpler seg-number interface");
+
+  kSegments = options.smoke ? 6 : 24;
+  kRounds = options.smoke ? 1 : 4;
 
   Outcome legacy = RunLegacy();
   Outcome kernelized = RunKernelized();
@@ -147,12 +151,18 @@ void Run() {
       "\nThe naming work did not disappear — it moved: the kernelized run spends the\n"
       "walk cycles in the user ring (breakproof per-process state, not common\n"
       "mechanism), and ring-0 keeps only the uid<->segno half of the old KST.\n");
+
+  bench::RegisterMetric("legacy_kernel_state_bytes", legacy.kernel_state_bytes, "bytes");
+  bench::RegisterMetric("kernelized_kernel_state_bytes", kernelized.kernel_state_bytes, "bytes");
+  bench::RegisterMetric("legacy_kernel_walk_cycles", legacy.kernel_walk_cycles, "cycles");
+  bench::RegisterMetric("kernelized_kernel_walk_cycles", kernelized.kernel_walk_cycles,
+                        "cycles");
+  bench::RegisterMetric("kernelized_user_walk_cycles", kernelized.user_walk_cycles, "cycles");
+  bench::RegisterMetric("legacy_addr_gates", legacy.addr_gates, "gates");
+  bench::RegisterMetric("kernelized_addr_gates", kernelized.addr_gates, "gates");
 }
 
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_address_space)

@@ -9,6 +9,7 @@
 // performance cost of security") in miniature.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/base/random.h"
 #include "src/userring/initiator.h"
 
@@ -68,18 +69,28 @@ SizingResult RunWithAst(uint32_t ast_capacity, uint32_t working_set, int touches
   return result;
 }
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader("Ablation: active-segment-table capacity vs segment-fault traffic",
               "a smaller (easier to certify) AST trades into reconnect work");
 
   Table table({"AST capacity", "working set", "segment faults", "monitor re-checks",
                "workload cycles"});
-  constexpr int kTouches = 4000;
-  for (uint32_t working_set : {24u, 48u}) {
-    for (uint32_t capacity : {16u, 32u, 64u, 128u}) {
-      SizingResult r = RunWithAst(capacity, working_set, kTouches);
+  const int touches = options.smoke ? 400 : 4000;
+  const std::vector<uint32_t> working_sets = options.smoke ? std::vector<uint32_t>{24u}
+                                                           : std::vector<uint32_t>{24u, 48u};
+  const std::vector<uint32_t> capacities =
+      options.smoke ? std::vector<uint32_t>{16u, 64u}
+                    : std::vector<uint32_t>{16u, 32u, 64u, 128u};
+  for (uint32_t working_set : working_sets) {
+    for (uint32_t capacity : capacities) {
+      SizingResult r = RunWithAst(capacity, working_set, touches);
       table.AddRow({Fmt(capacity), Fmt(working_set), Fmt(r.segment_faults),
                     Fmt(r.monitor_checks), Fmt(r.cycles)});
+      if (working_set == 24 && (capacity == 16 || capacity == 64)) {
+        const std::string prefix = "ast" + std::to_string(capacity) + "_ws24_";
+        bench::RegisterMetric(prefix + "segment_faults", r.segment_faults, "faults");
+        bench::RegisterMetric(prefix + "cycles", r.cycles, "cycles");
+      }
     }
   }
   table.Print();
@@ -93,7 +104,4 @@ void Run() {
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_ast_sizing)

@@ -9,14 +9,16 @@
 // naming, creation, linking, reading, and writing) on the legacy supervisor
 // and on the kernelized system. The breakdown now comes from the kernel-wide
 // metering subsystem (src/meter/): per-gate call counts and cycle histograms,
-// per-subsystem event totals, and — with an output path argument — the whole
-// session as a Chrome trace_event JSON file for Perfetto/chrome://tracing:
+// per-subsystem event totals, and — with `--trace=PATH` — the whole session
+// as a Chrome trace_event JSON file for Perfetto/chrome://tracing, plus the
+// same data folded flamegraph-style next to it (PATH.folded):
 //
-//   ./build/bench/bench_cost_of_security [kernelized_trace.json]
+//   ./build/bench/bench_cost_of_security --trace=kernelized_trace.json
 
 #include <array>
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/meter/export.h"
 #include "src/userring/user_linker.h"
 
@@ -37,9 +39,12 @@ struct CostBreakdown {
   std::array<uint64_t, kTraceEventKindCount> event_totals{};
   uint64_t events_recorded = 0;
   uint64_t events_dropped = 0;
+  Cycles profile_self = 0;  // Sum of self-cycles over the attribution profile.
+  std::string folded;       // Folded-stack text of the same profile.
 };
 
-CostBreakdown RunWorkload(const KernelConfiguration& config, const std::string& trace_path) {
+CostBreakdown RunWorkload(const KernelConfiguration& config, const std::string& trace_path,
+                          const bench::BenchOptions& options) {
   BootedSystem system = BootedSystem::Make(config, /*core_frames=*/48);  // Forces paging.
   Kernel& kernel = *system.kernel;
   Process* user = system.AddUser("Jones", "Faculty",
@@ -70,12 +75,19 @@ CostBreakdown RunWorkload(const KernelConfiguration& config, const std::string& 
   const Cycles start = kernel.machine().clock().now();
   const uint64_t calls_before = kernel.gates().total_calls();
 
+  const int rounds = options.smoke ? 2 : 5;
+  const int segments_per_round = options.smoke ? 3 : 6;
+
   // The session: make a working directory of programs and data, resolve and
-  // link against the library, and push data through the paging system.
+  // link against the library, and push data through the paging system. The
+  // whole measured window lives under one root span, so the attribution
+  // profile's self-cycles sum to exactly the session's charged cycles.
+  {
+  TraceSpan session_span(&meter, "session");
   SegNo home = resolve(">udd>Faculty>Jones");
-  for (int round = 0; round < 5; ++round) {  // 60 pages: inside the project quota.
+  for (int round = 0; round < rounds; ++round) {  // 60 pages: inside the project quota.
     TraceSpan round_span(&meter, "session_round", static_cast<uint64_t>(round));
-    for (int i = 0; i < 6; ++i) {
+    for (int i = 0; i < segments_per_round; ++i) {
       std::string name = "w" + std::to_string(round) + "_" + std::to_string(i);
       SegmentAttributes attrs;
       attrs.acl.Set(AclEntry{"Jones", "Faculty", "*",
@@ -99,6 +111,7 @@ CostBreakdown RunWorkload(const KernelConfiguration& config, const std::string& 
       CHECK(linker.LookupSymbol(math, "sqrt").ok());
     }
   }
+  }  // session_span closes: profile now covers the full measured window.
 
   CostBreakdown cost;
   cost.total = kernel.machine().clock().now() - start;
@@ -120,11 +133,17 @@ CostBreakdown RunWorkload(const KernelConfiguration& config, const std::string& 
   }
   cost.events_recorded = meter.recorder().total_recorded();
   cost.events_dropped = meter.recorder().dropped();
+  cost.profile_self = meter.ProfileSelfTotal();
+  cost.folded = FoldedStackProfile(meter);
 
   if (!trace_path.empty()) {
     CHECK(WriteChromeTraceFile(meter, trace_path) == Status::kOk);
-    std::printf("[wrote Chrome trace of the %s session to %s]\n",
-                legacy ? "legacy" : "kernelized", trace_path.c_str());
+    CHECK(WriteTextFile(cost.folded, trace_path + ".folded") == Status::kOk);
+    std::printf("[wrote Chrome trace of the %s session to %s, folded stacks to %s.folded]\n",
+                legacy ? "legacy" : "kernelized", trace_path.c_str(), trace_path.c_str());
+  }
+  if (!legacy) {
+    bench::RegisterRunStats(kernel.machine());
   }
   return cost;
 }
@@ -158,13 +177,14 @@ void PrintEventTotals(const CostBreakdown& legacy, const CostBreakdown& kerneliz
   table.Print();
 }
 
-void Run(const std::string& trace_path) {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader("Footnote 7: the performance cost of security",
               "kernelization trades a few percent of gate traffic for a much smaller "
               "kernel; paging dominates either way");
 
-  CostBreakdown legacy = RunWorkload(KernelConfiguration::Legacy6180(), "");
-  CostBreakdown kernelized = RunWorkload(KernelConfiguration::Kernelized6180(), trace_path);
+  CostBreakdown legacy = RunWorkload(KernelConfiguration::Legacy6180(), "", options);
+  CostBreakdown kernelized =
+      RunWorkload(KernelConfiguration::Kernelized6180(), options.trace_path, options);
 
   Table table({"metric (same session)", "legacy-6180", "kernelized-6180", "delta"});
   auto delta = [](Cycles a, Cycles b) {
@@ -193,6 +213,20 @@ void Run(const std::string& trace_path) {
   PrintGateBreakdown("kernelized-6180", kernelized);
   PrintEventTotals(legacy, kernelized);
 
+  // The causal profile: per-process, per-stack self-cycles for the
+  // kernelized session, in folded (flamegraph) form. Every charged cycle in
+  // the session window is attributed exactly once, so the self-cycles sum
+  // back to the session total.
+  std::printf("\nFolded attribution profile (kernelized session): `process;stack self`\n%s",
+              kernelized.folded.c_str());
+  CHECK(kernelized.profile_self == kernelized.total)
+      << "profile self-cycles " << kernelized.profile_self
+      << " != session cycles " << kernelized.total;
+  CHECK(legacy.profile_self == legacy.total);
+  std::printf("[attribution check: folded self-cycles sum to the session total, "
+              "%llu cycles]\n",
+              static_cast<unsigned long long>(kernelized.profile_self));
+
   std::printf(
       "\nThe kernelized session makes more (cheap, hardware-ring) gate calls because\n"
       "the user-ring initiator asks per directory level, but the mechanism cycles\n"
@@ -200,13 +234,20 @@ void Run(const std::string& trace_path) {
       "paper's bet that the 6180's cheap crossings make the small kernel\n"
       "affordable, measured. The breakdown above is the meter's: the same\n"
       "flight-recorder/histogram data any subsystem can query, exportable as a\n"
-      "Chrome trace by passing an output path.\n");
+      "Chrome trace by passing --trace=PATH.\n");
+
+  bench::RegisterMetric("legacy_total_cycles", legacy.total, "cycles");
+  bench::RegisterMetric("kernelized_total_cycles", kernelized.total, "cycles");
+  bench::RegisterMetric("legacy_gate_calls", legacy.gate_calls, "calls");
+  bench::RegisterMetric("kernelized_gate_calls", kernelized.gate_calls, "calls");
+  bench::RegisterMetric("kernelized_gate_crossing_cycles", kernelized.gate_crossing,
+                        "cycles");
+  bench::RegisterMetric("kernelized_page_io_cycles", kernelized.page_io, "cycles");
+  bench::RegisterMetric("kernelized_profile_self_cycles", kernelized.profile_self,
+                        "cycles");
 }
 
 }  // namespace
 }  // namespace multics
 
-int main(int argc, char** argv) {
-  multics::Run(argc > 1 ? argv[1] : "");
-  return 0;
-}
+MX_BENCH(bench_cost_of_security)

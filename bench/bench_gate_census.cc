@@ -9,6 +9,7 @@
 // gate entry points per category, then report the reductions.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 
 namespace multics {
 namespace {
@@ -18,7 +19,8 @@ struct CensusRow {
   KernelConfiguration config;
 };
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
+  (void)options;  // The census is already tiny; smoke == full.
   PrintHeader("E1: gate-entry census over supervisor configurations",
               "linker removal ~= -10% of gates; linker + reference-name removal ~= -1/3");
 
@@ -53,6 +55,7 @@ void Run() {
   Table table(header);
 
   uint32_t legacy_total = 0;
+  uint32_t last_total = 0;
   for (const CensusRow& row : rows) {
     KernelParams params;
     params.config = row.config;
@@ -66,6 +69,7 @@ void Run() {
     if (legacy_total == 0) {
       legacy_total = total;
     }
+    last_total = total;
     cells.push_back(Fmt(total));
     double change = (static_cast<double>(legacy_total) - total) / legacy_total;
     cells.push_back(total == legacy_total ? "--" : "-" + Pct(change));
@@ -85,12 +89,16 @@ void Run() {
   std::printf("linker+naming+path gates / legacy    = %u/%u = %s  (paper: ~one third)\n",
               linker + naming + paths, legacy_total,
               Pct(static_cast<double>(linker + naming + paths) / legacy_total).c_str());
+
+  bench::RegisterMetric("legacy_gates", legacy_total, "gates");
+  bench::RegisterMetric("kernelized_gates", last_total, "gates");
+  bench::RegisterMetric("linker_gate_fraction", static_cast<double>(linker) / legacy_total,
+                        "fraction");
+  bench::RegisterMetric("naming_projects_gate_fraction",
+                        static_cast<double>(linker + naming + paths) / legacy_total, "fraction");
 }
 
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_gate_census)

@@ -1,0 +1,28 @@
+// The suite runner: every bench translation unit is linked in (with
+// MX_BENCH_NO_MAIN, so this file owns main) and bench_harness runs any
+// subset of them, writing the machine-readable results to BENCH_PR2.json
+// unless --json= says otherwise.
+//
+//   build/bench/bench_harness                 # all benches, full workloads
+//   build/bench/bench_harness --smoke         # tiny workloads
+//   build/bench/bench_harness bench_mls ...   # a subset, by name
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--json=", 0) == 0) {
+      has_json = true;
+    }
+  }
+  std::string default_json = "--json=BENCH_PR2.json";
+  if (!has_json) {
+    args.push_back(default_json.data());
+  }
+  return multics::bench::BenchStandaloneMain(static_cast<int>(args.size()), args.data());
+}

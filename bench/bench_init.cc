@@ -8,11 +8,13 @@
 // other."
 
 #include "bench/common.h"
+#include "bench/harness.h"
 
 namespace multics {
 namespace {
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
+  (void)options;  // Two boots; already cheap enough for smoke.
   PrintHeader("E8: stepwise bootstrap vs memory-image initialization",
               "image loading exercises far less privileged mechanism per start");
 
@@ -22,9 +24,9 @@ void Run() {
 
   // The donor system bootstraps the slow way, once.
   Kernel donor(params);
-  BootstrapOptions options;
-  options.users = DefaultUsers();
-  auto bootstrap_report = Bootstrap::Run(donor, options);
+  BootstrapOptions boot_options;
+  boot_options.users = DefaultUsers();
+  auto bootstrap_report = Bootstrap::Run(donor, boot_options);
   CHECK(bootstrap_report.ok());
 
   // Generate the image offline ("in a user environment of a previous
@@ -69,12 +71,16 @@ void Run() {
                         .ok() &&
                     fresh.CheckPassword("Jones", "Faculty", "j0nespw").ok();
   std::printf("Loaded system functionally equivalent: %s\n", equivalent ? "yes" : "NO");
+
+  bench::RegisterMetric("bootstrap_privileged_steps", bootstrap_report->privileged_steps,
+                        "steps");
+  bench::RegisterMetric("image_load_privileged_steps", load_report->privileged_steps, "steps");
+  bench::RegisterMetric("bootstrap_ring0_cycles", bootstrap_report->ring0_cycles, "cycles");
+  bench::RegisterMetric("image_load_ring0_cycles", load_report->ring0_cycles, "cycles");
+  bench::RegisterRunStats(fresh.machine());
 }
 
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_init)

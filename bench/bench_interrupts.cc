@@ -12,6 +12,7 @@
 // and victim progress under both strategies.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/proc/traffic_controller.h"
 
 namespace multics {
@@ -91,23 +92,33 @@ InterruptRun RunStrategy(InterruptStrategy strategy, Cycles handler_work, int in
   return run;
 }
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader("E7: interrupt handlers inline vs as dedicated processes",
               "dedicated handlers stop inhabiting (and taxing) arbitrary user processes");
 
   Table table({"strategy", "handler work", "handled", "stolen from victims",
                "victim steps done", "handler latency mean", "p99"});
-  constexpr int kInterrupts = 100;
-  for (Cycles work : {200u, 1000u, 4000u}) {
+  const int interrupts = options.smoke ? 20 : 100;
+  const std::vector<Cycles> workloads =
+      options.smoke ? std::vector<Cycles>{1000u} : std::vector<Cycles>{200u, 1000u, 4000u};
+  for (Cycles work : workloads) {
     for (InterruptStrategy strategy :
          {InterruptStrategy::kInlineInCurrentProcess, InterruptStrategy::kDedicatedProcesses}) {
-      InterruptRun run = RunStrategy(strategy, work, kInterrupts);
+      InterruptRun run = RunStrategy(strategy, work, interrupts);
       table.AddRow({strategy == InterruptStrategy::kInlineInCurrentProcess
                         ? "inline (in current process)"
                         : "dedicated process",
                     Fmt(static_cast<uint64_t>(work)), Fmt(run.handled),
                     Fmt(run.victim_stolen), Fmt(run.victim_steps),
                     Fmt(run.handler_latency_mean), Fmt(run.handler_latency_p99)});
+      if (work == 1000) {
+        const std::string prefix =
+            strategy == InterruptStrategy::kInlineInCurrentProcess ? "inline_" : "dedicated_";
+        bench::RegisterMetric(prefix + "stolen_from_victims", run.victim_stolen, "cycles");
+        bench::RegisterMetric(prefix + "victim_steps", run.victim_steps, "steps");
+        bench::RegisterMetric(prefix + "handler_latency_mean", run.handler_latency_mean,
+                              "cycles");
+      }
     }
   }
   table.Print();
@@ -125,7 +136,4 @@ void Run() {
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_interrupts)

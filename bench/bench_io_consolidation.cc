@@ -12,6 +12,7 @@
 // function survives the consolidation.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 
 namespace multics {
 namespace {
@@ -32,6 +33,9 @@ void Census() {
     // vs network alone.
     table.AddRow({config.Name(), Fmt(device_gates), Fmt(net_gates),
                   per_device ? "tty, card, printer, tape, network (5)" : "network (1)"});
+    bench::RegisterMetric(std::string(per_device ? "legacy" : "kernelized") +
+                              "_device_io_gates",
+                          device_gates, "gates");
   }
   table.Print();
 }
@@ -81,7 +85,8 @@ void SessionNetwork(uint64_t* cycles) {
   *cycles = kernel.machine().clock().now() - start;
 }
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
+  (void)options;  // Two short sessions; smoke == full.
   PrintHeader("E12: per-device I/O stacks vs the single network attachment",
               "one mechanism replaces five; the terminal session still works");
   Census();
@@ -102,12 +107,12 @@ void Run() {
       "terminal's host; the kernel keeps one queueing mechanism. The cycle counts\n"
       "differ mainly by wire latency, not kernel complexity — the point is the\n"
       "census above, not the latency.\n");
+
+  bench::RegisterMetric("legacy_session_cycles", legacy_cycles, "cycles");
+  bench::RegisterMetric("network_session_cycles", network_cycles, "cycles");
 }
 
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_io_consolidation)

@@ -13,12 +13,13 @@
 // process.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/userring/user_linker.h"
 
 namespace multics {
 namespace {
 
-constexpr int kTrials = 250;
+int kTrials = 250;
 
 // Builds the user's malformed object segment and returns its segno.
 Result<SegNo> InstallImage(Kernel& kernel, Process& user, SegNo home, const std::string& name,
@@ -125,10 +126,12 @@ CampaignResult RunUserRingCampaign() {
   return result;
 }
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader("E10: fuzzing the dynamic linker, in-kernel vs user-ring",
               "malformed object segments crash the in-kernel linker in ring 0; the "
               "user-ring linker confines every fault");
+
+  kTrials = options.smoke ? 25 : 250;
 
   CampaignResult legacy = RunLegacyCampaign();
   CampaignResult user_ring = RunUserRingCampaign();
@@ -151,12 +154,13 @@ void Run() {
       "user-ring row is the paper's result: the same malformed inputs produce only\n"
       "errors delivered to the process that supplied them, and the kernel is\n"
       "smaller by the eight linker gates (see E1).\n");
+
+  bench::RegisterMetric("legacy_ring0_faults", legacy.kernel_faults, "faults");
+  bench::RegisterMetric("user_ring_ring0_faults", user_ring.kernel_faults, "faults");
+  bench::RegisterMetric("user_ring_confined_faults", user_ring.confined_faults, "faults");
 }
 
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_linker)

@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/userring/initiator.h"
 
 namespace multics {
@@ -76,9 +77,11 @@ void FlowMatrix() {
   table.Print();
 }
 
-void EnforcementCost() {
-  std::printf("\nReference-monitor outcomes on a mixed workload (50 library initiations\n"
-              "plus 50 probes of a top-secret segment whose ACL would grant everything):\n");
+void EnforcementCost(const bench::BenchOptions& options) {
+  const int probes = options.smoke ? 10 : 50;
+  std::printf("\nReference-monitor outcomes on a mixed workload (%d library initiations\n"
+              "plus %d probes of a top-secret segment whose ACL would grant everything):\n",
+              probes, probes);
   Table table({"configuration", "monitor checks", "grants", "denials",
                "ts probe result"});
   for (bool mls : {false, true}) {
@@ -99,7 +102,7 @@ void EnforcementCost() {
                                    MlsLabel{SensitivityLevel::kSecret, CategorySet::Of({1})});
     UserInitiator initiator(&kernel, user);
     std::string probe_outcome;
-    for (int i = 0; i < 50; ++i) {
+    for (int i = 0; i < probes; ++i) {
       (void)initiator.InitiatePath(">system_library>math_");
       auto user_root = kernel.RootDir(*user);
       auto probe = kernel.Initiate(*user, user_root.value(), "ts_probe");
@@ -112,6 +115,9 @@ void EnforcementCost() {
     table.AddRow({std::string("mls ") + (mls ? "on" : "off"), Fmt(kernel.monitor().checks()),
                   Fmt(kernel.audit().grants()), Fmt(kernel.audit().denials()),
                   probe_outcome});
+    const std::string prefix = mls ? "mls_on_" : "mls_off_";
+    bench::RegisterMetric(prefix + "monitor_checks", kernel.monitor().checks(), "checks");
+    bench::RegisterMetric(prefix + "denials", kernel.audit().denials(), "denials");
   }
   table.Print();
   std::printf("With the lattice off, the wide ACL alone hands a secret-cleared subject a\n"
@@ -157,15 +163,21 @@ void BM_SegmentModesWithMls(benchmark::State& state) {
 }
 BENCHMARK(BM_SegmentModesWithMls);
 
+void RunBench(const bench::BenchOptions& options) {
+  PrintHeader("E9: the Mitre compartment model at the kernel's bottom layer",
+              "information flows only upward in the lattice; ACLs refine within it");
+  FlowMatrix();
+  EnforcementCost(options);
+  if (options.wallclock) {
+    int argc = 1;
+    char arg0[] = "bench_mls";
+    char* argv[] = {arg0, nullptr};
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+}
+
 }  // namespace
 }  // namespace multics
 
-int main(int argc, char** argv) {
-  multics::PrintHeader("E9: the Mitre compartment model at the kernel's bottom layer",
-                       "information flows only upward in the lattice; ACLs refine within it");
-  multics::FlowMatrix();
-  multics::EnforcementCost();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MX_BENCH(bench_mls)

@@ -12,6 +12,7 @@
 // the resident-page footprint of each scheme.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/base/random.h"
 
 namespace multics {
@@ -64,28 +65,39 @@ BufferOutcome Drive(InputBuffer& buffer, double burst_intensity, int bursts, uin
   return outcome;
 }
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader("E5: circular vs VM-backed infinite network input buffer",
               "circular buffer overwrites unconsumed messages; infinite buffer never does");
 
   Table table({"buffer", "burst intensity", "delivered", "lost (overwritten)",
                "consumer-visible gaps", "peak resident pages"});
 
-  constexpr int kBursts = 400;
-  for (double intensity : {0.5, 1.0, 2.0, 4.0}) {
+  const int bursts = options.smoke ? 50 : 400;
+  const std::vector<double> intensities =
+      options.smoke ? std::vector<double>{2.0} : std::vector<double>{0.5, 1.0, 2.0, 4.0};
+  for (double intensity : intensities) {
     {
       CircularBuffer circular(2048);  // 2 pages, reused "over and over".
-      BufferOutcome outcome = Drive(circular, intensity, kBursts, 7);
+      BufferOutcome outcome = Drive(circular, intensity, bursts, 7);
       table.AddRow({"circular (2048 words)", Fmt(intensity, 1), Fmt(outcome.delivered),
                     Fmt(outcome.lost), Fmt(outcome.sequence_gaps),
                     Fmt(static_cast<uint64_t>(circular.resident_pages()))});
+      if (intensity == 2.0) {
+        bench::RegisterMetric("circular_lost", outcome.lost, "messages");
+        bench::RegisterMetric("circular_delivered", outcome.delivered, "messages");
+      }
     }
     {
       InfiniteBuffer infinite([](uint32_t) { return Status::kOk; });
-      BufferOutcome outcome = Drive(infinite, intensity, kBursts, 7);
+      BufferOutcome outcome = Drive(infinite, intensity, bursts, 7);
       table.AddRow({"infinite (VM-backed)", Fmt(intensity, 1), Fmt(outcome.delivered),
                     Fmt(outcome.lost), Fmt(outcome.sequence_gaps),
                     Fmt(static_cast<uint64_t>(outcome.peak_resident_pages))});
+      if (intensity == 2.0) {
+        bench::RegisterMetric("infinite_lost", outcome.lost, "messages");
+        bench::RegisterMetric("infinite_peak_resident_pages", outcome.peak_resident_pages,
+                              "pages");
+      }
     }
   }
   table.Print();
@@ -105,7 +117,8 @@ void Run() {
     CHECK(user.ok());
     auto conn = kernel.NetOpen(*user.value(), "host:mit-dm");
     CHECK(conn.ok());
-    for (int i = 0; i < 200; ++i) {
+    const int packets = options.smoke ? 50 : 200;
+    for (int i = 0; i < packets; ++i) {
       CHECK(kernel.network().InjectFromRemote(conn.value(), std::string(64, 'x')) ==
             Status::kOk);
     }
@@ -113,6 +126,8 @@ void Run() {
     e2e.AddRow({config.Name() + (infinite ? "" : " (circular override)"),
                 infinite ? "infinite" : "circular", Fmt(kernel.network().packets_in()),
                 Fmt(kernel.network().total_lost())});
+    bench::RegisterMetric(std::string(infinite ? "e2e_infinite_" : "e2e_circular_") + "lost",
+                          kernel.network().total_lost(), "messages");
   }
   e2e.Print();
 }
@@ -120,7 +135,4 @@ void Run() {
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_network_buffer)

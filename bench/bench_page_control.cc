@@ -13,6 +13,7 @@
 // the fault latency distribution for both designs.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/base/random.h"
 #include "src/mem/page_control_parallel.h"
 #include "src/mem/page_control_sequential.h"
@@ -69,14 +70,14 @@ RunResult RunWorkload(bool parallel, uint32_t core_frames, uint32_t touched_page
   return result;
 }
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader("E4: page-fault path, sequential cascade vs dedicated daemon processes",
               "parallel design greatly simplifies the user fault path (1 step vs up to 3)");
 
   Table table({"design", "core/touched", "faults", "fault-path steps (max)", "latency mean",
                "latency p99", "cascades in fault path", "waits for frame", "total cycles"});
 
-  constexpr int kReferences = 2500;
+  const int references = options.smoke ? 200 : 2500;
   struct Pressure {
     uint32_t core;
     uint32_t touched;
@@ -85,7 +86,21 @@ void Run() {
   // sequential design into the full three-level cascade.
   for (Pressure pressure : {Pressure{64, 48}, Pressure{64, 128}, Pressure{64, 224}}) {
     for (bool parallel : {false, true}) {
-      RunResult r = RunWorkload(parallel, pressure.core, pressure.touched, kReferences);
+      RunResult r = RunWorkload(parallel, pressure.core, pressure.touched, references);
+      if (pressure.touched == 224) {
+        const std::string prefix = parallel ? "parallel_" : "sequential_";
+        bench::RegisterMetric(prefix + "fault_latency_mean",
+                              r.metrics.fault_latency.count() > 0
+                                  ? r.metrics.fault_latency.mean()
+                                  : 0.0,
+                              "cycles");
+        bench::RegisterMetric(prefix + "fault_path_steps_max",
+                              r.metrics.fault_path_steps.count() > 0
+                                  ? r.metrics.fault_path_steps.max()
+                                  : 0.0,
+                              "steps");
+        bench::RegisterMetric(prefix + "total_cycles", r.total_cycles, "cycles");
+      }
       table.AddRow({parallel ? "parallel (daemons)" : "sequential (in-fault)",
                     Fmt(static_cast<uint64_t>(pressure.core)) + "/" +
                         Fmt(static_cast<uint64_t>(pressure.touched)),
@@ -116,7 +131,4 @@ void Run() {
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_page_control)

@@ -12,6 +12,7 @@
 // and data-integrity checks show zero unauthorized reads or writes.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/mem/page_control_sequential.h"
 #include "src/mem/policy_gate.h"
 
@@ -27,7 +28,7 @@ struct PolicyRun {
   uint64_t ring_violations = 0;
 };
 
-PolicyRun RunWith(const std::string& policy_name, RingMode ring_mode) {
+PolicyRun RunWith(const std::string& policy_name, RingMode ring_mode, int touches) {
   MachineConfig machine_config;
   machine_config.core_frames = 32;
   machine_config.ring_mode = ring_mode;
@@ -55,7 +56,7 @@ PolicyRun RunWith(const std::string& policy_name, RingMode ring_mode) {
   // Deterministic locality workload with page-content checksums.
   Rng rng(99);
   std::vector<Word> shadow(64, 0);
-  for (int i = 0; i < 1200; ++i) {
+  for (int i = 0; i < touches; ++i) {
     PageNo page = static_cast<PageNo>(rng.NextZipf(64, 1.2));
     CHECK(pc.EnsureResident(seg.value(), page, AccessMode::kWrite) == Status::kOk);
     PageTableEntry& pte = seg.value()->page_table.entries[page];
@@ -108,19 +109,24 @@ PolicyRun RunWith(const std::string& policy_name, RingMode ring_mode) {
   return run;
 }
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader("E6: page-replacement policy outside the most-privileged ring",
               "hostile policy can cause only denial of use; separation costs gate crossings");
 
+  const int touches = options.smoke ? 200 : 1200;
   Table table({"policy", "rings", "faults (denial)", "gate crossings", "crossing cycles",
                "garbage args rejected", "data intact", "ring probes stopped"});
   for (RingMode mode : {RingMode::kHardware6180, RingMode::kSoftware645}) {
     for (const std::string& policy : {"direct-clock", "gated-clock", "malicious"}) {
-      PolicyRun run = RunWith(policy, mode);
+      PolicyRun run = RunWith(policy, mode, touches);
       table.AddRow({policy, RingModeName(mode), Fmt(run.faults), Fmt(run.gate_crossings),
                     Fmt(run.crossing_cycles), Fmt(run.garbage_rejected),
                     run.data_intact ? "yes" : "NO - VIOLATION",
                     Fmt(run.ring_violations) + "/2"});
+      if (mode == RingMode::kHardware6180) {
+        bench::RegisterMetric(policy + "_faults", run.faults, "faults");
+        bench::RegisterMetric(policy + "_crossing_cycles", run.crossing_cycles, "cycles");
+      }
     }
   }
   table.Print();
@@ -138,7 +144,4 @@ void Run() {
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_policy_mechanism)

@@ -12,6 +12,7 @@
 // layer makes them queue behind every user process.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/proc/traffic_controller.h"
 
 namespace multics {
@@ -24,7 +25,7 @@ struct LayerRun {
   double daemon_service_p99 = 0;
 };
 
-LayerRun RunLayers(bool two_layer, int user_count) {
+LayerRun RunLayers(bool two_layer, int user_count, Cycles horizon) {
   Machine machine(MachineConfig{});
   TrafficController tc(&machine, 16);
   tc.set_two_layer(two_layer);
@@ -59,7 +60,7 @@ LayerRun RunLayers(bool two_layer, int user_count) {
     CHECK(user.ok());
   }
 
-  tc.RunUntil(400'000);
+  tc.RunUntil(horizon);
   LayerRun run;
   run.daemon_steps = daemon_steps;
   run.user_steps = user_steps;
@@ -70,19 +71,30 @@ LayerRun RunLayers(bool two_layer, int user_count) {
   return run;
 }
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader("E11: two-layer processes — dedicated virtual processors for kernel daemons",
               "fixed level-1 VPs keep kernel daemons runnable regardless of user load");
 
+  const Cycles horizon = options.smoke ? 50'000 : 400'000;
+  const std::vector<int> populations = options.smoke ? std::vector<int>{24}
+                                                     : std::vector<int>{2, 8, 24};
   Table table({"structure", "user processes", "daemon steps", "user steps",
                "daemon service mean (cycles)", "p99"});
-  for (int users : {2, 8, 24}) {
+  for (int users : populations) {
     for (bool two_layer : {true, false}) {
-      LayerRun run = RunLayers(two_layer, users);
+      LayerRun run = RunLayers(two_layer, users, horizon);
       table.AddRow({two_layer ? "two-layer (dedicated VPs)" : "single-layer (one queue)",
                     Fmt(static_cast<uint64_t>(users)), Fmt(run.daemon_steps),
                     Fmt(run.user_steps), Fmt(run.daemon_service_mean),
                     Fmt(run.daemon_service_p99)});
+      if (users == 24) {
+        const std::string prefix = two_layer ? "two_layer_" : "single_layer_";
+        bench::RegisterMetric(prefix + "daemon_steps", run.daemon_steps, "steps");
+        bench::RegisterMetric(prefix + "daemon_service_mean", run.daemon_service_mean,
+                              "cycles");
+        bench::RegisterMetric(prefix + "daemon_service_p99", run.daemon_service_p99,
+                              "cycles");
+      }
     }
   }
   table.Print();
@@ -98,7 +110,4 @@ void Run() {
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_process_layers)

@@ -6,6 +6,7 @@
 // and malicious variants) across locality regimes, on identical workloads.
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/base/random.h"
 #include "src/mem/page_control_sequential.h"
 #include "src/mem/policy_gate.h"
@@ -58,7 +59,7 @@ AblationResult RunPolicy(const std::string& policy_name, double zipf_s, uint32_t
   return result;
 }
 
-void Run() {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader("Ablation: replacement policies (the swappable half of the E6 split)",
               "locality-sensitive policies (clock/LRU) beat FIFO; a hostile policy "
               "only costs time");
@@ -74,11 +75,20 @@ void Run() {
       {"low locality (uniform, 96p)", 0.0, 96},
       {"tight fit (zipf 1.2, 40p)", 1.2, 40},
   };
-  constexpr int kReferences = 3000;
+  const int references = options.smoke ? 300 : 3000;
   for (const Workload& workload : workloads) {
     for (const char* policy : {"clock", "aging-lru", "fifo", "gated-clock", "malicious"}) {
-      AblationResult r = RunPolicy(policy, workload.zipf_s, workload.pages, kReferences);
+      AblationResult r = RunPolicy(policy, workload.zipf_s, workload.pages, references);
       table.AddRow({policy, workload.name, Fmt(r.faults), Fmt(r.evictions), Fmt(r.cycles)});
+      if (workload.zipf_s == 1.4) {
+        std::string slug(policy);
+        for (char& c : slug) {
+          if (c == '-') {
+            c = '_';
+          }
+        }
+        bench::RegisterMetric(slug + "_high_locality_faults", r.faults, "faults");
+      }
     }
   }
   table.Print();
@@ -92,7 +102,4 @@ void Run() {
 }  // namespace
 }  // namespace multics
 
-int main() {
-  multics::Run();
-  return 0;
-}
+MX_BENCH(bench_replacement_ablation)

@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "src/hw/processor.h"
 
 namespace multics {
@@ -64,7 +65,7 @@ CallCosts Measure(RingMode mode, uint32_t arg_words) {
   return costs;
 }
 
-void RunTables() {
+void RunBench(const bench::BenchOptions& options) {
   PrintHeader("E2: ring-crossing cost, 645 software rings vs 6180 hardware rings",
               "645: cross-ring >> intra-ring; 6180: cross-ring == intra-ring");
 
@@ -75,6 +76,12 @@ void RunTables() {
       table.AddRow({RingModeName(mode), Fmt(static_cast<uint64_t>(args)), Fmt(costs.intra),
                     Fmt(costs.cross),
                     Fmt(static_cast<double>(costs.cross) / static_cast<double>(costs.intra))});
+      if (args == 4) {
+        const std::string prefix =
+            mode == RingMode::kSoftware645 ? "software645_" : "hardware6180_";
+        bench::RegisterMetric(prefix + "intra_ring_cycles", costs.intra, "cycles");
+        bench::RegisterMetric(prefix + "cross_ring_cycles", costs.cross, "cycles");
+      }
     }
   }
   table.Print();
@@ -89,14 +96,26 @@ void RunTables() {
     Kernel kernel(params);
     auto user = kernel.BootstrapProcess("u", Principal{"Jones", "Faculty", "a"}, {});
     CHECK(user.ok());
-    constexpr int kCalls = 100;
-    for (int i = 0; i < kCalls; ++i) {
+    const int calls = options.smoke ? 10 : 100;
+    for (int i = 0; i < calls; ++i) {
       CHECK(kernel.RootDir(*user.value()).ok());
     }
-    gate_table.AddRow({config.Name(),
-                       Fmt(kernel.machine().charges().Get("gate_crossing") / kCalls)});
+    const Cycles per_call = kernel.machine().charges().Get("gate_crossing") / calls;
+    gate_table.AddRow({config.Name(), Fmt(per_call)});
+    bench::RegisterMetric(std::string(config.Name()) + "_gate_crossing_cycles_per_call",
+                          per_call, "cycles");
   }
   gate_table.Print();
+
+  if (options.wallclock) {
+    // Wall-clock microbenches are nondeterministic by nature: standalone,
+    // opt-in only, and never registered as metrics.
+    int argc = 1;
+    char arg0[] = "bench_ring_crossing";
+    char* argv[] = {arg0, nullptr};
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
 }
 
 // Wall-clock microbenchmarks of the simulated call machinery itself.
@@ -151,9 +170,4 @@ BENCHMARK(BM_GateCall);
 }  // namespace
 }  // namespace multics
 
-int main(int argc, char** argv) {
-  multics::RunTables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MX_BENCH(bench_ring_crossing)

@@ -1,0 +1,226 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "src/base/log.h"
+#include "src/hw/machine.h"
+
+namespace multics {
+namespace bench {
+
+namespace {
+
+struct Metric {
+  double value = 0;
+  std::string unit;
+};
+
+struct BenchResult {
+  std::map<std::string, Metric> metrics;
+  std::map<std::string, uint64_t> counters;
+  uint64_t cycles = 0;
+  bool has_run_stats = false;
+};
+
+// The bench currently collecting metrics; null outside RunBenches.
+BenchResult* g_active = nullptr;
+
+std::vector<std::pair<std::string, BenchFn>>& MutableRegistry() {
+  static std::vector<std::pair<std::string, BenchFn>> registry;
+  return registry;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Deterministic number rendering: integers (the common case — cycle counts)
+// print without a fraction; everything else prints with six digits.
+void AppendJsonNumber(std::string* out, double v) {
+  char buffer[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.6f", v);
+  }
+  *out += buffer;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return written == text.size();
+}
+
+}  // namespace
+
+void RegisterMetric(const std::string& name, double value, const std::string& unit) {
+  if (g_active == nullptr) {
+    return;  // Bench body invoked outside the harness (e.g. from a test).
+  }
+  g_active->metrics[name] = Metric{value, unit};
+}
+
+void RegisterRunStats(const Machine& machine) {
+  if (g_active == nullptr) {
+    return;
+  }
+  g_active->cycles = machine.clock().now();
+  g_active->has_run_stats = true;
+  for (const auto& [name, value] : machine.charges().Snapshot()) {
+    g_active->counters["charge/" + name] = value;
+  }
+  for (const auto& [name, value] : machine.meter().CounterSnapshot()) {
+    g_active->counters["meter/" + name] = value;
+  }
+}
+
+bool RegisterBench(const std::string& name, BenchFn fn) {
+  MutableRegistry().emplace_back(name, fn);
+  return true;
+}
+
+std::string RunBenches(const std::vector<std::string>& names, const BenchOptions& options) {
+  // Sorted execution order: the registry fills in link order, which is an
+  // accident of the build; the JSON must not depend on it.
+  std::vector<std::pair<std::string, BenchFn>> selected;
+  if (names.empty()) {
+    selected = MutableRegistry();
+  } else {
+    for (const std::string& name : names) {
+      bool found = false;
+      for (const auto& entry : MutableRegistry()) {
+        if (entry.first == name) {
+          selected.push_back(entry);
+          found = true;
+          break;
+        }
+      }
+      CHECK(found) << "unknown bench '" << name << "'";
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+
+  std::map<std::string, BenchResult> results;
+  for (const auto& [name, fn] : selected) {
+    BenchResult result;
+    g_active = &result;
+    fn(options);
+    g_active = nullptr;
+    results[name] = std::move(result);
+  }
+
+  std::string out;
+  out += "{\"schema\":\"multics-bench-v1\",\"mode\":";
+  AppendJsonString(&out, options.smoke ? "smoke" : "full");
+  out += ",\"benches\":{";
+  bool first_bench = true;
+  for (const auto& [name, result] : results) {
+    if (!first_bench) {
+      out.push_back(',');
+    }
+    first_bench = false;
+    AppendJsonString(&out, name);
+    out += ":{\"metrics\":{";
+    bool first = true;
+    for (const auto& [metric_name, metric] : result.metrics) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      AppendJsonString(&out, metric_name);
+      out += ":{\"value\":";
+      AppendJsonNumber(&out, metric.value);
+      out += ",\"unit\":";
+      AppendJsonString(&out, metric.unit);
+      out += "}";
+    }
+    out += "}";
+    if (result.has_run_stats) {
+      out += ",\"cycles\":";
+      AppendJsonNumber(&out, static_cast<double>(result.cycles));
+      out += ",\"counters\":{";
+      first = true;
+      for (const auto& [counter_name, value] : result.counters) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        AppendJsonString(&out, counter_name);
+        out.push_back(':');
+        AppendJsonNumber(&out, static_cast<double>(value));
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+int BenchStandaloneMain(int argc, char** argv) {
+  BenchOptions options;
+  std::string json_path;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--wallclock") {
+      options.wallclock = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options.trace_path = arg.substr(8);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--wallclock] [--trace=PATH] [--json=PATH] [bench...]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      names.push_back(arg);
+    }
+  }
+  const std::string json = RunBenches(names, options);
+  if (!json_path.empty()) {
+    if (!WriteFile(json_path, json)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace multics

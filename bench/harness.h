@@ -1,0 +1,86 @@
+// The bench harness library: every bench registers itself (MX_BENCH) and
+// reports its headline numbers through RegisterMetric, so the same bench
+// body serves three masters:
+//   * standalone: `build/bench/bench_foo` — prints its tables as before,
+//     with `--smoke` (tiny workload, used as a ctest), `--json=PATH`
+//     (machine-readable metrics), `--trace=PATH` (Chrome trace where the
+//     bench supports it), `--wallclock` (google-benchmark microbenches,
+//     nondeterministic, never part of the JSON);
+//   * the suite runner: `build/bench/bench_harness` executes any subset of
+//     the registered benches and writes one BENCH_PR2.json with every
+//     bench's metrics, counter snapshot, and simulated-cycle total;
+//   * ctest: each bench's `--smoke` mode is registered as a test so benches
+//     cannot silently rot.
+//
+// Determinism contract: metrics registered from sim-clock cycles and
+// deterministic counters make the JSON byte-identical across same-seed
+// runs. Wall-clock numbers must never be registered as metrics.
+
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace multics {
+
+class Machine;
+
+namespace bench {
+
+struct BenchOptions {
+  bool smoke = false;      // Tiny workload: exercise every path, finish fast.
+  bool wallclock = false;  // Also run google-benchmark microbenches (not JSON).
+  std::string trace_path;  // If set, benches that can, export a Chrome trace.
+};
+
+// Records one headline metric for the currently running bench. Benches must
+// register the same metric names in smoke and full modes (only the values
+// differ), so JSON files from either mode diff cleanly.
+void RegisterMetric(const std::string& name, double value, const std::string& unit);
+
+// Snapshots the machine's simulated-cycle total, its charge categories
+// ("charge/<category>") and the meter's named counters ("meter/<name>")
+// into the current bench's result. Call on the bench's primary system.
+void RegisterRunStats(const Machine& machine);
+
+using BenchFn = void (*)(const BenchOptions&);
+
+// Static-init registration; returns true so it can initialise a global.
+bool RegisterBench(const std::string& name, BenchFn fn);
+
+// Entry point used by every standalone bench binary's main(): parses
+// --smoke / --wallclock / --trace= / --json= and runs the one registered
+// bench (or all, in bench_harness, where several are linked in).
+int BenchStandaloneMain(int argc, char** argv);
+
+// Runs the registered benches whose names are in `names` (all when empty)
+// and returns the results JSON. Unknown names abort with a message.
+std::string RunBenches(const std::vector<std::string>& names, const BenchOptions& options);
+
+}  // namespace bench
+}  // namespace multics
+
+// Registers the file-local RunBench(const bench::BenchOptions&) under the
+// given identifier and, unless the translation unit is being linked into
+// the suite runner (MX_BENCH_NO_MAIN), defines the standalone main. Place
+// at the end of the bench file, at global scope; it reopens the anonymous
+// namespace, so RunBench resolves to this file's copy.
+#define MX_BENCH_REGISTER(ident)                                                  \
+  namespace multics {                                                             \
+  namespace {                                                                     \
+  [[maybe_unused]] const bool mx_bench_registered_##ident =                       \
+      ::multics::bench::RegisterBench(#ident, &RunBench);                         \
+  }                                                                               \
+  }
+
+#ifdef MX_BENCH_NO_MAIN
+#define MX_BENCH(ident) MX_BENCH_REGISTER(ident)
+#else
+#define MX_BENCH(ident)                                                           \
+  MX_BENCH_REGISTER(ident)                                                        \
+  int main(int argc, char** argv) { return ::multics::bench::BenchStandaloneMain(argc, argv); }
+#endif
+
+#endif  // BENCH_HARNESS_H_

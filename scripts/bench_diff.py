@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare two bench-harness JSON files (multics-bench-v1 schema).
+
+Usage:
+    scripts/bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Prints one line per metric that changed, with absolute and relative delta,
+plus metrics/benches present on only one side. Exit status: 0 when no metric
+moved by more than --threshold percent (default 0, i.e. any change fails),
+1 otherwise, 2 on usage/schema errors. Wall-clock numbers are never in these
+files (the harness refuses to register them), so any delta is a real change
+in simulated behaviour.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if doc.get("schema") != "multics-bench-v1":
+        sys.exit(f"bench_diff: {path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def flatten(doc):
+    """{(bench, metric): (value, unit)} including counters and cycle totals."""
+    out = {}
+    for bench, body in doc.get("benches", {}).items():
+        for name, m in body.get("metrics", {}).items():
+            out[(bench, name)] = (m["value"], m.get("unit", ""))
+        if "cycles" in body:
+            out[(bench, "(cycles)")] = (body["cycles"], "cycles")
+        for name, value in body.get("counters", {}).items():
+            out[(bench, name)] = (value, "")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="tolerated relative change in percent (default 0)")
+    args = parser.parse_args()
+
+    a_doc, b_doc = load(args.baseline), load(args.current)
+    if a_doc.get("mode") != b_doc.get("mode"):
+        print(f"note: comparing mode={a_doc.get('mode')} against mode={b_doc.get('mode')}; "
+              "workload sizes differ, deltas are expected")
+    a, b = flatten(a_doc), flatten(b_doc)
+
+    failures = 0
+    for key in sorted(set(a) | set(b)):
+        bench, metric = key
+        if key not in a:
+            print(f"ONLY-IN-CURRENT  {bench}:{metric} = {b[key][0]}")
+            failures += 1
+        elif key not in b:
+            print(f"ONLY-IN-BASELINE {bench}:{metric} = {a[key][0]}")
+            failures += 1
+        else:
+            va, vb = a[key][0], b[key][0]
+            if va == vb:
+                continue
+            rel = abs(vb - va) / abs(va) * 100 if va else float("inf")
+            unit = a[key][1]
+            marker = "  " if rel <= args.threshold else "! "
+            if rel > args.threshold:
+                failures += 1
+            print(f"{marker}{bench}:{metric}  {va} -> {vb} {unit} "
+                  f"({vb - va:+g}, {rel:.2f}%)")
+
+    if failures:
+        print(f"bench_diff: {failures} metric(s) changed beyond {args.threshold}%")
+        return 1
+    print("bench_diff: no differences beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

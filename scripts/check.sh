@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly as CI and ROADMAP.md define it, plus an
+# AddressSanitizer+UBSan build of the same tree:
+#
+#   scripts/check.sh             # plain build + ctest, then sanitized build + ctest
+#   scripts/check.sh --fast      # plain build + ctest only
+#
+# Build trees: build/ (plain) and build-asan/ (sanitized), both from the
+# repo root, so the script is safe to run from anywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest (build/) =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== ok (fast mode: sanitizers skipped) =="
+  exit 0
+fi
+
+echo "== sanitized: ASan+UBSan build + ctest (build-asan/) =="
+cmake -B build-asan -S . -DMULTICS_SANITIZE=ON
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -j)
+
+echo "== ok =="

@@ -210,26 +210,36 @@ void Kernel::RegisterGates() {
 // --- Gate prologue -------------------------------------------------------------------
 
 GateSpan::GateSpan(Kernel* kernel, Process& caller, const char* name, uint32_t arg_words)
-    : kernel_(kernel), name_(name), status_(kernel->EnterGate(caller, name, arg_words)) {
-  if (status_ == Status::kOk) {
-    start_ = kernel_->machine_.clock().now();
-    kernel_->machine_.meter().Emit(TraceEventKind::kGateEnter, name_);
-  }
-}
-
-GateSpan::~GateSpan() {
+    : kernel_(kernel), name_(name), status_(kernel->EnterGate(caller, name)) {
   if (status_ != Status::kOk) {
     return;
   }
   Meter& meter = kernel_->machine_.meter();
-  const Cycles elapsed = kernel_->machine_.clock().now() - start_;
-  meter.Emit(TraceEventKind::kGateExit, name_, elapsed);
+  if (meter.enabled()) {
+    // Attribute the gate body to the calling process running in ring 0; the
+    // span itself stays on the current causal stack, so a gate called from a
+    // bench's session span (or another process's open span) nests under it.
+    saved_attribution_ = meter.SetAttribution(Attribution{caller.pid(), kRingKernel});
+    ctx_ = meter.OpenSpan(name_, TraceEventKind::kGateEnter);
+  }
+  // Charged after the span opens so the crossing is gate self-time; the
+  // charge itself does not depend on whether the meter is enabled.
+  kernel_->ChargeGateCrossing(arg_words);
+}
+
+GateSpan::~GateSpan() {
+  if (status_ != Status::kOk || ctx_ == nullptr) {
+    return;
+  }
+  Meter& meter = kernel_->machine_.meter();
+  const Cycles elapsed = meter.CloseSpan(ctx_, TraceEventKind::kGateExit);
+  meter.SetAttribution(saved_attribution_);
   if (meter.enabled()) {
     meter.AddSample(std::string("gate/") + name_, static_cast<double>(elapsed));
   }
 }
 
-Status Kernel::EnterGate(Process& caller, const char* name, uint32_t arg_words) {
+Status Kernel::EnterGate(Process& caller, const char* name) {
   Status st = gates_.RecordCall(name);
   if (st != Status::kOk) {
     // The mechanism is not part of this configuration's kernel: there is no
@@ -238,6 +248,10 @@ Status Kernel::EnterGate(Process& caller, const char* name, uint32_t arg_words) 
                   Status::kNotAGate);
     return Status::kNotAGate;
   }
+  return Status::kOk;
+}
+
+void Kernel::ChargeGateCrossing(uint32_t arg_words) {
   const CostModel& costs = machine_.costs();
   if (machine_.ring_mode() == RingMode::kHardware6180) {
     machine_.Charge(costs.intra_ring_call + costs.hardware_ring_call_extra +
@@ -251,7 +265,6 @@ Status Kernel::EnterGate(Process& caller, const char* name, uint32_t arg_words) 
                         costs.software_ring_swap,
                     "gate_crossing");
   }
-  return Status::kOk;
 }
 
 // --- Process management ----------------------------------------------------------------

@@ -297,8 +297,11 @@ class Kernel {
   Result<SegNo> SearchInitiateInternal(Process& caller, const std::string& refname);
 
   // Gate prologue: existence check (kNotAGate when the mechanism is not in
-  // this configuration's kernel), call accounting, ring-crossing charge.
-  Status EnterGate(Process& caller, const char* name, uint32_t arg_words = 2);
+  // this configuration's kernel) and call accounting. The ring-crossing
+  // charge is separate (ChargeGateCrossing) so GateSpan can land it inside
+  // the gate's causal span and the crossing shows up as gate self-cycles.
+  Status EnterGate(Process& caller, const char* name);
+  void ChargeGateCrossing(uint32_t arg_words);
 
   // Initiation tail shared by all addressing flavours.
   Result<SegNo> InitiateKnown(Process& caller, Uid uid, const char* operation);
@@ -362,10 +365,12 @@ class Kernel {
 };
 
 // RAII gate prologue: performs EnterGate (existence check, call accounting,
-// ring-crossing charge) and, when the gate exists, brackets the gate body
-// with kGateEnter/kGateExit trace events and feeds the elapsed cycles into
-// the meter's per-gate distribution "gate/<name>". `name` must be a string
-// literal — the flight recorder keeps the pointer.
+// ring-crossing charge) and, when the gate exists, opens a causal span —
+// kGateEnter/kGateExit bracketing the gate body, nested under whatever span
+// the caller was in — attributed to the calling process at ring 0 (where
+// the gate body runs), and feeds the elapsed cycles into the meter's
+// per-gate distribution "gate/<name>". `name` must be a string literal —
+// the flight recorder keeps the pointer.
 class GateSpan {
  public:
   GateSpan(Kernel* kernel, Process& caller, const char* name, uint32_t arg_words = 2);
@@ -379,8 +384,9 @@ class GateSpan {
  private:
   Kernel* kernel_;
   const char* name_;
-  Cycles start_ = 0;
   Status status_;
+  TraceContext* ctx_ = nullptr;  // Context the span opened on; null if none.
+  Attribution saved_attribution_{};
 };
 
 // Gate-body prologue: enter the gate (returning its error on refusal) and

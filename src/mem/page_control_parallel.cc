@@ -28,6 +28,10 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
   }
 
   ++metrics_.faults;
+  // The causal span covers the whole fault service, including daemon work
+  // pumped from WaitFor: those callbacks run within this window, so their
+  // events nest under this span in the attribution profile.
+  TraceSpan fault_span(&machine_->meter(), "page/fault_service", page);
   const Cycles start = machine_->clock().now();
   ChargeStep("page_control_cpu", 30);  // The whole fault path: wait + initiate.
 

@@ -12,6 +12,7 @@ Status SequentialPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Ac
   }
 
   ++metrics_.faults;
+  TraceSpan fault_span(&machine_->meter(), "page/fault_service", page);
   const Cycles start = machine_->clock().now();
   uint32_t steps = 1;  // Fault analysis + fetch initiation.
   ChargeStep("page_control_cpu");

@@ -1,6 +1,7 @@
 #include "src/meter/export.h"
 
 #include <cinttypes>
+#include <map>
 #include <sstream>
 
 namespace multics {
@@ -48,12 +49,32 @@ char PhaseOf(TraceEventKind kind) {
   }
 }
 
+const std::string* LabelOf(const Meter& meter, uint64_t pid) {
+  auto it = meter.process_labels().find(pid);
+  return it == meter.process_labels().end() ? nullptr : &it->second;
+}
+
 }  // namespace
 
 std::string ChromeTraceJson(const Meter& meter) {
   std::string out;
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  char line[192];
+  // Thread-name metadata first: one thread per attributed process.
+  for (const auto& [pid, label] : meter.process_labels()) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu64
+                  ",\"args\":{\"name\":",
+                  pid);
+    out += line;
+    AppendJsonString(&out, label.c_str());
+    out += "}}";
+  }
   const FlightRecorder& recorder = meter.recorder();
   for (size_t i = 0; i < recorder.size(); ++i) {
     const TraceEvent& ev = recorder.at(i);
@@ -61,20 +82,22 @@ std::string ChromeTraceJson(const Meter& meter) {
       out.push_back(',');
     }
     first = false;
-    char line[160];
     const char phase = PhaseOf(ev.kind);
     out += "{\"name\":";
     AppendJsonString(&out, ev.name);
     out += ",\"cat\":";
     AppendJsonString(&out, TraceEventKindName(ev.kind));
-    std::snprintf(line, sizeof(line), ",\"ph\":\"%c\",\"ts\":%" PRIu64 ",\"pid\":1,\"tid\":1",
-                  phase, ev.time);
+    std::snprintf(line, sizeof(line),
+                  ",\"ph\":\"%c\",\"ts\":%" PRIu64 ",\"pid\":1,\"tid\":%" PRIu64, phase, ev.time,
+                  ev.pid);
     out += line;
     if (phase == 'i') {
       out += ",\"s\":\"t\"";
     }
-    std::snprintf(line, sizeof(line), ",\"args\":{\"arg\":%" PRIu64 ",\"depth\":%u}}", ev.arg,
-                  ev.depth);
+    std::snprintf(line, sizeof(line),
+                  ",\"args\":{\"arg\":%" PRIu64 ",\"depth\":%u,\"span\":%" PRIu64
+                  ",\"parent\":%" PRIu64 "}}",
+                  ev.arg, ev.depth, ev.span, ev.parent);
     out += line;
   }
   out += "]}";
@@ -82,14 +105,42 @@ std::string ChromeTraceJson(const Meter& meter) {
 }
 
 Status WriteChromeTraceFile(const Meter& meter, const std::string& path) {
+  return WriteTextFile(ChromeTraceJson(meter), path);
+}
+
+std::string FoldedStackProfile(const Meter& meter) {
+  // Merge rings: the folded path does not include the ring, so two rings at
+  // the same (pid, path) fold into one line. std::map keeps lines sorted.
+  std::map<std::string, Cycles> folded;
+  for (const auto& [key, entry] : meter.profile()) {
+    std::string line;
+    if (const std::string* label = LabelOf(meter, key.pid)) {
+      line = *label;
+    } else {
+      line = "pid" + std::to_string(key.pid);
+    }
+    line += ';';
+    line += key.path;
+    folded[std::move(line)] += entry.self;
+  }
+  std::string out;
+  for (const auto& [path, self] : folded) {
+    out += path;
+    out += ' ';
+    out += std::to_string(self);
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteTextFile(const std::string& text, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::kDeviceError;
   }
-  const std::string json = ChromeTraceJson(meter);
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
-  return written == json.size() ? Status::kOk : Status::kDeviceError;
+  return written == text.size() ? Status::kOk : Status::kDeviceError;
 }
 
 std::string MeterReport(const Meter& meter) {
@@ -119,6 +170,37 @@ std::string MeterReport(const Meter& meter) {
     os << "\ncycle distributions:\n";
     for (const auto& [name, dist] : distributions) {
       os << "  " << name << ": " << dist->Summary() << "\n";
+    }
+  }
+
+  if (!meter.profile().empty()) {
+    // Attribution rollups: self cycles per process and per ring, then the
+    // per-path rows (leaf name last) — the same data FoldedStackProfile
+    // renders for flamegraph tools.
+    std::map<uint64_t, Cycles> by_pid;
+    std::map<unsigned, Cycles> by_ring;
+    for (const auto& [key, entry] : meter.profile()) {
+      by_pid[key.pid] += entry.self;
+      by_ring[key.ring] += entry.self;
+    }
+    os << "\nattribution (self cycles) by process:\n";
+    for (const auto& [pid, self] : by_pid) {
+      os << "  ";
+      if (const std::string* label = LabelOf(meter, pid)) {
+        os << *label;
+      } else {
+        os << "pid" << pid;
+      }
+      os << ": " << self << "\n";
+    }
+    os << "\nattribution (self cycles) by ring:\n";
+    for (const auto& [ring, self] : by_ring) {
+      os << "  ring " << ring << ": " << self << "\n";
+    }
+    os << "\nattribution profile (pid ring path count self total):\n";
+    for (const auto& [key, entry] : meter.profile()) {
+      os << "  " << key.pid << " " << static_cast<unsigned>(key.ring) << " " << key.path << " "
+         << entry.count << " " << entry.self << " " << entry.total << "\n";
     }
   }
   return os.str();

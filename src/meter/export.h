@@ -1,8 +1,9 @@
 // Exporters for the metering subsystem: a human-readable table (benches,
-// interactive debugging) and Chrome trace_event-format JSON so a run can be
-// opened in Perfetto / chrome://tracing.
+// interactive debugging), Chrome trace_event-format JSON so a run can be
+// opened in Perfetto / chrome://tracing, and a folded-stack rendering of the
+// cycle-attribution profile for flamegraph tooling.
 //
-// Both render only deterministic data (sim-clock stamps, name-sorted maps),
+// All render only deterministic data (sim-clock stamps, name-sorted maps),
 // so the exported bytes are identical across same-seed runs.
 
 #ifndef SRC_METER_EXPORT_H_
@@ -17,14 +18,26 @@
 namespace multics {
 
 // Chrome trace_event JSON ("JSON Object Format"): gate calls and spans
-// become B/E duration pairs, everything else becomes instant events. The
-// sim-clock cycle count is written as the microsecond timestamp.
+// become properly nested B/E duration pairs on the thread of the process
+// they are attributed to (`tid` = pid, with thread_name metadata from the
+// meter's process labels); everything else becomes instant events. Each
+// event's args carry its span id and parent span id, so the causal tree
+// survives the export. The sim-clock cycle count is written as the
+// microsecond timestamp.
 std::string ChromeTraceJson(const Meter& meter);
 
 Status WriteChromeTraceFile(const Meter& meter, const std::string& path);
 
-// Human-readable report: per-kind event totals, named counters, and each
-// distribution's Summary() line.
+// The attribution profile in folded-stack ("flamegraph collapsed") format:
+// one line per call path, `<process-label>;<path> <self-cycles>`, merged
+// over rings and sorted lexically. Feed to flamegraph.pl / speedscope.
+std::string FoldedStackProfile(const Meter& meter);
+
+Status WriteTextFile(const std::string& text, const std::string& path);
+
+// Human-readable report: per-kind event totals, named counters, each
+// distribution's Summary() line, and the per-process / per-ring
+// cycle-attribution summary folded from closed spans.
 std::string MeterReport(const Meter& meter);
 
 void PrintMeterReport(const Meter& meter, std::FILE* out = stdout);

@@ -1,5 +1,7 @@
 #include "src/meter/meter.h"
 
+#include "src/base/log.h"
+
 namespace multics {
 
 Meter::Meter(const SimClock* clock, size_t recorder_capacity)
@@ -28,12 +30,94 @@ void Meter::AddSample(std::string_view name, double sample) {
   it->second.Add(sample);
 }
 
+void Meter::CheckName(const char* name) {
+  if (!name_check_) {
+    // While checking is off, every pointer that flows through is presumed
+    // static and remembered, so a later checked phase doesn't flag the
+    // program's pre-existing literals.
+    known_names_.insert(name);
+    return;
+  }
+  if (known_names_.find(name) == known_names_.end()) {
+    ++name_contract_violations_;
+  }
+}
+
 void Meter::Emit(TraceEventKind kind, const char* name, uint64_t arg) {
   if (!enabled_) {
     return;
   }
+  CheckName(name);
   ++kind_totals_[static_cast<size_t>(kind)];
-  recorder_.Push(TraceEvent{clock_->now(), kind, span_depth_, name, arg});
+  const auto& stack = context_->stack;
+  const uint64_t enclosing = stack.empty() ? 0 : stack.back().id;
+  recorder_.Push(TraceEvent{clock_->now(), kind, static_cast<uint32_t>(stack.size()), name, arg,
+                            attribution_.pid, enclosing, 0});
+}
+
+TraceContext* Meter::OpenSpan(const char* name, TraceEventKind kind, uint64_t arg) {
+  if (!enabled_) {
+    return nullptr;
+  }
+  CheckName(name);
+  TraceContext* ctx = context_;
+  const uint64_t parent = ctx->stack.empty() ? 0 : ctx->stack.back().id;
+  const uint64_t id = next_span_id_++;
+  ctx->stack.push_back(
+      SpanFrame{id, parent, name, clock_->now(), 0, attribution_.pid, attribution_.ring});
+  ++kind_totals_[static_cast<size_t>(kind)];
+  recorder_.Push(TraceEvent{clock_->now(), kind, static_cast<uint32_t>(ctx->stack.size()), name,
+                            arg, attribution_.pid, id, parent});
+  return ctx;
+}
+
+Cycles Meter::CloseSpan(TraceContext* ctx, TraceEventKind kind) {
+  if (ctx == nullptr) {
+    return 0;  // Opened while the meter was disabled.
+  }
+  CHECK(!ctx->stack.empty()) << "CloseSpan on a context with no open span";
+  const SpanFrame frame = ctx->stack.back();
+  const Cycles elapsed = clock_->now() - frame.start;
+  CHECK(frame.child_cycles <= elapsed) << "span '" << frame.name << "' children exceed total";
+  if (enabled_) {
+    ++kind_totals_[static_cast<size_t>(kind)];
+    recorder_.Push(TraceEvent{clock_->now(), kind, static_cast<uint32_t>(ctx->stack.size()),
+                              frame.name, elapsed, frame.pid, frame.id, frame.parent});
+  }
+  ctx->stack.pop_back();
+  if (!ctx->stack.empty()) {
+    ctx->stack.back().child_cycles += elapsed;
+  }
+  if (enabled_) {
+    std::string path;
+    for (const SpanFrame& f : ctx->stack) {
+      path += f.name;
+      path += ';';
+    }
+    path += frame.name;
+    ProfileEntry& entry = profile_[ProfileKey{frame.pid, frame.ring, std::move(path)}];
+    ++entry.count;
+    entry.total += elapsed;
+    entry.self += elapsed - frame.child_cycles;
+  }
+  return elapsed;
+}
+
+TraceContext* Meter::SetContext(TraceContext* ctx) {
+  TraceContext* previous = context_;
+  context_ = ctx != nullptr ? ctx : &root_context_;
+  attribution_ = Attribution{context_->pid, context_->ring};
+  return previous;
+}
+
+Attribution Meter::SetAttribution(Attribution a) {
+  Attribution previous = attribution_;
+  attribution_ = a;
+  return previous;
+}
+
+void Meter::LabelProcess(uint64_t pid, std::string_view label) {
+  process_labels_[pid] = std::string(label);
 }
 
 uint64_t Meter::counter(std::string_view name) const {
@@ -59,32 +143,38 @@ std::vector<std::pair<std::string, const Distribution*>> Meter::DistributionSnap
   return out;
 }
 
+Cycles Meter::ProfileSelfTotal() const {
+  Cycles total = 0;
+  for (const auto& [key, entry] : profile_) {
+    total += entry.self;
+  }
+  return total;
+}
+
 void Meter::Clear() {
   recorder_.Clear();
-  span_depth_ = 0;
   kind_totals_.fill(0);
   counters_.clear();
   distributions_.clear();
+  profile_.clear();
+  root_context_.stack.clear();
+  next_span_id_ = 1;
+  name_contract_violations_ = 0;
 }
 
 TraceSpan::TraceSpan(Meter* meter, const char* name, uint64_t arg)
-    : meter_(meter != nullptr && meter->enabled() ? meter : nullptr), name_(name), arg_(arg) {
+    : meter_(meter != nullptr && meter->enabled() ? meter : nullptr), name_(name) {
   if (meter_ == nullptr) {
     return;
   }
-  start_ = meter_->now();
-  // Begin/end events carry this span's own depth (1 = outermost).
-  ++meter_->span_depth_;
-  meter_->Emit(TraceEventKind::kSpanBegin, name_, arg_);
+  ctx_ = meter_->OpenSpan(name_, TraceEventKind::kSpanBegin, arg);
 }
 
 TraceSpan::~TraceSpan() {
   if (meter_ == nullptr) {
     return;
   }
-  const Cycles elapsed = meter_->now() - start_;
-  meter_->Emit(TraceEventKind::kSpanEnd, name_, elapsed);
-  --meter_->span_depth_;
+  const Cycles elapsed = meter_->CloseSpan(ctx_, TraceEventKind::kSpanEnd);
   meter_->AddSample(name_, static_cast<double>(elapsed));
 }
 

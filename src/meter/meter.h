@@ -1,12 +1,24 @@
-// The Meter: the kernel-wide metering and tracing registry.
+// The Meter: the kernel-wide metering, tracing, and profiling registry.
 //
 // One Meter lives on the Machine, so every layer — processor, page control,
 // traffic controller, gate layer, network — records into the same place.
-// Three kinds of data:
+// Four kinds of data:
 //   * named monotonic counters (Count),
 //   * named cycle Distributions (AddSample) — e.g. one histogram per gate,
 //   * structured TraceEvents in the bounded FlightRecorder (Emit), plus a
-//     per-kind event total kept in a flat array.
+//     per-kind event total kept in a flat array,
+//   * a causal cycle-attribution profile folded from closed spans
+//     (OpenSpan/CloseSpan): self vs. total cycles per call path, per
+//     process, per ring. The profile is accumulated incrementally at span
+//     close, so it stays exact even after the flight-recorder ring wraps.
+//
+// Causality: the Meter always has a current TraceContext (the per-process
+// span stack; see context.h). The traffic controller switches it on
+// dispatch, so concurrent processes grow separate span trees, and a span
+// left open across a block never adopts another process's children. The
+// current Attribution {pid, ring} says who the cycles being recorded belong
+// to; GateSpan overrides it to the calling process (running in ring 0)
+// without re-rooting the causal stack.
 //
 // The meter is strictly observational: it never touches the sim clock, never
 // charges cycles, and never alters control flow, so enabling or disabling it
@@ -15,7 +27,8 @@
 //
 // Determinism: everything is stamped with the sim clock and stored in
 // deterministic containers, so two same-seed runs export byte-identical
-// traces — a cross-subsystem regression invariant (tests/meter_test.cc).
+// traces and profiles — a cross-subsystem regression invariant
+// (tests/meter_test.cc).
 
 #ifndef SRC_METER_METER_H_
 #define SRC_METER_METER_H_
@@ -23,15 +36,37 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "src/base/clock.h"
 #include "src/base/stats.h"
+#include "src/meter/context.h"
 #include "src/meter/trace.h"
 
 namespace multics {
+
+// One row of the cycle-attribution profile: a distinct call path within one
+// process at one ring. `path` is the ';'-joined span names from the context
+// root to the closed span (folded-stack convention).
+struct ProfileKey {
+  uint64_t pid = 0;
+  uint8_t ring = 0;
+  std::string path;
+
+  friend bool operator<(const ProfileKey& a, const ProfileKey& b) {
+    return std::tie(a.pid, a.ring, a.path) < std::tie(b.pid, b.ring, b.path);
+  }
+};
+
+struct ProfileEntry {
+  uint64_t count = 0;  // Spans closed at this path.
+  Cycles self = 0;     // Cycles inside the span minus closed direct children.
+  Cycles total = 0;    // Cycles between open and close.
+};
 
 class Meter {
  public:
@@ -45,9 +80,40 @@ class Meter {
   // --- Recording (all no-ops while disabled) -------------------------------
   void Count(std::string_view name, uint64_t delta = 1);
   void AddSample(std::string_view name, double sample);
-  // `name` must be a static string (a literal); the recorder keeps the
-  // pointer, not a copy.
+  // `name` must outlive the recorder (a literal or other static storage);
+  // the recorder keeps the pointer, not a copy. With name checking on
+  // (set_name_check), pointers not registered via RegisterStaticName and not
+  // seen before the first Emit are counted in name_contract_violations().
   void Emit(TraceEventKind kind, const char* name, uint64_t arg = 0);
+
+  // --- Causal spans --------------------------------------------------------
+  // Opens a span on the current context: pushes a frame capturing the
+  // current attribution, emits `kind` (a begin-style event) and returns the
+  // context the frame was pushed on — pass it back to CloseSpan so the close
+  // lands on the right stack even if the current context changed in between.
+  // Returns null while disabled (CloseSpan(null) is a no-op).
+  TraceContext* OpenSpan(const char* name, TraceEventKind kind, uint64_t arg = 0);
+  // Closes the top span of `ctx`: emits `kind` with arg = elapsed cycles,
+  // charges the elapsed total to the parent frame's child_cycles, and folds
+  // {count, self, total} into the attribution profile. Returns elapsed.
+  Cycles CloseSpan(TraceContext* ctx, TraceEventKind kind);
+
+  // Installs `ctx` as the current context (null reinstalls the kernel root)
+  // and sets the attribution to the context's own {pid, ring}. Returns the
+  // previous context. Called by the traffic controller around each dispatch.
+  TraceContext* SetContext(TraceContext* ctx);
+  TraceContext* context() const { return context_; }
+  TraceContext& root_context() { return root_context_; }
+
+  // Overrides who cycles are attributed to without touching the span stack.
+  // Returns the previous attribution so callers can restore it (GateSpan).
+  Attribution SetAttribution(Attribution a);
+  Attribution attribution() const { return attribution_; }
+
+  // Registers a human-readable label for a pid (exporters use it for thread
+  // names and folded-stack roots). Pid 0 is pre-labeled "kernel".
+  void LabelProcess(uint64_t pid, std::string_view label);
+  const std::map<uint64_t, std::string>& process_labels() const { return process_labels_; }
 
   // --- Inspection ----------------------------------------------------------
   uint64_t counter(std::string_view name) const;
@@ -60,30 +126,62 @@ class Meter {
   std::vector<std::pair<std::string, uint64_t>> CounterSnapshot() const;
   std::vector<std::pair<std::string, const Distribution*>> DistributionSnapshot() const;
 
+  // The attribution profile, key-sorted (pid, ring, path) — deterministic.
+  const std::map<ProfileKey, ProfileEntry>& profile() const { return profile_; }
+  // Sum of `self` over the whole profile. When one root span encloses an
+  // entire measured window (and every nested span closed), this equals that
+  // window's elapsed cycles exactly.
+  Cycles ProfileSelfTotal() const;
+
   FlightRecorder& recorder() { return recorder_; }
   const FlightRecorder& recorder() const { return recorder_; }
 
-  uint32_t span_depth() const { return span_depth_; }
+  // Open-span depth of the *current* context (1 = one span open).
+  uint32_t span_depth() const { return static_cast<uint32_t>(context_->stack.size()); }
 
-  // Drops all recorded data; keeps the enabled flag.
+  // --- Name lifetime checking (debug aid, off by default) ------------------
+  // The recorder stores `const char*` names by pointer. When checking is on,
+  // Emit/OpenSpan count any name pointer that was not registered static and
+  // was not among the pointers seen while checking was off. Deterministic
+  // (pure pointer-set membership), so tests can assert on the count.
+  void set_name_check(bool on) { name_check_ = on; }
+  void RegisterStaticName(const char* name) { known_names_.insert(name); }
+  uint64_t name_contract_violations() const { return name_contract_violations_; }
+
+  // Drops all recorded data (events, counters, profile, span ids); keeps the
+  // enabled flag, context registrations, and process labels. Must not be
+  // called while any span is open — open frames would fold into a cleared
+  // profile with a stale parent chain.
   void Clear();
 
  private:
-  friend class TraceSpan;
+  void CheckName(const char* name);
 
   const SimClock* clock_;
   bool enabled_ = true;
   FlightRecorder recorder_;
-  uint32_t span_depth_ = 0;
   std::array<uint64_t, kTraceEventKindCount> kind_totals_{};
   std::map<std::string, uint64_t, std::less<>> counters_;
   std::map<std::string, Distribution, std::less<>> distributions_;
+
+  TraceContext root_context_{0, 0};
+  TraceContext* context_ = &root_context_;
+  Attribution attribution_{};
+  uint64_t next_span_id_ = 1;
+  std::map<ProfileKey, ProfileEntry> profile_;
+  std::map<uint64_t, std::string> process_labels_{{0, "kernel"}};
+
+  bool name_check_ = false;
+  std::set<const char*> known_names_;
+  uint64_t name_contract_violations_ = 0;
 };
 
-// RAII helper for nested durations: emits kSpanBegin on construction and
-// kSpanEnd (arg = elapsed cycles) on destruction, and adds the elapsed
-// cycles to the distribution named `name`. The enabled check happens once,
-// at construction; a span on a disabled meter costs two null checks.
+// RAII helper for nested durations: opens a causal span (kSpanBegin) on
+// construction and closes it (kSpanEnd, arg = elapsed cycles) on
+// destruction, adding the elapsed cycles to the distribution named `name`.
+// The enabled check happens once, at construction; a span on a disabled
+// meter costs two null checks. The span remembers which context it opened
+// on, so it closes correctly even if the dispatcher switched contexts.
 class TraceSpan {
  public:
   TraceSpan(Meter* meter, const char* name, uint64_t arg = 0);
@@ -94,9 +192,8 @@ class TraceSpan {
 
  private:
   Meter* meter_;  // Null when the meter was disabled at construction.
+  TraceContext* ctx_ = nullptr;
   const char* name_;
-  uint64_t arg_;
-  Cycles start_ = 0;
 };
 
 }  // namespace multics

@@ -52,9 +52,19 @@ const char* TraceEventKindName(TraceEventKind kind);
 struct TraceEvent {
   Cycles time = 0;
   TraceEventKind kind = TraceEventKind::kSpanBegin;
-  uint32_t depth = 0;   // Span nesting depth at the moment of recording.
-  const char* name = "";  // Static string owned by the call site.
+  uint32_t depth = 0;   // Causal span depth of the current context when recorded.
+  // Lifetime contract: `name` must outlive the recorder — the ring stores the
+  // pointer, never a copy, so call sites must pass string literals or other
+  // storage that lives for the whole run (gate name tables qualify; stack
+  // buffers and std::string::c_str() of temporaries do not). The Meter keeps
+  // a debug check (name_contract_violations) that counts pointers it has not
+  // seen registered as static; see Meter::Emit.
+  const char* name = "";
   uint64_t arg = 0;     // Event-specific payload (segno, pid, cycles, ...).
+  // Causal attribution, filled in by the Meter at record time:
+  uint64_t pid = 0;     // Process the cycles are attributed to (0 = kernel).
+  uint64_t span = 0;    // Begin/end: this span's id. Instants: enclosing span id.
+  uint64_t parent = 0;  // Begin/end: enclosing span's id (0 = context root).
 };
 
 class FlightRecorder {

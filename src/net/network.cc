@@ -60,6 +60,9 @@ Status NetworkAttachment::InjectFromRemote(ConnId conn, const std::string& data)
     return Status::kConnectionClosed;
   }
   machine_->events().ScheduleAfter(config_.packet_latency, [this, conn, data] {
+    // Delivery runs off the event queue under whatever context pumped it;
+    // the span keeps arrival + interrupt assertion attributed as one unit.
+    TraceSpan deliver_span(&machine_->meter(), "net/deliver", conn);
     auto it = connections_.find(conn);
     if (it == connections_.end()) {
       ++lost_on_closed_;

@@ -16,6 +16,7 @@
 #include "src/fs/acl.h"
 #include "src/fs/kst.h"
 #include "src/hw/sdw.h"
+#include "src/meter/context.h"
 #include "src/mls/label.h"
 #include "src/proc/ipc.h"
 
@@ -60,14 +61,22 @@ class Process {
         principal_(std::move(principal)),
         clearance_(clearance),
         ring_(ring),
-        program_(std::move(program)) {}
+        program_(std::move(program)),
+        trace_context_(pid, ring) {}
 
   ProcessId pid() const { return pid_; }
   const std::string& name() const { return name_; }
   const Principal& principal() const { return principal_; }
   const MlsLabel& clearance() const { return clearance_; }
   RingNumber ring() const { return ring_; }
-  void set_ring(RingNumber ring) { ring_ = ring; }
+  void set_ring(RingNumber ring) {
+    ring_ = ring;
+    trace_context_.ring = ring;
+  }
+
+  // The process's causal span stack; the traffic controller installs it on
+  // the meter while this process runs (see src/meter/context.h).
+  TraceContext& trace_context() { return trace_context_; }
 
   DescriptorSegment& dseg() { return dseg_; }
   KnownSegmentTable& kst() { return kst_; }
@@ -97,6 +106,7 @@ class Process {
   TaskState state_ = TaskState::kReady;
   ChannelId blocked_on_ = 0;
   ProcessAccounting accounting_;
+  TraceContext trace_context_;
 };
 
 }  // namespace multics

@@ -71,6 +71,7 @@ Result<Process*> TrafficController::CreateProcess(const std::string& name,
       std::make_unique<Process>(pid, name, principal, clearance, ring, std::move(program));
   Process* raw = process.get();
   processes_[pid] = std::move(process);
+  machine_->meter().LabelProcess(pid, name);
   if (dedicated) {
     dedicated_.push_back(raw);
     if (!two_layer_) {
@@ -215,15 +216,24 @@ bool TrafficController::RunSlice() {
     return false;
   }
 
-  if (next != last_running_) {
+  const bool switched = next != last_running_;
+  if (switched) {
     ++context_switches_;
     machine_->Charge(machine_->costs().process_switch, "scheduler");
-    machine_->meter().Emit(TraceEventKind::kDispatch, "dispatch", next->pid());
   }
   last_running_ = next;
 
+  // Install the process's causal context (and {pid, ring} attribution) for
+  // the duration of the step, so every span and event the step records is
+  // attributed to this process and nests in its own span tree.
+  Meter& meter = machine_->meter();
+  TraceContext* previous_context = meter.SetContext(&next->trace_context());
+  if (switched) {
+    meter.Emit(TraceEventKind::kDispatch, "dispatch", next->pid());
+  }
   TaskContext ctx(this, next);
   TaskState state = next->program()->Step(ctx);
+  meter.SetContext(previous_context);
   ++next->accounting().dispatches;
   next->set_state(state);
   switch (state) {

@@ -207,5 +207,141 @@ TEST(MeterSystemTest, ChromeTraceJsonIsWellFormed) {
             meter.events_of(TraceEventKind::kGateExit));
 }
 
+TEST(MeterTest, SpanDoesNotAdoptAnotherProcessesChildren) {
+  SimClock clock;
+  Meter meter(&clock, /*recorder_capacity=*/64);
+  meter.LabelProcess(1, "proc_a");
+  meter.LabelProcess(2, "proc_b");
+  TraceContext a(1, 4);
+  TraceContext b(2, 4);
+
+  // Process A opens a span, then the dispatcher switches to B, which runs a
+  // complete span of its own, then A resumes and runs a child of its own.
+  TraceContext* before = meter.SetContext(&a);
+  TraceContext* a_span = meter.OpenSpan("a_span", TraceEventKind::kSpanBegin);
+  clock.Advance(10);
+  meter.SetContext(&b);
+  TraceContext* b_work = meter.OpenSpan("b_work", TraceEventKind::kSpanBegin);
+  clock.Advance(7);
+  meter.CloseSpan(b_work, TraceEventKind::kSpanEnd);
+  meter.SetContext(&a);
+  TraceContext* a_child = meter.OpenSpan("a_child", TraceEventKind::kSpanBegin);
+  clock.Advance(5);
+  meter.CloseSpan(a_child, TraceEventKind::kSpanEnd);
+  meter.CloseSpan(a_span, TraceEventKind::kSpanEnd);
+  meter.SetContext(before);
+
+  const auto& profile = meter.profile();
+  // B's span is a root of B's own tree: path has no a_span prefix, pid is B's.
+  auto b_it = profile.find(ProfileKey{2, 4, "b_work"});
+  ASSERT_NE(b_it, profile.end());
+  EXPECT_EQ(b_it->second.total, 7u);
+  EXPECT_EQ(b_it->second.self, 7u);
+  // A's child folded under A's path.
+  auto child_it = profile.find(ProfileKey{1, 4, "a_span;a_child"});
+  ASSERT_NE(child_it, profile.end());
+  EXPECT_EQ(child_it->second.total, 5u);
+  // a_span spans 22 elapsed cycles, but only a_child (5) is its child —
+  // B's 7 cycles were not adopted even though they fell inside A's window.
+  auto a_it = profile.find(ProfileKey{1, 4, "a_span"});
+  ASSERT_NE(a_it, profile.end());
+  EXPECT_EQ(a_it->second.total, 22u);
+  EXPECT_EQ(a_it->second.self, 17u);
+
+  // The trace agrees: b_work's begin event has no parent span and B's pid.
+  bool saw_b_begin = false;
+  for (const TraceEvent& ev : meter.recorder().Snapshot()) {
+    if (ev.kind == TraceEventKind::kSpanBegin && std::string(ev.name) == "b_work") {
+      saw_b_begin = true;
+      EXPECT_EQ(ev.parent, 0u);
+      EXPECT_EQ(ev.pid, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_b_begin);
+}
+
+TEST(MeterSystemTest, FoldedProfileIsDeterministicAcrossSameSeedRuns) {
+  auto a = RunWorkload(/*meter_enabled=*/true);
+  auto b = RunWorkload(/*meter_enabled=*/true);
+  const std::string folded_a = FoldedStackProfile(a->machine().meter());
+  EXPECT_FALSE(folded_a.empty());
+  EXPECT_GT(a->machine().meter().ProfileSelfTotal(), 0u);
+  EXPECT_EQ(folded_a, FoldedStackProfile(b->machine().meter()));
+}
+
+TEST(MeterSystemTest, ProfileSelfPlusChildrenEqualsTotal) {
+  auto kernel = RunWorkload(/*meter_enabled=*/true);
+  const auto& profile = kernel->machine().meter().profile();
+  ASSERT_FALSE(profile.empty());
+
+  // Aggregate by path (across pids/rings: a gate span's frames carry the
+  // caller's pid while its parent carries the kernel's).
+  std::map<std::string, std::pair<Cycles, Cycles>> by_path;  // path -> {self, total}
+  for (const auto& [key, entry] : profile) {
+    EXPECT_LE(entry.self, entry.total);
+    by_path[key.path].first += entry.self;
+    by_path[key.path].second += entry.total;
+  }
+  Cycles self_sum = 0;
+  Cycles root_total = 0;
+  for (const auto& [path, st] : by_path) {
+    // Each node's total is its own self plus its direct children's totals.
+    Cycles child_total = 0;
+    for (const auto& [other, other_st] : by_path) {
+      if (other.size() > path.size() && other.compare(0, path.size(), path) == 0 &&
+          other[path.size()] == ';' &&
+          other.find(';', path.size() + 1) == std::string::npos) {
+        child_total += other_st.second;
+      }
+    }
+    EXPECT_EQ(st.second, st.first + child_total) << "at path " << path;
+    self_sum += st.first;
+    if (path.find(';') == std::string::npos) {
+      root_total += st.second;
+    }
+  }
+  // Every charged cycle inside any span is attributed to exactly one frame.
+  EXPECT_EQ(self_sum, root_total);
+}
+
+TEST(MeterTest, ControlCharactersInNamesAreEscapedInChromeTrace) {
+  SimClock clock;
+  Meter meter(&clock, /*recorder_capacity=*/16);
+  meter.LabelProcess(3, "bad\nlabel\x02");
+  static const char kHostile[] = "evil\x01\x1fname\twith\"quote\\";
+  meter.Emit(TraceEventKind::kDispatch, kHostile, 1);
+
+  const std::string json = ChromeTraceJson(meter);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  EXPECT_NE(json.find("\\u0009"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\u0002"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quote\\\\"), std::string::npos);
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20) << "raw control byte in JSON";
+  }
+}
+
+TEST(MeterTest, NameContractCheckCountsDynamicNames) {
+  SimClock clock;
+  Meter meter(&clock, /*recorder_capacity=*/16);
+  static const char kStatic[] = "static_name";
+  meter.Emit(TraceEventKind::kDispatch, kStatic);  // Learned while checking is off.
+
+  meter.set_name_check(true);
+  meter.Emit(TraceEventKind::kDispatch, kStatic);
+  EXPECT_EQ(meter.name_contract_violations(), 0u);
+
+  const std::string dynamic = std::string("dyn") + "amic";
+  meter.Emit(TraceEventKind::kDispatch, dynamic.c_str());
+  EXPECT_EQ(meter.name_contract_violations(), 1u);
+
+  // Registering the pointer blesses it.
+  meter.RegisterStaticName(dynamic.c_str());
+  meter.Emit(TraceEventKind::kDispatch, dynamic.c_str());
+  EXPECT_EQ(meter.name_contract_violations(), 1u);
+}
+
 }  // namespace
 }  // namespace multics

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+
 #include "src/proc/traffic_controller.h"
 
 namespace multics {
@@ -220,7 +223,7 @@ class InterruptStrategyTest : public SchedulerTest {
  protected:
   // A victim process that computes in fixed-size steps.
   Process* MakeVictim(int steps) {
-    int* counter = new int(0);  // Leaked in test; fine.
+    auto counter = std::make_shared<int>(0);
     auto victim = std::make_unique<FnTask>([counter, steps](TaskContext& ctx) {
       ctx.Charge(200, "victim_cpu");
       return ++*counter >= steps ? TaskState::kDone : TaskState::kReady;
@@ -298,10 +301,10 @@ TEST_F(SchedulerTest, TwoLayerKeepsDaemonRunnableUnderLoad) {
       tc_.CreateProcess("daemon", TestUser(), {}, kRingKernel, std::move(daemon), true).ok());
   (void)tc_.Wakeup(chan, EventMessage{1, kNoProcess});
 
+  std::array<int, 10> counters{};
   for (int i = 0; i < 10; ++i) {
-    int* counter = new int(0);
     ASSERT_TRUE(tc_.CreateProcess("user" + std::to_string(i), TestUser(), {}, kRingUser,
-                                  CountingTask(counter, 100))
+                                  CountingTask(&counters[i], 100))
                     .ok());
   }
   // Run a bounded number of slices; daemon must get a large share.
