@@ -198,13 +198,16 @@ int BenchStandaloneMain(int argc, char** argv) {
       options.smoke = true;
     } else if (arg == "--wallclock") {
       options.wallclock = true;
+    } else if (arg == "--faults") {
+      options.faults = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       options.trace_path = arg.substr(8);
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--wallclock] [--trace=PATH] [--json=PATH] [bench...]\n",
+                   "usage: %s [--smoke] [--wallclock] [--faults] [--trace=PATH] [--json=PATH] "
+                   "[bench...]\n",
                    argv[0]);
       return 2;
     } else {

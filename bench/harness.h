@@ -32,6 +32,9 @@ namespace bench {
 struct BenchOptions {
   bool smoke = false;      // Tiny workload: exercise every path, finish fast.
   bool wallclock = false;  // Also run google-benchmark microbenches (not JSON).
+  bool faults = false;     // Benches that inject faults print per-site fault
+                           // diagnostics (bench_fault_storm). Never changes
+                           // which metrics are registered.
   std::string trace_path;  // If set, benches that can, export a Chrome trace.
 };
 

@@ -4,12 +4,27 @@
 #
 #   scripts/check.sh             # plain build + ctest, then sanitized build + ctest
 #   scripts/check.sh --fast      # plain build + ctest only
+#   scripts/check.sh --faults    # sanitized build, fault-injection suite only
+#                                # (inject_test, salvager_test, the stress fault
+#                                # storm, and the bench_fault_storm smokes) —
+#                                # injected faults + retry/salvage recovery are
+#                                # exactly where lifetime bugs hide, so this
+#                                # suite always runs under ASan+UBSan.
 #
 # Build trees: build/ (plain) and build-asan/ (sanitized), both from the
 # repo root, so the script is safe to run from anywhere.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--faults" ]]; then
+  echo "== fault-injection suite under ASan+UBSan (build-asan/) =="
+  cmake -B build-asan -S . -DMULTICS_SANITIZE=ON
+  cmake --build build-asan -j --target inject_test salvager_test stress_test bench_fault_storm
+  (cd build-asan && ctest --output-on-failure -R 'inject_test|salvager_test|stress_test|bench_fault_storm' -j "$(nproc)")
+  echo "== ok (fault suite) =="
+  exit 0
+fi
 
 echo "== tier-1: configure + build + ctest (build/) =="
 cmake -B build -S .
@@ -22,6 +37,9 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 echo "== sanitized: ASan+UBSan build + ctest (build-asan/) =="
+# The full ctest list includes the fault-injection suite (inject_test and the
+# bench_fault_storm smokes), so every injected-fault recovery path runs under
+# the sanitizers here too.
 cmake -B build-asan -S . -DMULTICS_SANITIZE=ON
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j)

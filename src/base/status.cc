@@ -84,6 +84,10 @@ std::string_view StatusName(Status status) {
       return "CONNECTION_CLOSED";
     case Status::kBufferOverrun:
       return "BUFFER_OVERRUN";
+    case Status::kParityError:
+      return "PARITY_ERROR";
+    case Status::kProcessCrashed:
+      return "PROCESS_CRASHED";
   }
   return "UNKNOWN";
 }

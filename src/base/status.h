@@ -69,6 +69,13 @@ enum class Status : int32_t {
   kDeviceError = 120,
   kConnectionClosed = 121,
   kBufferOverrun = 122,
+
+  // Fault-injection conditions (src/hw/injection.h). kParityError models a
+  // hardware parity fault on a memory reference or device transfer;
+  // kProcessCrashed is the injected "process died inside the kernel" used by
+  // the crash-restart recovery driver.
+  kParityError = 130,
+  kProcessCrashed = 131,
 };
 
 // Returns a stable, human-readable name such as "ACCESS_DENIED".

@@ -248,6 +248,22 @@ Status Kernel::EnterGate(Process& caller, const char* name) {
                   Status::kNotAGate);
     return Status::kNotAGate;
   }
+  // Injection point: crash the calling process inside this gate after a
+  // configured number of cycles. The charge models the partial execution of
+  // the gate body before the crash; the fault is audited and surfaces as an
+  // ordinary denial, so no kernel data structure is left half-updated —
+  // exactly the containment property the gate discipline is meant to give.
+  if (machine_.injector() != nullptr) {
+    InjectionDecision d = machine_.ConsultInjector(InjectSite::kGateEntry, name, caller.pid());
+    if (d.IsFault()) {
+      if (d.delay > 0) {
+        machine_.Charge(d.delay, "fault_path");
+      }
+      audit_.Record(machine_.clock().now(), caller.principal().ToString(), name, kInvalidUid,
+                    d.fault);
+      return d.fault;
+    }
+  }
   return Status::kOk;
 }
 

@@ -100,6 +100,10 @@ class Kernel {
   NetworkAttachment& network() { return network_; }
   FlawRegistry& flaws() { return flaws_; }
   Processor& cpu() { return cpu_; }
+  // Paging devices, exposed for fault-injection observability (retry /
+  // failed-transfer counters) in tests and benches.
+  PagingDevice& bulk_store() { return bulk_; }
+  PagingDevice& disk() { return disk_; }
 
   // Ring-0 faults taken while kernel code chewed on user input (E10): in a
   // real system each of these is a crash or worse.

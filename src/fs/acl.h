@@ -52,6 +52,7 @@ struct AclEntry {
   uint8_t modes = kModeNull;
 
   bool Matches(const Principal& principal) const;
+  bool operator==(const AclEntry&) const = default;
   std::string NamePart() const { return person + "." + project + "." + tag; }
   // Specificity: number of non-wildcard components, for match ordering.
   int Specificity() const;

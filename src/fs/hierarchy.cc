@@ -9,6 +9,22 @@ namespace {
 
 constexpr int kMaxLinkDepth = 8;
 
+// Injection point: a crash in the middle of a multi-step directory update.
+// The consult sits *between* the steps of a mutation, so a fault abandons
+// the operation half-done and leaves the hierarchy torn exactly as a real
+// mid-update system crash would — an orphaned branch, a dangling entry, or
+// a lost name. No rollback is attempted on purpose: the salvager
+// (src/fs/salvager.h) is the designated recovery path, and the torn state
+// is what the crash-restart tests feed it.
+Status ConsultTear(SegmentStore* store, const char* op, Uid uid) {
+  Machine* machine = store->machine();
+  if (machine == nullptr || machine->injector() == nullptr) {
+    return Status::kOk;
+  }
+  InjectionDecision d = machine->ConsultInjector(InjectSite::kHierarchyUpdate, op, uid);
+  return d.fault;
+}
+
 }  // namespace
 
 // --- Directory -----------------------------------------------------------------
@@ -101,6 +117,7 @@ Result<Uid> Hierarchy::CreateSegment(Uid dir_uid, const std::string& name,
     return Status::kNameDuplication;
   }
   MX_ASSIGN_OR_RETURN(Uid uid, store_->Create(attrs, /*is_directory=*/false, dir_uid));
+  MX_RETURN_IF_ERROR(ConsultTear(store_, "create_segment", uid));
   Status st = dir->Add(DirEntry{name, uid, false, {}});
   if (st != Status::kOk) {
     (void)store_->Delete(uid);
@@ -118,6 +135,7 @@ Result<Uid> Hierarchy::CreateDirectory(Uid dir_uid, const std::string& name,
   MX_ASSIGN_OR_RETURN(Uid uid, store_->Create(attrs, /*is_directory=*/true, dir_uid));
   MX_ASSIGN_OR_RETURN(Branch * branch, store_->Get(uid));
   branch->quota_pages = quota_pages;
+  MX_RETURN_IF_ERROR(ConsultTear(store_, "create_directory", uid));
   Status st = dir->Add(DirEntry{name, uid, false, {}});
   if (st != Status::kOk) {
     (void)store_->Delete(uid);
@@ -163,11 +181,13 @@ Status Hierarchy::DeleteEntry(Uid dir_uid, const std::string& name) {
       return Status::kDirectoryNotEmpty;
     }
     MX_RETURN_IF_ERROR(store_->Delete(uid));
+    MX_RETURN_IF_ERROR(ConsultTear(store_, "delete_entry", uid));
     directories_.erase(uid);
     return dir->Remove(name);
   }
 
   MX_RETURN_IF_ERROR(store_->Delete(uid));
+  MX_RETURN_IF_ERROR(ConsultTear(store_, "delete_entry", uid));
   return dir->Remove(name);
 }
 
@@ -196,6 +216,7 @@ Status Hierarchy::Rename(Uid dir_uid, const std::string& from, const std::string
   DirEntry copy = *entry;
   copy.name = to;
   MX_RETURN_IF_ERROR(dir->Remove(from));
+  MX_RETURN_IF_ERROR(ConsultTear(store_, "rename", copy.uid));
   return dir->Add(std::move(copy));
 }
 

@@ -9,6 +9,16 @@ Result<SalvageReport> Salvager::Run(Hierarchy& hierarchy, bool repair) {
   SalvageReport report;
   SegmentStore& store = *hierarchy.store_;
 
+  // Repair demands a quiescent store: fixing branch/quota structures while
+  // segments are active would race live page traffic. Scanning is safe.
+  if (repair && store.active_count() > 0) {
+    return Status::kFailedPrecondition;
+  }
+  // A missing root is beyond salvage — inventing one would forge authority.
+  if (!store.Exists(hierarchy.root_)) {
+    return Status::kSegmentDamaged;
+  }
+
   // --- Pass 1: every directory entry must name a live branch; every live
   // link must parse; every named branch must agree about its parent. -------
   std::vector<Uid> ghost_directories;
@@ -53,6 +63,19 @@ Result<SalvageReport> Salvager::Run(Hierarchy& hierarchy, bool repair) {
     }
   }
 
+  // --- Pass 1.5: every directory branch must have its entry catalogue. A
+  // crash between creating the branch and registering the catalogue leaves
+  // GetDir failing with kNotADirectory on a legitimate (empty) directory;
+  // rebuild the catalogue so the branch is usable again.
+  store.ForEachBranch([&](Branch& branch) {
+    if (branch.is_directory && !hierarchy.directories_.contains(branch.uid)) {
+      ++report.directories_rebuilt;
+      if (repair) {
+        hierarchy.directories_[branch.uid] = Directory{};
+      }
+    }
+  });
+
   // --- Pass 2: reachability. Branches no directory names get reattached
   // under >lost_found. ------------------------------------------------------
   std::unordered_set<Uid> reachable;
@@ -84,8 +107,16 @@ Result<SalvageReport> Salvager::Run(Hierarchy& hierarchy, bool repair) {
   if (!orphans.empty() && repair) {
     Uid lost_found = kInvalidUid;
     auto existing = hierarchy.Lookup(hierarchy.root_, "lost_found");
-    if (existing.ok() && !existing->is_link) {
+    // The existing entry is only usable if it names a live *directory*;
+    // reattaching orphans "under" a plain segment would invent a bogus
+    // catalogue keyed by a segment UID.
+    if (existing.ok() && !existing->is_link && store.Exists(existing->uid) &&
+        store.Get(existing->uid).value()->is_directory &&
+        hierarchy.directories_.contains(existing->uid)) {
       lost_found = existing->uid;
+    } else if (existing.ok() && !existing->is_link) {
+      // The name is taken by something unusable: refuse to guess.
+      return Status::kNameDuplication;
     } else {
       SegmentAttributes attrs;
       attrs.acl.Set(AclEntry{"*", "SysDaemon", "*", kDirStatus | kDirModify | kDirAppend});

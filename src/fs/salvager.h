@@ -5,6 +5,23 @@
 // a state the reference monitor's assumptions hold in: every directory entry
 // points at a live branch, every branch is reachable, every quota cell
 // equals the sum of what is charged below it.
+//
+// Failure contract: Run never CHECKs on hierarchy damage — torn state is its
+// input, not a programmer error. It returns a Status instead:
+//   - kFailedPrecondition if `repair` is requested while any segment is
+//     still active (repairing under live page traffic would race the very
+//     structures being fixed; deactivate everything first, as a real
+//     crash-restart does). Scan-only runs are allowed on a live system.
+//   - kSegmentDamaged if the root branch itself is missing — nothing below
+//     it can be trusted, and inventing a new root would forge authority.
+//   - any error from creating >lost_found (e.g. the name is taken by a
+//     non-directory): the salvager refuses to guess and reports rather than
+//     silently attaching orphans somewhere surprising.
+// A successful Run(…, /*repair=*/true) leaves a hierarchy on which an
+// immediately following scan-only Run reports zero repairs. The salvager
+// only ever *narrows* authority: it removes dangling entries and rebuilds
+// structural bookkeeping, but never edits ACLs, MLS labels, or ring
+// brackets.
 
 #ifndef SRC_FS_SALVAGER_H_
 #define SRC_FS_SALVAGER_H_
@@ -21,10 +38,11 @@ struct SalvageReport {
   uint32_t orphans_reattached = 0;        // Live branches reachable from no directory.
   uint32_t parent_fixups = 0;             // branch.parent disagreed with the entry.
   uint32_t quota_corrections = 0;         // quota_used recomputed.
+  uint32_t directories_rebuilt = 0;       // Directory branches missing their catalogue.
 
   uint32_t total_repairs() const {
     return dangling_entries_removed + bad_links_removed + orphans_reattached + parent_fixups +
-           quota_corrections;
+           quota_corrections + directories_rebuilt;
   }
 };
 

@@ -73,6 +73,7 @@ class SegmentStore {
   }
 
   ActiveSegmentTable* ast() const { return ast_; }
+  Machine* machine() const { return machine_; }
 
  private:
   Status QuotaCharge(Uid parent, int64_t delta_pages);

@@ -1,0 +1,88 @@
+// The fault-injection hook interface.
+//
+// Failure contract: this header defines the *seam*, not the faults. A
+// FaultInjector registered on the Machine is consulted at a fixed set of
+// instrumented injection points (device transfers, interrupt assertion,
+// processor references, gate entry, hierarchy updates). When no injector is
+// registered every hook is a single null-pointer check that touches neither
+// the sim clock nor any counter, so an uninstrumented run and a run with the
+// inject library linked but no plan registered are cycle-for-cycle
+// identical. The concrete deterministic planner lives in src/inject/; the
+// substrate libraries below it depend only on this interface.
+
+#ifndef SRC_HW_INJECTION_H_
+#define SRC_HW_INJECTION_H_
+
+#include <cstdint>
+
+#include "src/base/clock.h"
+#include "src/base/status.h"
+
+namespace multics {
+
+// Where an injection hook sits. Each site names a class of operation the
+// simulated hardware or kernel performs; docs/FAULTS.md catalogues what can
+// go wrong at each one and which recovery path handles it.
+enum class InjectSite : uint8_t {
+  kDeviceRead,       // Paging-device / peripheral read completes.
+  kDeviceWrite,      // Paging-device / peripheral write completes.
+  kInterruptAssert,  // A device raises an interrupt line.
+  kMemoryAccess,     // The processor resolves a data/instruction reference.
+  kGateEntry,        // A user-ring call enters a kernel gate.
+  kHierarchyUpdate,  // The file system mutates a directory mid-operation.
+};
+
+inline constexpr int kInjectSiteCount = 6;
+
+inline const char* InjectSiteName(InjectSite site) {
+  switch (site) {
+    case InjectSite::kDeviceRead:
+      return "device-read";
+    case InjectSite::kDeviceWrite:
+      return "device-write";
+    case InjectSite::kInterruptAssert:
+      return "interrupt-assert";
+    case InjectSite::kMemoryAccess:
+      return "memory-access";
+    case InjectSite::kGateEntry:
+      return "gate-entry";
+    case InjectSite::kHierarchyUpdate:
+      return "hierarchy-update";
+  }
+  return "?";
+}
+
+// One consult: where we are and what is being operated on. `name` is the
+// device / gate / operation name (a stable string owned by the caller for
+// the duration of the consult); `detail` is site-specific (device address,
+// interrupt line, segment number).
+struct InjectionPoint {
+  InjectSite site;
+  const char* name = "";
+  uint64_t detail = 0;
+};
+
+// What the injector decided. `fault == kOk` means "proceed normally";
+// anything else is the injected hardware condition. `delay` is charged to
+// the sim clock by the hook before the fault bites (e.g. "crash the process
+// inside the gate after M cycles").
+struct InjectionDecision {
+  Status fault = Status::kOk;
+  Cycles delay = 0;
+
+  bool IsFault() const { return fault != Status::kOk; }
+};
+
+// Implemented by src/inject/plan.h (deterministic, seed-driven). Consult is
+// called at every instrumented point while registered; it must be
+// deterministic given the consult sequence, and must not touch the machine
+// it is registered on (the hook applies the decision).
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual InjectionDecision Consult(const InjectionPoint& point) = 0;
+};
+
+}  // namespace multics
+
+#endif  // SRC_HW_INJECTION_H_

@@ -6,6 +6,16 @@ Status InterruptController::Assert(InterruptLine line, uint64_t payload) {
   if (line >= line_count_) {
     return Status::kInvalidArgument;
   }
+  if (injector_ != nullptr) {
+    InjectionDecision d = injector_->Consult(
+        InjectionPoint{InjectSite::kInterruptAssert, "interrupt", line});
+    if (d.IsFault()) {
+      // Lost interrupt: the assertion never reaches the pending queue. The
+      // device believes it signalled; only the drop counter knows.
+      ++total_dropped_;
+      return Status::kOk;
+    }
+  }
   pending_.push_back(InterruptEvent{line, payload, clock_ != nullptr ? clock_->now() : 0});
   ++total_asserted_;
   if (!masked_ && assert_hook_) {

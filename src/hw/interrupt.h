@@ -14,6 +14,7 @@
 
 #include "src/base/clock.h"
 #include "src/base/status.h"
+#include "src/hw/injection.h"
 
 namespace multics {
 
@@ -49,8 +50,15 @@ class InterruptController {
   // simulation loop can react promptly. May be empty.
   void SetAssertHook(std::function<void()> hook) { assert_hook_ = std::move(hook); }
 
+  // Fault injection (wired by Machine::SetInjector): a kInterruptAssert
+  // fault swallows the Assert — the event is never queued, modelling a lost
+  // interrupt. Dropped asserts are counted but otherwise silent, exactly as
+  // real hardware loses them; recovery is the device driver's business.
+  void SetInjector(FaultInjector* injector) { injector_ = injector; }
+
   uint64_t total_asserted() const { return total_asserted_; }
   uint64_t total_dispatched() const { return total_dispatched_; }
+  uint64_t total_dropped() const { return total_dropped_; }
 
  private:
   uint32_t line_count_;
@@ -58,8 +66,10 @@ class InterruptController {
   bool masked_ = false;
   std::deque<InterruptEvent> pending_;
   std::function<void()> assert_hook_;
+  FaultInjector* injector_ = nullptr;
   uint64_t total_asserted_ = 0;
   uint64_t total_dispatched_ = 0;
+  uint64_t total_dropped_ = 0;
 };
 
 }  // namespace multics

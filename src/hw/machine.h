@@ -12,6 +12,7 @@
 #include "src/base/stats.h"
 #include "src/hw/core_memory.h"
 #include "src/hw/cost_model.h"
+#include "src/hw/injection.h"
 #include "src/hw/interrupt.h"
 #include "src/meter/meter.h"
 
@@ -71,6 +72,22 @@ class Machine {
   Meter& meter() { return meter_; }
   const Meter& meter() const { return meter_; }
 
+  // Fault injection. Registering an injector (src/inject/plan.h) makes every
+  // instrumented site consult it; passing nullptr unregisters. With no
+  // injector the consult below is one null check — no clock or counter
+  // traffic — so uninstrumented runs are unperturbed.
+  void SetInjector(FaultInjector* injector) {
+    injector_ = injector;
+    interrupts_.SetInjector(injector);
+  }
+  FaultInjector* injector() const { return injector_; }
+
+  InjectionDecision ConsultInjector(InjectSite site, const char* name,
+                                    uint64_t detail = 0) {
+    if (injector_ == nullptr) return InjectionDecision{};
+    return injector_->Consult(InjectionPoint{site, name, detail});
+  }
+
  private:
   MachineConfig config_;
   SimClock clock_;
@@ -79,6 +96,7 @@ class Machine {
   InterruptController interrupts_;
   CounterSet charges_;
   Meter meter_{&clock_};
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace multics

@@ -90,6 +90,19 @@ Result<FrameIndex> Processor::Resolve(SegNo segno, WordOffset offset, AccessMode
       continue;  // Re-validate from the top: the SDW may have been reloaded.
     }
 
+    // Injection point: a parity error on the core reference itself. The
+    // fault surfaces to the running program as a Status — never a CHECK —
+    // exactly like the hardware delivering a parity fault.
+    if (machine_->injector() != nullptr) {
+      InjectionDecision d = machine_->ConsultInjector(
+          InjectSite::kMemoryAccess, "memory_reference", segno);
+      if (d.IsFault()) {
+        if (d.delay > 0) machine_->Charge(d.delay, "fault_path");
+        machine_->meter().Emit(TraceEventKind::kFaultTaken, "parity_fault", segno);
+        return d.fault;
+      }
+    }
+
     pte.used = true;
     if (mode == AccessMode::kWrite) {
       pte.modified = true;

@@ -101,13 +101,29 @@ Status PageControlBase::EvictCorePageSync(FrameIndex frame, bool* cascaded) {
     }
     ++metrics_.cascades;
     machine_->meter().Emit(TraceEventKind::kCascade, "cascade", page);
-    MX_RETURN_IF_ERROR(MoveOldestBulkPageToDiskSync());
+    Status cascade_st = MoveOldestBulkPageToDiskSync();
+    if (cascade_st != Status::kOk) {
+      pte.present = true;  // The frame still holds the data; undo.
+      return cascade_st;
+    }
   }
 
-  MX_ASSIGN_OR_RETURN(DevAddr addr, bulk_->Allocate());
+  auto addr_or = bulk_->Allocate();
+  if (!addr_or.ok()) {
+    pte.present = true;
+    return addr_or.status();
+  }
+  DevAddr addr = addr_or.value();
   std::vector<Word> data;
   machine_->core().ReadPage(pte.frame, data);
-  MX_RETURN_IF_ERROR(bulk_->WriteSync(addr, std::move(data)));
+  Status write_st = bulk_->WriteSync(addr, std::move(data));
+  if (write_st != Status::kOk) {
+    // The only durable copy is still the core frame: reconnect the PTE and
+    // surface the device error instead of losing the page.
+    (void)bulk_->Free(addr);
+    pte.present = true;
+    return write_st;
+  }
 
   seg->location[page] = PageLoc{PageLevel::kBulk, addr};
   AddBulkResident(seg, page);
@@ -125,12 +141,27 @@ Status PageControlBase::MoveOldestBulkPageToDiskSync() {
     return Status::kResourceExhausted;
   }
   PageLoc& loc = seg->location[page];
+  // The bulk copy stays allocated until the disk copy is durable; freeing it
+  // first would make a failed disk write lose the only copy of the page.
   std::vector<Word> data;
-  MX_RETURN_IF_ERROR(bulk_->ReadSync(loc.addr, &data));
+  Status read_st = bulk_->ReadSync(loc.addr, &data);
+  if (read_st != Status::kOk) {
+    AddBulkResident(seg, page);  // Still on bulk; keep it tracked.
+    return read_st;
+  }
+  auto disk_addr = disk_->Allocate();
+  if (!disk_addr.ok()) {
+    AddBulkResident(seg, page);
+    return disk_addr.status();
+  }
+  Status write_st = disk_->WriteSync(disk_addr.value(), std::move(data));
+  if (write_st != Status::kOk) {
+    (void)disk_->Free(disk_addr.value());
+    AddBulkResident(seg, page);
+    return write_st;
+  }
   MX_RETURN_IF_ERROR(bulk_->Free(loc.addr));
-  MX_ASSIGN_OR_RETURN(DevAddr disk_addr, disk_->Allocate());
-  MX_RETURN_IF_ERROR(disk_->WriteSync(disk_addr, std::move(data)));
-  loc = PageLoc{PageLevel::kDisk, disk_addr};
+  loc = PageLoc{PageLevel::kDisk, disk_addr.value()};
   ++metrics_.bulk_evictions;
   machine_->meter().Emit(TraceEventKind::kPageEvictDone, "bulk_to_disk", page);
   return Status::kOk;
@@ -147,7 +178,11 @@ Status PageControlBase::FlushPageSync(ActiveSegment* seg, PageNo page) {
       std::vector<Word> data;
       machine_->core().ReadPage(pte.frame, data);
       MX_ASSIGN_OR_RETURN(DevAddr addr, disk_->Allocate());
-      MX_RETURN_IF_ERROR(disk_->WriteSync(addr, std::move(data)));
+      Status write_st = disk_->WriteSync(addr, std::move(data));
+      if (write_st != Status::kOk) {
+        (void)disk_->Free(addr);  // Core copy intact; just drop the slot.
+        return write_st;
+      }
       pte.present = false;
       policy_->NotifyFreed(pte.frame);
       core_map_->Release(pte.frame);
@@ -155,12 +190,18 @@ Status PageControlBase::FlushPageSync(ActiveSegment* seg, PageNo page) {
       return Status::kOk;
     }
     case PageLevel::kBulk: {
+      // Bulk copy outlives the transfer: free it only after the disk write
+      // commits, so a device fault cannot lose the page.
       std::vector<Word> data;
       MX_RETURN_IF_ERROR(bulk_->ReadSync(loc.addr, &data));
+      MX_ASSIGN_OR_RETURN(DevAddr addr, disk_->Allocate());
+      Status write_st = disk_->WriteSync(addr, std::move(data));
+      if (write_st != Status::kOk) {
+        (void)disk_->Free(addr);
+        return write_st;
+      }
       MX_RETURN_IF_ERROR(bulk_->Free(loc.addr));
       RemoveBulkResident(seg, page);
-      MX_ASSIGN_OR_RETURN(DevAddr addr, disk_->Allocate());
-      MX_RETURN_IF_ERROR(disk_->WriteSync(addr, std::move(data)));
       loc = PageLoc{PageLevel::kDisk, addr};
       return Status::kOk;
     }

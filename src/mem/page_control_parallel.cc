@@ -98,10 +98,11 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
       }
       case PageLevel::kBulk: {
         bool done = false;
+        Status read_st = Status::kOk;
         DevAddr addr = loc.addr;
         std::vector<Word> data;
         bulk_->ReadAsyncUrgent(addr, [&](Status st, std::vector<Word> page_data) {
-          CHECK(st == Status::kOk);
+          read_st = st;
           data = std::move(page_data);
           done = true;
         });
@@ -109,6 +110,13 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
         if (waited != Status::kOk) {
           core_map_->Release(frame.value());
           return waited;
+        }
+        if (read_st != Status::kOk) {
+          // Unrecoverable device fault (retries exhausted inside the
+          // device). The bulk copy stays where it is; the fault surfaces to
+          // the faulting program as a Status — degrade, don't crash.
+          core_map_->Release(frame.value());
+          return read_st;
         }
         machine_->core().WritePage(frame.value(), data);
         MX_RETURN_IF_ERROR(bulk_->Free(addr));
@@ -118,10 +126,11 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
       }
       case PageLevel::kDisk: {
         bool done = false;
+        Status read_st = Status::kOk;
         DevAddr addr = loc.addr;
         std::vector<Word> data;
         disk_->ReadAsyncUrgent(addr, [&](Status st, std::vector<Word> page_data) {
-          CHECK(st == Status::kOk);
+          read_st = st;
           data = std::move(page_data);
           done = true;
         });
@@ -129,6 +138,10 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
         if (waited != Status::kOk) {
           core_map_->Release(frame.value());
           return waited;
+        }
+        if (read_st != Status::kOk) {
+          core_map_->Release(frame.value());
+          return read_st;
         }
         machine_->core().WritePage(frame.value(), data);
         MX_RETURN_IF_ERROR(disk_->Free(addr));
@@ -235,13 +248,25 @@ void ParallelPageControl::StartAsyncEviction(FrameIndex victim) {
   device->WriteAsync(addr.value(), std::move(data),
                      [this, seg, page, victim, target, addr = addr.value(),
                       device](Status st) {
-                       CHECK(st == Status::kOk);
                        const PageLoc& loc = seg->location[page];
                        --evictions_in_flight_;
                        if (loc.level != PageLevel::kInTransit || loc.addr != addr) {
                          // Reclaimed (or re-evicted) while in flight: the
                          // frame stayed with its page; just drop the slot.
                          (void)device->Free(addr);
+                         return;
+                       }
+                       if (st != Status::kOk) {
+                         // The write never committed; the frame still holds
+                         // the only copy. Undo the eviction and keep the
+                         // page in core — degraded, not lost.
+                         (void)device->Free(addr);
+                         PageTableEntry& pte = seg->page_table.entries[page];
+                         pte.present = true;
+                         seg->location[page] = PageLoc{PageLevel::kCore, kInvalidDevAddr};
+                         FrameInfo& info = core_map_->info_mutable(victim);
+                         info.evicting = false;
+                         --metrics_.core_evictions;
                          return;
                        }
                        seg->location[page] = PageLoc{target, addr};
@@ -289,10 +314,17 @@ void ParallelPageControl::BulkDaemonStep() {
     ++metrics_.bulk_evictions;
     bulk_->ReadAsync(bulk_addr, [this, seg, page, bulk_addr](Status st,
                                                              std::vector<Word> data) {
-      CHECK(st == Status::kOk);
       const PageLoc& loc = seg->location[page];
       if (loc.level != PageLevel::kInTransit || loc.addr != bulk_addr) {
         --bulk_moves_in_flight_;  // Reclaimed mid-move; the fault owns it now.
+        return;
+      }
+      if (st != Status::kOk) {
+        // Read failed past its retries: abandon the move, the bulk copy
+        // stays authoritative.
+        seg->location[page] = PageLoc{PageLevel::kBulk, bulk_addr};
+        AddBulkResident(seg, page);
+        --bulk_moves_in_flight_;
         return;
       }
       auto disk_addr = disk_->Allocate();
@@ -306,12 +338,20 @@ void ParallelPageControl::BulkDaemonStep() {
       disk_->WriteAsync(
           disk_addr.value(), std::move(data),
           [this, seg, page, bulk_addr, addr = disk_addr.value()](Status write_st) {
-            CHECK(write_st == Status::kOk);
             const PageLoc& now_loc = seg->location[page];
             if (now_loc.level != PageLevel::kInTransit || now_loc.addr != bulk_addr) {
               // Reclaimed while the disk write was in flight: keep the bulk
               // copy authoritative and drop the disk copy.
               (void)disk_->Free(addr);
+              --bulk_moves_in_flight_;
+              return;
+            }
+            if (write_st != Status::kOk) {
+              // Disk write failed: drop the disk slot, the bulk copy (never
+              // freed until the move commits) stays authoritative.
+              (void)disk_->Free(addr);
+              seg->location[page] = PageLoc{PageLevel::kBulk, bulk_addr};
+              AddBulkResident(seg, page);
               --bulk_moves_in_flight_;
               return;
             }

@@ -38,8 +38,14 @@ Status SequentialPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Ac
     }
   }
 
-  // Step 2: fetch the wanted page, synchronously.
-  MX_RETURN_IF_ERROR(FetchIntoFrameSync(seg, page, frame.value()));
+  // Step 2: fetch the wanted page, synchronously. On a device fault the
+  // frame goes back to the free pool — otherwise every failed fetch would
+  // leak one frame of core.
+  Status fetch_st = FetchIntoFrameSync(seg, page, frame.value());
+  if (fetch_st != Status::kOk) {
+    core_map_->Release(frame.value());
+    return fetch_st;
+  }
 
   metrics_.fault_latency.Add(static_cast<double>(machine_->clock().now() - start));
   metrics_.fault_path_steps.Add(steps);

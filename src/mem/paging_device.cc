@@ -45,46 +45,102 @@ Cycles PagingDevice::ScheduleTransfer(Cycles latency, Cycles* channel_busy_until
   return done;
 }
 
+Status PagingDevice::ConsultTransfer(InjectSite site, DevAddr addr) {
+  if (machine_->injector() == nullptr) {
+    return Status::kOk;
+  }
+  InjectionDecision d = machine_->ConsultInjector(site, name_.c_str(), addr);
+  if (d.IsFault()) {
+    ++injected_faults_;
+    return d.fault;
+  }
+  return Status::kOk;
+}
+
+Cycles PagingDevice::BackoffFor(int attempt) const {
+  // Geometric backoff keyed off the channel-start overhead: cheap relative
+  // to a transfer, but visible in the "fault_recovery" charge category.
+  return machine_->costs().io_start_overhead << attempt;
+}
+
 Status PagingDevice::ReadSync(DevAddr addr, std::vector<Word>* out) {
   if (addr >= capacity_) {
     return Status::kInvalidArgument;
   }
-  ++reads_;
-  const Cycles done = ScheduleTransfer(read_latency_, &read_busy_until_);
-  machine_->clock().AdvanceTo(done);
-  machine_->charges_mutable().Increment("page_io", read_latency_);
-  auto it = store_.find(addr);
-  if (it == store_.end()) {
-    out->assign(kPageWords, 0);
-  } else {
-    *out = it->second;
+  for (int attempt = 1;; ++attempt) {
+    ++reads_;
+    const Cycles done = ScheduleTransfer(read_latency_, &read_busy_until_);
+    machine_->clock().AdvanceTo(done);
+    machine_->charges_mutable().Increment("page_io", read_latency_);
+    Status fault = ConsultTransfer(InjectSite::kDeviceRead, addr);
+    if (fault == Status::kOk) {
+      auto it = store_.find(addr);
+      if (it == store_.end()) {
+        out->assign(kPageWords, 0);
+      } else {
+        *out = it->second;
+      }
+      return Status::kOk;
+    }
+    if (attempt >= kMaxTransferAttempts) {
+      ++failed_transfers_;
+      return fault;
+    }
+    ++retries_;
+    machine_->Charge(BackoffFor(attempt), "fault_recovery");
   }
-  return Status::kOk;
 }
 
 Status PagingDevice::WriteSync(DevAddr addr, std::vector<Word> data) {
   if (addr >= capacity_ || data.size() != kPageWords) {
     return Status::kInvalidArgument;
   }
-  ++writes_;
-  const Cycles done = ScheduleTransfer(write_latency_, &write_busy_until_);
-  machine_->clock().AdvanceTo(done);
-  machine_->charges_mutable().Increment("page_io", write_latency_);
-  store_[addr] = std::move(data);
-  return Status::kOk;
+  for (int attempt = 1;; ++attempt) {
+    ++writes_;
+    const Cycles done = ScheduleTransfer(write_latency_, &write_busy_until_);
+    machine_->clock().AdvanceTo(done);
+    machine_->charges_mutable().Increment("page_io", write_latency_);
+    Status fault = ConsultTransfer(InjectSite::kDeviceWrite, addr);
+    if (fault == Status::kOk) {
+      store_[addr] = std::move(data);
+      return Status::kOk;
+    }
+    if (attempt >= kMaxTransferAttempts) {
+      ++failed_transfers_;
+      return fault;
+    }
+    ++retries_;
+    machine_->Charge(BackoffFor(attempt), "fault_recovery");
+  }
 }
 
-void PagingDevice::ReadAsync(DevAddr addr, std::function<void(Status, std::vector<Word>)> done) {
-  if (addr >= capacity_) {
-    machine_->events().ScheduleAfter(0, [done = std::move(done)] {
-      done(Status::kInvalidArgument, {});
-    });
-    return;
-  }
+void PagingDevice::StartRead(DevAddr addr, std::function<void(Status, std::vector<Word>)> done,
+                             bool urgent, int attempt) {
   ++reads_;
-  const Cycles when = ScheduleTransfer(read_latency_, &read_busy_until_);
-  machine_->events().ScheduleAt(when, [this, addr, done = std::move(done)] {
+  Cycles* channel = urgent ? &urgent_busy_until_ : &read_busy_until_;
+  const Cycles when = ScheduleTransfer(read_latency_, channel);
+  machine_->events().ScheduleAt(when, [this, addr, done = std::move(done), urgent,
+                                       attempt]() mutable {
     machine_->charges_mutable().Increment("page_io", read_latency_);
+    Status fault = ConsultTransfer(InjectSite::kDeviceRead, addr);
+    if (fault != Status::kOk) {
+      if (attempt < kMaxTransferAttempts) {
+        ++retries_;
+        const Cycles backoff = BackoffFor(attempt);
+        machine_->charges_mutable().Increment("fault_recovery", backoff);
+        machine_->events().ScheduleAfter(
+            backoff, [this, addr, done = std::move(done), urgent, attempt]() mutable {
+              StartRead(addr, std::move(done), urgent, attempt + 1);
+            });
+        return;
+      }
+      ++failed_transfers_;
+      if (interrupts_ != nullptr) {
+        (void)interrupts_->Assert(line_, addr);
+      }
+      done(fault, {});
+      return;
+    }
     std::vector<Word> data;
     auto it = store_.find(addr);
     if (it == store_.end()) {
@@ -99,6 +155,51 @@ void PagingDevice::ReadAsync(DevAddr addr, std::function<void(Status, std::vecto
   });
 }
 
+void PagingDevice::StartWrite(DevAddr addr, std::vector<Word> data,
+                              std::function<void(Status)> done, int attempt) {
+  ++writes_;
+  const Cycles when = ScheduleTransfer(write_latency_, &write_busy_until_);
+  machine_->events().ScheduleAt(
+      when, [this, addr, data = std::move(data), done = std::move(done), attempt]() mutable {
+        machine_->charges_mutable().Increment("page_io", write_latency_);
+        Status fault = ConsultTransfer(InjectSite::kDeviceWrite, addr);
+        if (fault != Status::kOk) {
+          if (attempt < kMaxTransferAttempts) {
+            ++retries_;
+            const Cycles backoff = BackoffFor(attempt);
+            machine_->charges_mutable().Increment("fault_recovery", backoff);
+            machine_->events().ScheduleAfter(
+                backoff,
+                [this, addr, data = std::move(data), done = std::move(done), attempt]() mutable {
+                  StartWrite(addr, std::move(data), std::move(done), attempt + 1);
+                });
+            return;
+          }
+          ++failed_transfers_;
+          if (interrupts_ != nullptr) {
+            (void)interrupts_->Assert(line_, addr);
+          }
+          done(fault);
+          return;
+        }
+        store_[addr] = std::move(data);
+        if (interrupts_ != nullptr) {
+          (void)interrupts_->Assert(line_, addr);
+        }
+        done(Status::kOk);
+      });
+}
+
+void PagingDevice::ReadAsync(DevAddr addr, std::function<void(Status, std::vector<Word>)> done) {
+  if (addr >= capacity_) {
+    machine_->events().ScheduleAfter(0, [done = std::move(done)] {
+      done(Status::kInvalidArgument, {});
+    });
+    return;
+  }
+  StartRead(addr, std::move(done), /*urgent=*/false, /*attempt=*/1);
+}
+
 void PagingDevice::WriteAsync(DevAddr addr, std::vector<Word> data,
                               std::function<void(Status)> done) {
   if (addr >= capacity_ || data.size() != kPageWords) {
@@ -106,17 +207,7 @@ void PagingDevice::WriteAsync(DevAddr addr, std::vector<Word> data,
                                      [done = std::move(done)] { done(Status::kInvalidArgument); });
     return;
   }
-  ++writes_;
-  const Cycles when = ScheduleTransfer(write_latency_, &write_busy_until_);
-  machine_->events().ScheduleAt(
-      when, [this, addr, data = std::move(data), done = std::move(done)]() mutable {
-        machine_->charges_mutable().Increment("page_io", write_latency_);
-        store_[addr] = std::move(data);
-        if (interrupts_ != nullptr) {
-          (void)interrupts_->Assert(line_, addr);
-        }
-        done(Status::kOk);
-      });
+  StartWrite(addr, std::move(data), std::move(done), /*attempt=*/1);
 }
 
 void PagingDevice::ReadAsyncUrgent(DevAddr addr,
@@ -127,22 +218,7 @@ void PagingDevice::ReadAsyncUrgent(DevAddr addr,
     });
     return;
   }
-  ++reads_;
-  const Cycles when = ScheduleTransfer(read_latency_, &urgent_busy_until_);
-  machine_->events().ScheduleAt(when, [this, addr, done = std::move(done)] {
-    machine_->charges_mutable().Increment("page_io", read_latency_);
-    std::vector<Word> data;
-    auto it = store_.find(addr);
-    if (it == store_.end()) {
-      data.assign(kPageWords, 0);
-    } else {
-      data = it->second;
-    }
-    if (interrupts_ != nullptr) {
-      (void)interrupts_->Assert(line_, addr);
-    }
-    done(Status::kOk, std::move(data));
-  });
+  StartRead(addr, std::move(done), /*urgent=*/true, /*attempt=*/1);
 }
 
 Status PagingDevice::Peek(DevAddr addr, std::vector<Word>* out) const {

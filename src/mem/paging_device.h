@@ -9,6 +9,18 @@
 // own channel, so a demand fetch does not queue behind a backlog of
 // background eviction writes — the property that makes the paper's
 // free-core daemon profitable.
+//
+// Failure contract: transfers may fail only through injected device faults
+// (src/hw/injection.h). Each transfer consults the machine's injector; on a
+// transient fault the device retries up to kMaxTransferAttempts times with
+// geometric backoff, every retry cycle-accounted under "fault_recovery" on
+// the sim clock. A fault that persists past the last retry is returned (or
+// delivered to the async `done` callback) as a non-kOk Status — callers in
+// page control must treat it as data loss and degrade, never CHECK. The
+// only CHECK-worthy conditions here are programmer errors (a caller passing
+// a corrupted vector size is reported as kInvalidArgument, not CHECKed,
+// because simulated supervisors reach this code). Out-of-range addresses
+// return kInvalidArgument.
 
 #ifndef SRC_MEM_PAGING_DEVICE_H_
 #define SRC_MEM_PAGING_DEVICE_H_
@@ -21,6 +33,7 @@
 
 #include "src/base/result.h"
 #include "src/base/status.h"
+#include "src/hw/injection.h"
 #include "src/hw/interrupt.h"
 #include "src/hw/machine.h"
 
@@ -69,14 +82,36 @@ class PagingDevice {
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
 
+  // Fault-injection observability: injected faults seen, retries issued,
+  // and transfers that exhausted their retries and surfaced an error.
+  uint64_t injected_faults() const { return injected_faults_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t failed_transfers() const { return failed_transfers_; }
+
   // Direct slot access without latency, for the image loader / tests.
   Status Peek(DevAddr addr, std::vector<Word>* out) const;
   Status Poke(DevAddr addr, std::vector<Word> data);
+
+  // A transfer is attempted at most this many times (1 initial + retries).
+  static constexpr int kMaxTransferAttempts = 4;
 
  private:
   // Computes this transfer's completion time on one channel and marks that
   // channel busy.
   Cycles ScheduleTransfer(Cycles latency, Cycles* channel_busy_until);
+
+  // Consults the machine's injector for one transfer attempt; returns the
+  // injected fault (kOk when none). Counts injected faults.
+  Status ConsultTransfer(InjectSite site, DevAddr addr);
+
+  // Geometric backoff before retry `attempt` (1-based).
+  Cycles BackoffFor(int attempt) const;
+
+  // Retry-capable async transfer bodies; `attempt` is 1-based.
+  void StartRead(DevAddr addr, std::function<void(Status, std::vector<Word>)> done,
+                 bool urgent, int attempt);
+  void StartWrite(DevAddr addr, std::vector<Word> data, std::function<void(Status)> done,
+                  int attempt);
 
   std::string name_;
   uint32_t capacity_;
@@ -95,6 +130,9 @@ class PagingDevice {
 
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  uint64_t injected_faults_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t failed_transfers_ = 0;
 };
 
 // Factory helpers with the default cost model's latencies.

@@ -11,6 +11,28 @@ constexpr uint32_t kCardColumns = 80;
 constexpr uint32_t kPrinterColumns = 136;
 constexpr uint32_t kLinesPerPage = 60;
 
+// Consults the injector for one peripheral transfer and retries transient
+// faults in place, charging each retry to "fault_recovery". Returns the
+// surviving fault (kOk if the transfer eventually went through).
+Status ConsultPeripheral(Machine* machine, InjectSite site, const char* name,
+                         uint64_t detail, Cycles retry_cost) {
+  if (machine->injector() == nullptr) {
+    return Status::kOk;
+  }
+  Status fault = Status::kOk;
+  for (int attempt = 1; attempt <= kMaxPeripheralAttempts; ++attempt) {
+    InjectionDecision d = machine->ConsultInjector(site, name, detail);
+    fault = d.fault;
+    if (fault == Status::kOk) {
+      return Status::kOk;
+    }
+    if (attempt < kMaxPeripheralAttempts) {
+      machine->Charge(retry_cost, "fault_recovery");
+    }
+  }
+  return fault;
+}
+
 }  // namespace
 
 // --- TtyLine --------------------------------------------------------------------
@@ -54,6 +76,8 @@ Result<std::string> TtyLine::ReadLine() {
 }
 
 Status TtyLine::WriteString(const std::string& text) {
+  MX_RETURN_IF_ERROR(ConsultPeripheral(machine_, InjectSite::kDeviceWrite, "tty", line_,
+                                       kTtyCharCycles));
   machine_->Charge(kTtyCharCycles * text.size(), "device_io");
   echoed_ += text;
   return Status::kOk;
@@ -73,6 +97,8 @@ Result<std::string> CardReader::ReadCard() {
   if (deck_.empty()) {
     return Status::kDeviceError;  // Hopper empty.
   }
+  MX_RETURN_IF_ERROR(ConsultPeripheral(machine_, InjectSite::kDeviceRead, "card-reader",
+                                       deck_.size(), kCardCycles));
   machine_->Charge(kCardCycles, "device_io");
   std::string card = deck_.front();
   deck_.pop_front();
@@ -85,6 +111,8 @@ Result<std::string> CardReader::ReadCard() {
 LinePrinter::LinePrinter(Machine* machine) : machine_(machine) {}
 
 Status LinePrinter::PrintLine(const std::string& text) {
+  MX_RETURN_IF_ERROR(ConsultPeripheral(machine_, InjectSite::kDeviceWrite, "printer",
+                                       lines_printed_, kPrintLineCycles));
   machine_->Charge(kPrintLineCycles, "device_io");
   std::string line = text.substr(0, kPrinterColumns);
   output_.push_back(line);
@@ -107,6 +135,8 @@ Status LinePrinter::EjectPage() {
 TapeDrive::TapeDrive(Machine* machine) : machine_(machine) {}
 
 Status TapeDrive::WriteRecord(const std::string& data) {
+  MX_RETURN_IF_ERROR(ConsultPeripheral(machine_, InjectSite::kDeviceWrite, "tape", position_,
+                                       kTapeRecordCycles));
   machine_->Charge(kTapeRecordCycles, "device_io");
   // Writing in the middle truncates everything after, as real tape does.
   records_.resize(position_);
@@ -119,6 +149,8 @@ Result<std::string> TapeDrive::ReadRecord() {
   if (position_ >= records_.size()) {
     return Status::kOutOfRange;
   }
+  MX_RETURN_IF_ERROR(ConsultPeripheral(machine_, InjectSite::kDeviceRead, "tape", position_,
+                                       kTapeRecordCycles));
   machine_->Charge(kTapeRecordCycles, "device_io");
   return records_[position_++];
 }

@@ -4,6 +4,16 @@
 // special mechanisms for managing the various I/O devices" the paper wants
 // out of the kernel. They are fully functional here so the legacy
 // configuration actually exercises them.
+//
+// Failure contract: every operation returns Status/Result — nothing in this
+// file CHECKs, because simulated user and supervisor programs drive these
+// devices with arbitrary input. Real device conditions (empty card hopper →
+// kDeviceError, reading past end-of-tape → kOutOfRange) are ordinary
+// returns. Injected transfer faults (src/hw/injection.h, sites kDeviceRead/
+// kDeviceWrite) are retried up to kMaxPeripheralAttempts times with the
+// retry cycles charged to "fault_recovery"; a fault that survives the
+// retries is returned to the caller, who is expected to degrade (abandon
+// the I/O, report the error) rather than crash.
 
 #ifndef SRC_NET_DEVICE_IO_H_
 #define SRC_NET_DEVICE_IO_H_
@@ -16,6 +26,9 @@
 #include "src/hw/machine.h"
 
 namespace multics {
+
+// Peripheral transfers are attempted at most this many times.
+inline constexpr int kMaxPeripheralAttempts = 3;
 
 // A typewriter line: character-at-a-time input assembled into lines, with
 // echo and erase/kill processing done in the supervisor.

@@ -192,5 +192,54 @@ TEST_F(SalvagerTest, RepairIsIdempotent) {
   EXPECT_EQ(second->total_repairs(), 0u);
 }
 
+// --- Failure contract: the salvager fails loudly, never guesses -------------------
+
+TEST_F(SalvagerTest, RepairRefusedWhileSegmentsActive) {
+  auto seg = hierarchy_.CreateSegment(hierarchy_.root(), "busy", Any());
+  ASSERT_TRUE(seg.ok());
+  ASSERT_EQ(store_.SetLength(seg.value(), 1), Status::kOk);
+  ASSERT_TRUE(store_.Activate(seg.value()).ok());
+
+  // Repairing under live page traffic would race the structures being fixed.
+  auto repair = Salvager::Run(hierarchy_, /*repair=*/true);
+  ASSERT_FALSE(repair.ok());
+  EXPECT_EQ(repair.status(), Status::kFailedPrecondition);
+
+  // Scan-only stays legal on a live system (the stress test relies on this).
+  EXPECT_TRUE(Salvager::Run(hierarchy_, /*repair=*/false).ok());
+
+  ASSERT_EQ(store_.DeactivateAll(), Status::kOk);
+  EXPECT_TRUE(Salvager::Run(hierarchy_, /*repair=*/true).ok());
+}
+
+TEST_F(SalvagerTest, MissingRootIsUnsalvageable) {
+  ASSERT_EQ(store_.Delete(hierarchy_.root()), Status::kOk);
+  // Nothing below a missing root can be trusted; inventing a new root would
+  // forge authority, so the salvager reports and refuses.
+  auto run = Salvager::Run(hierarchy_, /*repair=*/true);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status(), Status::kSegmentDamaged);
+}
+
+TEST_F(SalvagerTest, UnusableLostFoundNameRefused) {
+  // A *segment* squats on the >lost_found name, and an orphan needs a home.
+  auto squatter = hierarchy_.CreateSegment(hierarchy_.root(), "lost_found", Any());
+  ASSERT_TRUE(squatter.ok());
+  auto orphan = store_.Create(Any(), /*is_directory=*/false, hierarchy_.root());
+  ASSERT_TRUE(orphan.ok());
+
+  // The salvager refuses to guess where orphans should go.
+  auto repair = Salvager::Run(hierarchy_, /*repair=*/true);
+  ASSERT_FALSE(repair.ok());
+  EXPECT_EQ(repair.status(), Status::kNameDuplication);
+
+  // The orphan was not silently dropped: once the squatter is out of the
+  // way, repair succeeds and reattaches it.
+  ASSERT_EQ(hierarchy_.DeleteEntry(hierarchy_.root(), "lost_found"), Status::kOk);
+  auto retry = Salvager::Run(hierarchy_, /*repair=*/true);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->orphans_reattached, 1u);
+}
+
 }  // namespace
 }  // namespace multics

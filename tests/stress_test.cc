@@ -9,6 +9,8 @@
 #include "src/base/random.h"
 #include "src/fs/salvager.h"
 #include "src/init/bootstrap.h"
+#include "src/inject/plan.h"
+#include "src/inject/recovery.h"
 #include "src/userring/initiator.h"
 
 namespace multics {
@@ -187,6 +189,175 @@ TEST_P(StressTest, RandomMultiUserWorkloadPreservesInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StressTest, ::testing::Values(1, 7, 42, 1975, 20260706));
+
+// --- Fault storm: 1k+ injected faults, security invariants intact -----------------
+
+// A seeded storm (src/inject/plan.h) rains faults on every instrumented site
+// while a random gate workload runs. The kernel may refuse work — denied,
+// degraded, crashed-out gate calls are all acceptable — but it must never
+// take a ring-0 fault, never grant unauthorized access, and after a final
+// crash-restart + salvage the hierarchy must satisfy every security
+// invariant: no orphans, no ACL drift, no MLS label ever widened.
+TEST(FaultStormTest, SeededStormPreservesSecurityInvariants) {
+  KernelParams params;
+  params.config = KernelConfiguration::Kernelized6180();
+  params.machine.core_frames = 96;
+  params.ast_capacity = 48;
+  Kernel kernel(params);
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  ASSERT_TRUE(Bootstrap::Run(kernel, options).ok());
+
+  std::vector<Actor> actors;
+  for (const UserSpec& user : DefaultUsers()) {
+    auto process = kernel.BootstrapProcess(user.person + "_p",
+                                           Principal{user.person, user.project, "a"},
+                                           user.max_clearance);
+    ASSERT_TRUE(process.ok());
+    Actor actor;
+    actor.process = process.value();
+    UserInitiator initiator(&kernel, actor.process);
+    auto home = initiator.InitiateDirPath(">udd>" + user.project + ">" + user.person);
+    ASSERT_TRUE(home.ok());
+    actor.home = home.value();
+    actors.push_back(actor);
+  }
+
+  // The pre-storm security state: the storm must not be able to change any
+  // of it, no matter what it tears.
+  SecuritySnapshot before = CaptureSecuritySnapshot(kernel.hierarchy());
+
+  Rng rng(20260806);
+  InjectionPlan plan;
+  StormConfig storm;
+  storm.seed = 0xFA17;
+  storm.device_rate = 1.0 / 16;
+  storm.interrupt_rate = 1.0 / 32;
+  storm.memory_rate = 1.0 / 32;
+  storm.gate_rate = 1.0 / 64;
+  storm.hierarchy_rate = 1.0 / 256;
+  plan.EnableStorm(storm);
+  kernel.machine().SetInjector(&plan);
+
+  uint64_t completed = 0;
+  uint64_t refused = 0;
+  for (int step = 0; step < 250000 && plan.injected() < 1000; ++step) {
+    Actor& actor = actors[rng.NextBelow(actors.size())];
+    Process& process = *actor.process;
+    switch (rng.NextBelow(6)) {
+      case 0: {  // Create.
+        std::string name = "s" + std::to_string(rng.NextBelow(40));
+        SegmentAttributes attrs;
+        attrs.acl.Set(AclEntry{process.principal().person, process.principal().project, "*",
+                               kModeRead | kModeWrite});
+        auto uid = kernel.FsCreateSegment(process, actor.home, name, attrs);
+        if (uid.ok()) {
+          actor.created.push_back(name);
+          ++completed;
+        } else {
+          ++refused;
+        }
+        break;
+      }
+      case 1: {  // Write through the CPU; faults surface as Status, never abort.
+        if (actor.created.empty()) {
+          break;
+        }
+        const std::string& name = actor.created[rng.NextBelow(actor.created.size())];
+        auto init = kernel.Initiate(process, actor.home, name);
+        if (!init.ok()) {
+          ++refused;
+          break;
+        }
+        if (kernel.SegSetLength(process, init->segno, 1) == Status::kOk) {
+          ASSERT_EQ(kernel.RunAs(process), Status::kOk);
+          Status st = kernel.cpu().Write(init->segno,
+                                         static_cast<WordOffset>(rng.NextBelow(kPageWords)),
+                                         rng.Next());
+          st == Status::kOk ? ++completed : ++refused;
+        }
+        break;
+      }
+      case 2: {  // Read back.
+        if (actor.created.empty()) {
+          break;
+        }
+        auto init = kernel.Initiate(process, actor.home, actor.created[0]);
+        if (init.ok()) {
+          ASSERT_EQ(kernel.RunAs(process), Status::kOk);
+          auto word = kernel.cpu().Read(init->segno, 0);
+          word.ok() ? ++completed : ++refused;
+        }
+        break;
+      }
+      case 3: {  // Delete. A torn delete is repaired by the final salvage.
+        if (actor.created.empty()) {
+          break;
+        }
+        size_t index = rng.NextBelow(actor.created.size());
+        Status st = kernel.FsDelete(process, actor.home, actor.created[index]);
+        if (st == Status::kOk || st == Status::kProcessCrashed) {
+          actor.created.erase(actor.created.begin() + static_cast<long>(index));
+          st == Status::kOk ? ++completed : ++refused;
+        }
+        break;
+      }
+      case 4: {  // Rename. A torn rename orphans the branch; salvage reattaches.
+        if (actor.created.empty()) {
+          break;
+        }
+        size_t index = rng.NextBelow(actor.created.size());
+        std::string to = "r" + std::to_string(rng.NextBelow(40));
+        Status st = kernel.FsRename(process, actor.home, actor.created[index], to);
+        if (st == Status::kOk) {
+          actor.created[index] = to;
+          ++completed;
+        } else {
+          // Crashed or refused: the old name may or may not survive; drop our
+          // bookkeeping and let List rediscover what exists.
+          actor.created.erase(actor.created.begin() + static_cast<long>(index));
+          ++refused;
+        }
+        break;
+      }
+      case 5: {  // List + status sweep.
+        auto names = kernel.FsList(process, actor.home);
+        if (names.ok() && !names->empty()) {
+          (void)kernel.FsStatus(process, actor.home, (*names)[rng.NextBelow(names->size())]);
+        }
+        break;
+      }
+    }
+  }
+
+  EXPECT_GE(plan.injected(), 1000u) << "storm too weak: " << plan.report().consults
+                                    << " consults";
+  EXPECT_GT(completed, 0u);  // The system kept doing useful work under fire.
+
+  // Invariant 1: ring 0 took no faults — every injected fault surfaced as a
+  // Status or an audited denial, never as a kernel crash.
+  EXPECT_EQ(kernel.kernel_faults(), 0u);
+
+  // Invariant 2: the reference monitor kept granting (and denying) normally.
+  EXPECT_GT(kernel.audit().grants(), 0u);
+
+  // Invariant 3: crash-restart + salvage restores a hierarchy where every
+  // surviving branch has exactly its pre-storm ACL and MLS label, and no
+  // branch is orphaned or dangling.
+  auto recovery = CrashRestart(kernel.hierarchy(), before);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->clean())
+      << "residual=" << recovery->residual_defects << " acl=" << recovery->acl_changes
+      << " labels=" << recovery->labels_changed << " orphans=" << recovery->orphan_branches;
+
+  // Invariant 4: with the storm over, clean shutdown still works.
+  kernel.machine().SetInjector(nullptr);
+  auto op = kernel.BootstrapProcess("op", Principal{"Op", "SysDaemon", "z"},
+                                    MlsLabel::SystemHigh());
+  ASSERT_TRUE(op.ok());
+  op.value()->set_ring(kRingSupervisor);
+  EXPECT_EQ(kernel.Shutdown(*op.value()), Status::kOk);
+}
 
 // --- Gate fuzz: garbage in, Status out, never a crash -----------------------------
 
