@@ -17,26 +17,57 @@ import json
 import sys
 
 
+def fail(message):
+    """Diagnose and exit 2 (usage/schema error), never with a traceback."""
+    print(f"bench_diff: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
     try:
         with open(path) as f:
             doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    except FileNotFoundError:
+        fail(f"{path}: no such file (run the bench harness first, or pass "
+             "the right baseline path)")
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not valid JSON ({e}); was the harness interrupted?")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is {type(doc).__name__}, expected an object")
     if doc.get("schema") != "multics-bench-v1":
-        sys.exit(f"bench_diff: {path}: unexpected schema {doc.get('schema')!r}")
+        fail(f"{path}: unexpected schema {doc.get('schema')!r} "
+             "(expected 'multics-bench-v1')")
     return doc
 
 
-def flatten(doc):
+def flatten(doc, path):
     """{(bench, metric): (value, unit)} including counters and cycle totals."""
     out = {}
-    for bench, body in doc.get("benches", {}).items():
-        for name, m in body.get("metrics", {}).items():
+    benches = doc.get("benches", {})
+    if not isinstance(benches, dict):
+        fail(f"{path}: 'benches' is {type(benches).__name__}, expected an object")
+    for bench, body in benches.items():
+        if not isinstance(body, dict):
+            fail(f"{path}: bench {bench!r} is {type(body).__name__}, expected an object")
+        metrics = body.get("metrics", {})
+        if not isinstance(metrics, dict):
+            fail(f"{path}: bench {bench!r}: 'metrics' is not an object")
+        for name, m in metrics.items():
+            if not isinstance(m, dict) or not isinstance(m.get("value"), (int, float)):
+                fail(f"{path}: bench {bench!r}: metric {name!r} has no numeric 'value'")
             out[(bench, name)] = (m["value"], m.get("unit", ""))
         if "cycles" in body:
+            if not isinstance(body["cycles"], (int, float)):
+                fail(f"{path}: bench {bench!r}: 'cycles' is not numeric")
             out[(bench, "(cycles)")] = (body["cycles"], "cycles")
-        for name, value in body.get("counters", {}).items():
+        counters = body.get("counters", {})
+        if not isinstance(counters, dict):
+            fail(f"{path}: bench {bench!r}: 'counters' is not an object")
+        for name, value in counters.items():
+            if not isinstance(value, (int, float)):
+                fail(f"{path}: bench {bench!r}: counter {name!r} is not numeric")
             out[(bench, name)] = (value, "")
     return out
 
@@ -53,7 +84,7 @@ def main():
     if a_doc.get("mode") != b_doc.get("mode"):
         print(f"note: comparing mode={a_doc.get('mode')} against mode={b_doc.get('mode')}; "
               "workload sizes differ, deltas are expected")
-    a, b = flatten(a_doc), flatten(b_doc)
+    a, b = flatten(a_doc, args.baseline), flatten(b_doc, args.current)
 
     failures = 0
     for key in sorted(set(a) | set(b)):

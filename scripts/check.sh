@@ -10,12 +10,45 @@
 #                                # injected faults + retry/salvage recovery are
 #                                # exactly where lifetime bugs hide, so this
 #                                # suite always runs under ASan+UBSan.
+#   scripts/check.sh --lint      # static certifier only: mx_lint over the repo,
+#                                # mx_audit over the standard boots, and the
+#                                # certifier fixture tests (ctest -L lint);
+#                                # clang-tidy over src/base when installed.
+#   scripts/check.sh --tsan      # ThreadSanitizer build (build-tsan/) running
+#                                # the parallel page-control and stress suites.
 #
-# Build trees: build/ (plain) and build-asan/ (sanitized), both from the
-# repo root, so the script is safe to run from anywhere.
+# The plain ctest list already includes the lint-labeled tests, so the
+# default run certifies the tree too; --lint is the quick loop.
+#
+# Build trees: build/ (plain), build-asan/ (sanitized), build-tsan/ (TSan),
+# all from the repo root, so the script is safe to run from anywhere.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--lint" ]]; then
+  echo "== static certifier: mx_lint + mx_audit + fixture tests (build/) =="
+  cmake -B build -S .
+  cmake --build build -j --target mx_lint mx_audit lint_test audit_static_test
+  (cd build && ctest --output-on-failure -L lint -j "$(nproc)")
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (.clang-tidy: bugprone-*, performance-*) over src/base =="
+    clang-tidy -p build --warnings-as-errors='*' src/base/*.cc
+  else
+    echo "== clang-tidy not installed; skipping (config in .clang-tidy) =="
+  fi
+  echo "== ok (lint) =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  echo "== parallel page-control suite under TSan (build-tsan/) =="
+  cmake -B build-tsan -S . -DMULTICS_SANITIZE=thread
+  cmake --build build-tsan -j --target mem_test stress_test
+  (cd build-tsan && ctest --output-on-failure -R 'mem_test|stress_test' -j "$(nproc)")
+  echo "== ok (tsan suite) =="
+  exit 0
+fi
 
 if [[ "${1:-}" == "--faults" ]]; then
   echo "== fault-injection suite under ASan+UBSan (build-asan/) =="

@@ -1,0 +1,50 @@
+// The configuration-level static certifier: given a constructed Kernel (its
+// machine, gate table, segment store, hierarchy, and processes), verify the
+// paper's certification claims *without executing anything* — the review
+// activity's audit of the descriptor and gate configuration, mechanized.
+//
+// Claims checked (one AuditClaim per claim; see docs/AUDIT.md for the
+// paper-to-check map):
+//   * ring brackets well-formed and monotonic on every branch and SDW;
+//   * connected SDW brackets identical to the owning branch's;
+//   * the gate bit only with a nonzero entry bound at a real ring boundary;
+//   * the gate table exactly the configuration's gate census;
+//   * every SDW's modes derivable from the segment's ACL ∧ MLS label (a mode
+//     the lattice alone forbids is flagged separately: that is a reachable
+//     read-up / write-down);
+//   * descriptor segment ↔ KST ↔ segment store agreement;
+//   * no orphan branches, no branch catalogued under two directories.
+//
+// Like src/inject, this module links *against* the kernel; no kernel library
+// links it back (enforced by mx_lint's layering pass).
+
+#ifndef SRC_AUDIT_STATIC_CERTIFIER_H_
+#define SRC_AUDIT_STATIC_CERTIFIER_H_
+
+#include "src/audit_static/report.h"
+#include "src/core/kernel.h"
+
+namespace multics::audit_static {
+
+class StaticCertifier {
+ public:
+  explicit StaticCertifier(Kernel* kernel) : kernel_(kernel) {}
+
+  // Runs every pass. Deterministic: findings are ordered by pass, then by
+  // pid / uid / segment number.
+  AuditReport Certify();
+
+  // Individual passes, exposed so tests can scope a fixture to one claim.
+  void CheckRingBrackets(AuditReport* report);
+  void CheckGates(AuditReport* report);
+  void CheckAccessDerivation(AuditReport* report);
+  void CheckDsegConsistency(AuditReport* report);
+  void CheckHierarchyReachability(AuditReport* report);
+
+ private:
+  Kernel* kernel_;
+};
+
+}  // namespace multics::audit_static
+
+#endif  // SRC_AUDIT_STATIC_CERTIFIER_H_

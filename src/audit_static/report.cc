@@ -1,0 +1,88 @@
+#include "src/audit_static/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace multics::audit_static {
+
+const char* AuditClaimName(AuditClaim claim) {
+  switch (claim) {
+    case AuditClaim::kRingBracketWellFormed: return "RING_BRACKET_WELL_FORMED";
+    case AuditClaim::kSdwBracketConsistency: return "SDW_BRACKET_CONSISTENCY";
+    case AuditClaim::kGateDiscipline: return "GATE_DISCIPLINE";
+    case AuditClaim::kGateRegistry: return "GATE_REGISTRY";
+    case AuditClaim::kAccessDerivable: return "ACCESS_DERIVABLE";
+    case AuditClaim::kMlsWidening: return "MLS_WIDENING";
+    case AuditClaim::kDsegStoreConsistency: return "DSEG_STORE_CONSISTENCY";
+    case AuditClaim::kOrphanSegment: return "ORPHAN_SEGMENT";
+    case AuditClaim::kMultiParentSegment: return "MULTI_PARENT_SEGMENT";
+  }
+  return "UNKNOWN";
+}
+
+uint64_t AuditReport::CountForClaim(AuditClaim claim) const {
+  return static_cast<uint64_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const AuditFinding& f) { return f.claim == claim; }));
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  out << "mx_audit: examined " << processes_examined << " process(es), " << sdws_examined
+      << " SDW(s), " << branches_examined << " branch(es), " << gates_examined
+      << " gate(s): " << findings.size() << " finding(s)\n";
+  for (const AuditFinding& f : findings) {
+    out << "  [" << AuditClaimName(f.claim) << "] " << f.subject;
+    if (f.uid != kInvalidUid) out << " uid=" << f.uid;
+    if (f.pid != 0) out << " pid=" << f.pid;
+    out << ": " << f.message << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AuditReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"mx-audit-v1\",\n"
+      << "  \"processes_examined\": " << processes_examined << ",\n"
+      << "  \"sdws_examined\": " << sdws_examined << ",\n"
+      << "  \"branches_examined\": " << branches_examined << ",\n"
+      << "  \"gates_examined\": " << gates_examined << ",\n"
+      << "  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const AuditFinding& f = findings[i];
+    out << (i ? "," : "") << "\n    {\"claim\": \"" << AuditClaimName(f.claim)
+        << "\", \"subject\": \"" << JsonEscape(f.subject) << "\", \"uid\": " << f.uid
+        << ", \"pid\": " << f.pid << ", \"segno\": " << f.segno << ", \"message\": \""
+        << JsonEscape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+}  // namespace multics::audit_static

@@ -1,0 +1,65 @@
+// Findings and reports for the configuration-level static certifier.
+//
+// Each finding records one violated certification claim — the paper's review
+// activity made mechanical. A clean report over a constructed machine is the
+// static half of the argument that "correctness is necessary and sufficient"
+// to enforce the security model; the dynamic half is the test suite.
+
+#ifndef SRC_AUDIT_STATIC_REPORT_H_
+#define SRC_AUDIT_STATIC_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fs/branch.h"
+#include "src/hw/word.h"
+#include "src/proc/ipc.h"
+
+namespace multics::audit_static {
+
+// The certification claims, one per paper-derived invariant the certifier
+// discharges (docs/AUDIT.md maps each to its source in the paper).
+enum class AuditClaim : uint8_t {
+  kRingBracketWellFormed,   // Brackets monotonic (r1 <= r2 <= r3) everywhere.
+  kSdwBracketConsistency,   // Connected SDW brackets match the branch.
+  kGateDiscipline,          // Gate bit only with entries and a ring boundary.
+  kGateRegistry,            // Gate table == the configuration's gate census.
+  kAccessDerivable,         // SDW modes ⊆ ACL∧MLS-derived modes.
+  kMlsWidening,             // An SDW mode the lattice alone forbids.
+  kDsegStoreConsistency,    // Descriptor segment ↔ KST ↔ segment store agree.
+  kOrphanSegment,           // Branch reachable from no directory.
+  kMultiParentSegment,      // Branch catalogued in more than one directory.
+};
+
+const char* AuditClaimName(AuditClaim claim);
+
+struct AuditFinding {
+  AuditClaim claim;
+  std::string subject;   // Gate name, pathname-ish hint, or "pid N segno M".
+  Uid uid = kInvalidUid;
+  ProcessId pid = 0;     // 0 when not process-scoped.
+  SegNo segno = 0;
+  std::string message;
+};
+
+struct AuditReport {
+  std::vector<AuditFinding> findings;
+
+  // Coverage counters: a clean report is only meaningful if the sweep
+  // actually examined something.
+  uint64_t processes_examined = 0;
+  uint64_t sdws_examined = 0;
+  uint64_t branches_examined = 0;
+  uint64_t gates_examined = 0;
+
+  bool clean() const { return findings.empty(); }
+  uint64_t CountForClaim(AuditClaim claim) const;
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+}  // namespace multics::audit_static
+
+#endif  // SRC_AUDIT_STATIC_REPORT_H_

@@ -15,7 +15,10 @@
 
 namespace multics {
 
-enum class Status : int32_t {
+// [[nodiscard]] on the enum type makes every by-value Status return site a
+// compiler-checked obligation: a caller that drops one silently is exactly
+// the "undesired becomes unauthorized" bug class the review activity hunts.
+enum class [[nodiscard]] Status : int32_t {
   kOk = 0,
 
   // Generic argument / state errors.

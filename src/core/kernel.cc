@@ -101,109 +101,11 @@ Kernel::Kernel(const KernelParams& params)
 Kernel::~Kernel() = default;
 
 void Kernel::RegisterGates() {
-  const KernelConfiguration& config = params_.config;
-  auto add = [this](const char* name, GateCategory category) {
-    CHECK(gates_.Register(name, category) == Status::kOk);
-  };
-
-  // Segment-number address space (the minimal interface).
-  add("get_root_dir", GateCategory::kAddressSpace);
-  add("initiate_seg", GateCategory::kAddressSpace);
-  add("terminate_seg", GateCategory::kAddressSpace);
-  add("kst_status", GateCategory::kAddressSpace);
-
-  // Pathname addressing: the kernel-resident half of the old naming world.
-  if (config.naming_in_kernel) {
-    add("initiate_path", GateCategory::kPathAddressing);
-    add("initiate_count_path", GateCategory::kPathAddressing);
-    add("terminate_path", GateCategory::kPathAddressing);
-    add("terminate_file_path", GateCategory::kPathAddressing);
-    add("status_path", GateCategory::kPathAddressing);
-    add("create_seg_path", GateCategory::kPathAddressing);
-    add("delete_path", GateCategory::kPathAddressing);
-    add("list_dir_path", GateCategory::kPathAddressing);
-    add("set_acl_path", GateCategory::kPathAddressing);
-    add("chname_path", GateCategory::kPathAddressing);
-    add("quota_read_path", GateCategory::kPathAddressing);
-
-    add("bind_ref_name", GateCategory::kNaming);
-    add("unbind_ref_name", GateCategory::kNaming);
-    add("lookup_ref_name", GateCategory::kNaming);
-    add("list_ref_names", GateCategory::kNaming);
-    add("terminate_ref_name", GateCategory::kNaming);
-    add("set_search_rules", GateCategory::kNaming);
-    add("get_search_rules", GateCategory::kNaming);
-    add("search_initiate", GateCategory::kNaming);
-    add("get_pathname", GateCategory::kNaming);
-    add("expand_pathname", GateCategory::kNaming);
-  }
-
-  if (config.linker_in_kernel) {
-    add("link_snap_all", GateCategory::kLinker);
-    add("link_snap_one", GateCategory::kLinker);
-    add("link_lookup_symbol", GateCategory::kLinker);
-    add("link_get_entry_bound", GateCategory::kLinker);
-    add("link_get_defs", GateCategory::kLinker);
-    add("link_unsnap", GateCategory::kLinker);
-    add("combine_linkage", GateCategory::kLinker);
-    add("set_linkage_ptr", GateCategory::kLinker);
-  }
-
-  // File system (segment-number directory interface).
-  add("fs_create_seg", GateCategory::kFileSystem);
-  add("fs_create_dir", GateCategory::kFileSystem);
-  add("fs_create_link", GateCategory::kFileSystem);
-  add("fs_delete_entry", GateCategory::kFileSystem);
-  add("fs_rename", GateCategory::kFileSystem);
-  add("fs_add_name", GateCategory::kFileSystem);
-  add("fs_list_dir", GateCategory::kFileSystem);
-  add("fs_status_seg", GateCategory::kFileSystem);
-  add("fs_set_acl", GateCategory::kFileSystem);
-  add("fs_remove_acl_entry", GateCategory::kFileSystem);
-  add("fs_list_acl", GateCategory::kFileSystem);
-  add("fs_set_ring_brackets", GateCategory::kFileSystem);
-  add("fs_set_max_length", GateCategory::kFileSystem);
-  add("fs_set_quota", GateCategory::kFileSystem);
-  add("fs_get_quota", GateCategory::kFileSystem);
-
-  add("seg_get_length", GateCategory::kSegment);
-  add("seg_set_length", GateCategory::kSegment);
-  add("seg_truncate", GateCategory::kSegment);
-
-  add("proc_create", GateCategory::kProcess);
-  add("proc_destroy", GateCategory::kProcess);
-  add("proc_get_info", GateCategory::kProcess);
-  add("proc_metering", GateCategory::kProcess);
-
-  add("ipc_create_channel", GateCategory::kIpc);
-  add("ipc_destroy_channel", GateCategory::kIpc);
-  add("ipc_wakeup", GateCategory::kIpc);
-  add("ipc_block", GateCategory::kIpc);
-  add("ipc_channel_status", GateCategory::kIpc);
-
-  if (config.per_device_io) {
-    add("tty_read", GateCategory::kDeviceIo);
-    add("tty_write", GateCategory::kDeviceIo);
-    add("card_read", GateCategory::kDeviceIo);
-    add("printer_write", GateCategory::kDeviceIo);
-    add("printer_eject", GateCategory::kDeviceIo);
-    add("tape_read", GateCategory::kDeviceIo);
-    add("tape_write", GateCategory::kDeviceIo);
-    add("tape_rewind", GateCategory::kDeviceIo);
-    add("tape_skip", GateCategory::kDeviceIo);
-  }
-
-  add("net_open", GateCategory::kNetwork);
-  add("net_close", GateCategory::kNetwork);
-  add("net_read", GateCategory::kNetwork);
-  add("net_write", GateCategory::kNetwork);
-  add("net_status", GateCategory::kNetwork);
-
-  add("shutdown", GateCategory::kAdmin);
-  add("metering_info", GateCategory::kAdmin);
-  if (!config.login_as_subsystem_entry) {
-    add("login", GateCategory::kAdmin);
-    add("logout", GateCategory::kAdmin);
+  // The census lives in config.cc (single source of truth): the static
+  // certifier re-derives it to check the live table, and mx_lint checks that
+  // every census name is entered through the MX_ENTER_GATE prologue.
+  for (const GateSpec& spec : GateCensus(params_.config)) {
+    CHECK(gates_.Register(spec.name, spec.category) == Status::kOk);
   }
 }
 
@@ -569,6 +471,31 @@ Result<Process*> Kernel::LoginLegacy(Process& caller, const std::string& person,
   audit_.Record(machine_.clock().now(), person + "." + project, "login", kInvalidUid,
                 Status::kOk);
   return BootstrapProcess(person + "_process", Principal{person, project, "a"}, clearance);
+}
+
+Status Kernel::Logout(Process& caller, ProcessId session) {
+  MX_ENTER_GATE(caller, "logout");
+  Process* victim = traffic_.Find(session);
+  if (victim == nullptr) {
+    return Status::kNoSuchProcess;
+  }
+  if (caller.ring() > kRingSupervisor && victim->principal() != caller.principal()) {
+    audit_.Record(machine_.clock().now(), caller.principal().ToString(), "logout",
+                  kInvalidUid, Status::kAccessDenied);
+    return Status::kAccessDenied;
+  }
+  // The session's address space is torn down exactly as proc_destroy does it.
+  std::vector<SegNo> segnos;
+  victim->kst().ForEach([&](SegNo segno, Uid) { segnos.push_back(segno); });
+  for (SegNo segno : segnos) {
+    (void)ReleaseSegno(*victim, segno, /*force=*/true);
+  }
+  legacy_naming_.erase(session);
+  fault_sinks_.erase(session);
+  victim->set_state(TaskState::kDone);
+  audit_.Record(machine_.clock().now(), caller.principal().ToString(), "logout", kInvalidUid,
+                Status::kOk);
+  return Status::kOk;
 }
 
 }  // namespace multics

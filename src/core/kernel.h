@@ -259,6 +259,9 @@ class Kernel {
   Result<Process*> LoginLegacy(Process& caller, const std::string& person,
                                const std::string& project, const std::string& password,
                                const MlsLabel& clearance);
+  // Legacy logout: ends a session created by LoginLegacy. Unprivileged
+  // callers may only log out sessions running under their own principal.
+  Status Logout(Process& caller, ProcessId session);
   // Password registry (set up by system initialization).
   void RegisterUser(const std::string& person, const std::string& project,
                     const std::string& password, const MlsLabel& max_clearance);

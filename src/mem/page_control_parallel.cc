@@ -261,8 +261,8 @@ void ParallelPageControl::StartAsyncEviction(FrameIndex victim) {
                          // the only copy. Undo the eviction and keep the
                          // page in core — degraded, not lost.
                          (void)device->Free(addr);
-                         PageTableEntry& pte = seg->page_table.entries[page];
-                         pte.present = true;
+                         PageTableEntry& entry = seg->page_table.entries[page];
+                         entry.present = true;
                          seg->location[page] = PageLoc{PageLevel::kCore, kInvalidDevAddr};
                          FrameInfo& info = core_map_->info_mutable(victim);
                          info.evicting = false;

@@ -76,6 +76,13 @@ class TrafficController {
                                  std::unique_ptr<Task> program, bool dedicated = false);
 
   Process* Find(ProcessId pid);
+  // Whole-population sweep, for the static certifier and shutdown paths.
+  template <typename Fn>
+  void ForEachProcess(Fn&& fn) {
+    for (auto& [pid, process] : processes_) {
+      fn(*process);
+    }
+  }
   uint32_t process_count() const { return static_cast<uint32_t>(processes_.size()); }
   uint32_t dedicated_count() const { return static_cast<uint32_t>(dedicated_.size()); }
   uint32_t vp_count() const { return vp_count_; }

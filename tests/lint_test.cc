@@ -1,0 +1,221 @@
+// Fixture tests for mx_lint (tools/mx_lint).
+//
+// Each test lays out a small synthetic repository under TempDir and asserts
+// the three passes find exactly the seeded violation — and nothing in the
+// clean variants. The real repository is linted by the `mx_lint_repo` ctest.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "tools/mx_lint/lint.h"
+
+namespace multics::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) / (std::string("mx_lint_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src");
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteFile(const std::string& rel, const std::string& content) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream(path) << content;
+  }
+
+  std::string Root() const { return root_.string(); }
+
+  fs::path root_;
+};
+
+// --- StripCommentsAndStrings ------------------------------------------------
+
+TEST(StripTest, BlanksCommentsButKeepsLines) {
+  const std::string in = "int a; // #include \"src/fs/x.h\"\nint b; /* two\nlines */ int c;\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.find("#include"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int c;"), std::string::npos);
+}
+
+TEST(StripTest, BlanksStringAndCharContents) {
+  const std::string out =
+      StripCommentsAndStrings("call(\"Status Ignored(\", '\\n');");
+  EXPECT_EQ(out.find("Status"), std::string::npos);
+  // The delimiters stay so downstream regexes see balanced quotes.
+  EXPECT_NE(out.find('"'), std::string::npos);
+  EXPECT_NE(out.find("call("), std::string::npos);
+}
+
+// --- Layering ---------------------------------------------------------------
+
+TEST_F(LintTest, UpwardIncludeYieldsOneFinding) {
+  WriteFile("src/hw/cpu.h", "#include \"src/base/status.h\"\n");
+  WriteFile("src/hw/bad.cc",
+            "#include \"src/hw/cpu.h\"\n#include \"src/fs/branch.h\"\n");
+  Report report;
+  CheckLayering(Root(), &report);
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.findings[0].rule, "layering");
+  EXPECT_EQ(report.findings[0].file, "src/hw/bad.cc");
+  EXPECT_EQ(report.findings[0].line, 2);
+}
+
+TEST_F(LintTest, UserringMustNotReachKernelInternals) {
+  WriteFile("src/userring/shell.cc", "#include \"src/mem/page_control.h\"\n");
+  Report report;
+  CheckLayering(Root(), &report);
+  ASSERT_EQ(report.CountForRule("layering"), 1) << report.ToString();
+}
+
+TEST_F(LintTest, InjectIsNeverIncludedByKernelCode) {
+  WriteFile("src/core/kernel.cc", "#include \"src/inject/faults.h\"\n");
+  Report report;
+  CheckLayering(Root(), &report);
+  ASSERT_EQ(report.CountForRule("layering"), 1) << report.ToString();
+}
+
+TEST_F(LintTest, DownwardIncludesAreClean) {
+  WriteFile("src/core/kernel.cc",
+            "#include \"src/core/kernel.h\"\n#include \"src/fs/branch.h\"\n"
+            "#include \"src/hw/sdw.h\"\n#include \"src/base/status.h\"\n");
+  Report report;
+  CheckLayering(Root(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST_F(LintTest, UnknownModuleYieldsFinding) {
+  WriteFile("src/rogue/thing.h", "int x;\n");
+  Report report;
+  CheckLayering(Root(), &report);
+  ASSERT_EQ(report.CountForRule("layering"), 1) << report.ToString();
+}
+
+TEST_F(LintTest, MissingSrcTreeCannotPassVacuously) {
+  Report report = RunLint((root_ / "no_such_dir").string());
+  EXPECT_FALSE(report.clean());
+}
+
+// --- Gate prologues ---------------------------------------------------------
+
+TEST_F(LintTest, CensusGateWithoutPrologueYieldsOneFinding) {
+  WriteFile("src/core/config.cc",
+            "x = {{\"alpha\", GateCategory::kProcess},\n"
+            "     {\"beta\", GateCategory::kProcess}};\n");
+  WriteFile("src/core/kernel.cc",
+            "Status Kernel::Alpha(Process& caller) {\n"
+            "  MX_ENTER_GATE(caller, \"alpha\", 0);\n"
+            "  return Status::kOk;\n}\n");
+  Report report;
+  CheckGatePrologues(Root(), &report);
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.findings[0].rule, "gate-prologue");
+  EXPECT_NE(report.findings[0].message.find("beta"), std::string::npos);
+}
+
+TEST_F(LintTest, PrologueOutsideCensusYieldsOneFinding) {
+  WriteFile("src/core/config.cc", "x = {{\"alpha\", GateCategory::kProcess}};\n");
+  WriteFile("src/core/kernel.cc",
+            "  MX_ENTER_GATE(caller, \"alpha\", 0);\n"
+            "  MX_ENTER_GATE(caller, \"phantom\", 0);\n");
+  Report report;
+  CheckGatePrologues(Root(), &report);
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  EXPECT_NE(report.findings[0].message.find("phantom"), std::string::npos);
+  EXPECT_EQ(report.findings[0].line, 2);
+}
+
+TEST_F(LintTest, IdentifierGateNameResolvesThroughAssignments) {
+  // The seg_set_length / seg_truncate pattern: one body, two gate names.
+  WriteFile("src/core/config.cc",
+            "x = {{\"seg_set_length\", GateCategory::kSegment},\n"
+            "     {\"seg_truncate\", GateCategory::kSegment}};\n");
+  WriteFile("src/core/kernel.cc",
+            "  const char* gate = truncate ? nullptr : nullptr;\n"
+            "  gate = \"seg_set_length\";\n"
+            "  if (truncate) gate = \"seg_truncate\";\n"
+            "  MX_ENTER_GATE(caller, gate, pages);\n");
+  Report report;
+  CheckGatePrologues(Root(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+// --- Discarded Status -------------------------------------------------------
+
+TEST_F(LintTest, DroppedStatusCallYieldsOneFinding) {
+  WriteFile("src/base/api.h", "Status DoThing(int x);\n");
+  WriteFile("src/core/use.cc",
+            "void Caller() {\n"
+            "  DoThing(1);\n"
+            "}\n");
+  Report report;
+  CheckDiscardedStatus(Root(), &report);
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.findings[0].rule, "discarded-status");
+  EXPECT_EQ(report.findings[0].file, "src/core/use.cc");
+  EXPECT_EQ(report.findings[0].line, 2);
+}
+
+TEST_F(LintTest, ConsumedStatusIsClean) {
+  WriteFile("src/base/api.h",
+            "Status DoThing(int x);\nResult<int> Fetch();\n");
+  WriteFile("src/core/use.cc",
+            "Status Caller() {\n"
+            "  Status s = DoThing(1);\n"
+            "  if (DoThing(2) != Status::kOk) return s;\n"
+            "  MX_RETURN_IF_ERROR(DoThing(3));\n"
+            "  auto r = Fetch();\n"
+            "  (void)DoThing(4);\n"
+            "  return DoThing(5);\n"
+            "}\n");
+  Report report;
+  CheckDiscardedStatus(Root(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST_F(LintTest, DroppedResultOnReceiverChainYieldsFinding) {
+  WriteFile("src/base/api.h", "Result<int> Grow(int pages);\n");
+  WriteFile("src/core/use.cc",
+            "void Caller(Kernel& kernel) {\n"
+            "  kernel.store().Grow(2);\n"
+            "}\n");
+  Report report;
+  CheckDiscardedStatus(Root(), &report);
+  ASSERT_EQ(report.CountForRule("discarded-status"), 1) << report.ToString();
+}
+
+TEST_F(LintTest, AmbiguousNameIsSkipped) {
+  // Overloaded across return types: the linter must not guess.
+  WriteFile("src/base/api.h", "Status DoThing(int x);\n");
+  WriteFile("src/fs/other.h", "void DoThing(double y);\n");
+  WriteFile("src/core/use.cc", "void Caller() {\n  DoThing(1);\n}\n");
+  Report report;
+  CheckDiscardedStatus(Root(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+// --- Report formats ---------------------------------------------------------
+
+TEST_F(LintTest, JsonReportIsWellFormedEnough) {
+  WriteFile("src/hw/bad.cc", "#include \"src/core/kernel.h\"\n");
+  Report report;
+  CheckLayering(Root(), &report);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"mx-lint-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"layering\""), std::string::npos);
+  EXPECT_NE(json.find("src/hw/bad.cc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace multics::lint

@@ -1,0 +1,87 @@
+// mx_audit — configuration-level static certifier.
+//
+//   mx_audit [--json] [--config kernelized|legacy|645] [--with-session]
+//
+// Constructs the selected kernel configuration, runs the standard bootstrap
+// (the same one the examples and tests boot), optionally drives one user
+// session so descriptor segments are populated, then statically certifies
+// the result: no execution is required for the audit itself. Exit status:
+// 0 clean, 1 findings, 2 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/audit_static/certifier.h"
+#include "src/init/bootstrap.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mx_audit [--json] [--config kernelized|legacy|645] [--with-session]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using multics::KernelConfiguration;
+  bool json = false;
+  bool with_session = false;
+  KernelConfiguration config = KernelConfiguration::Kernelized6180();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--with-session") == 0) {
+      with_session = true;
+    } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      const std::string which = argv[++i];
+      if (which == "kernelized") {
+        config = KernelConfiguration::Kernelized6180();
+      } else if (which == "legacy") {
+        config = KernelConfiguration::Legacy6180();
+      } else if (which == "645") {
+        config = KernelConfiguration::Legacy645();
+      } else {
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+
+  multics::KernelParams params;
+  params.config = config;
+  multics::Kernel kernel(params);
+  auto boot = multics::Bootstrap::Run(kernel, {.users = multics::DefaultUsers()});
+  if (!boot.ok()) {
+    std::fprintf(stderr, "mx_audit: bootstrap failed: %d\n",
+                 static_cast<int>(boot.status()));
+    return 2;
+  }
+
+  if (with_session) {
+    // Populate one real address space so the SDW-level claims sweep
+    // something: initiate the root and create + grow a segment.
+    multics::Process* init = boot->init_process;
+    auto root = kernel.RootDir(*init);
+    if (root.ok()) {
+      multics::SegmentAttributes attrs;
+      attrs.acl.Set(multics::AclEntry{"*", "*", "*",
+                                      multics::kModeRead | multics::kModeWrite});
+      auto uid = kernel.FsCreateSegment(*init, root.value(), "audit_probe", attrs);
+      if (uid.ok()) {
+        auto seg = kernel.Initiate(*init, root.value(), "audit_probe");
+        if (seg.ok()) {
+          (void)kernel.SegSetLength(*init, seg->segno, 2);
+        }
+      }
+    }
+  }
+
+  multics::audit_static::StaticCertifier certifier(&kernel);
+  const multics::audit_static::AuditReport report = certifier.Certify();
+  std::fputs((json ? report.ToJson() : report.ToString()).c_str(), stdout);
+  return report.clean() ? 0 : 1;
+}

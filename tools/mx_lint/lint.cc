@@ -1,0 +1,479 @@
+#include "tools/mx_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace multics::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// --- Small utilities --------------------------------------------------------
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int LineOf(const std::string& text, size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Repo-relative path with forward slashes, for stable report output.
+std::string RelPath(const fs::path& root, const fs::path& file) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  return (ec ? file : rel).generic_string();
+}
+
+// All .h/.cc files under `dir`, sorted for deterministic reports.
+std::vector<fs::path> SourceFiles(const fs::path& dir) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void Add(Report* report, std::string rule, std::string file, int line, std::string message) {
+  report->findings.push_back(
+      Finding{std::move(rule), std::move(file), line, std::move(message)});
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar } state = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// --- 1. Layering ------------------------------------------------------------
+
+namespace {
+
+// The layering DAG from docs/ARCHITECTURE.md, as "module -> modules whose
+// headers it may include directly". The sets are the transitive closure of
+// the CMake link graph, with two deliberate tightenings:
+//   * src/inject appears in no other module's set: the kernel never sees the
+//     concrete injector, only the seam in src/hw/injection.h;
+//   * src/userring omits mem/net/proc/init: code that left the kernel talks
+//     to it through the gate surface (src/core) and the data types it is
+//     handed (src/fs, src/link), never to kernel internals.
+const std::map<std::string, std::set<std::string>>& AllowedIncludes() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"base", {"base"}},
+      {"meter", {"meter", "base"}},
+      {"mls", {"mls", "base"}},
+      {"hw", {"hw", "meter", "base"}},
+      {"mem", {"mem", "hw", "meter", "base"}},
+      {"link", {"link", "hw", "meter", "base"}},
+      {"net", {"net", "hw", "meter", "base"}},
+      {"fs", {"fs", "mem", "mls", "hw", "meter", "base"}},
+      {"proc", {"proc", "fs", "mem", "mls", "hw", "meter", "base"}},
+      {"core",
+       {"core", "proc", "fs", "link", "net", "mem", "mls", "hw", "meter", "base"}},
+      {"userring", {"userring", "core", "link", "fs", "mls", "hw", "meter", "base"}},
+      {"init",
+       {"init", "userring", "core", "proc", "fs", "link", "net", "mem", "mls", "hw",
+        "meter", "base"}},
+      {"inject", {"inject", "fs", "mem", "mls", "hw", "meter", "base"}},
+      // The static certifier examines the whole kernel, so it may read every
+      // kernel header — but, like inject, nothing may include *it*, and it
+      // must not depend on the injector or the outer rings.
+      {"audit_static",
+       {"audit_static", "core", "proc", "fs", "link", "net", "mem", "mls", "hw",
+        "meter", "base"}},
+  };
+  return kAllowed;
+}
+
+// Module of a repo-relative path "src/<module>/...", or "" if not in src/.
+std::string ModuleOf(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return "";
+  const size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return rel.substr(4, slash - 4);
+}
+
+}  // namespace
+
+void CheckLayering(const std::string& repo_root, Report* report) {
+  const fs::path root(repo_root);
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    Add(report, "layering", "src", 0, "no src/ directory under lint root " + repo_root);
+    return;
+  }
+  static const std::regex kInclude("#include\\s+\"(src/([A-Za-z0-9_]+)/[^\"]+)\"");
+  for (const fs::path& file : SourceFiles(src)) {
+    const std::string rel = RelPath(root, file);
+    const std::string module = ModuleOf(rel);
+    ++report->files_scanned;
+    const auto allowed_it = AllowedIncludes().find(module);
+    if (allowed_it == AllowedIncludes().end()) {
+      Add(report, "layering", rel, 0,
+          "module src/" + module + " is not in the layering DAG (docs/ARCHITECTURE.md); "
+          "add it to AllowedIncludes() in tools/mx_lint/lint.cc deliberately");
+      continue;
+    }
+    const std::string text = ReadFile(file);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kInclude);
+         it != std::sregex_iterator(); ++it) {
+      const std::string target = (*it)[2].str();
+      if (!allowed_it->second.contains(target)) {
+        Add(report, "layering", rel, LineOf(text, static_cast<size_t>(it->position())),
+            "src/" + module + " must not include \"" + (*it)[1].str() +
+                "\": src/" + target + " is above it in the layering DAG");
+      }
+    }
+  }
+}
+
+// --- 2. Gate prologues ------------------------------------------------------
+
+namespace {
+
+// Gate census: every `{"name", GateCategory::...}` pair in src/core — the
+// single source of truth the kernel registers its gate table from.
+std::map<std::string, std::string> GateCensus(const fs::path& root) {
+  std::map<std::string, std::string> census;  // name -> file declaring it
+  static const std::regex kCensusEntry("\\{\\s*\"([a-z0-9_]+)\"\\s*,\\s*GateCategory::");
+  for (const fs::path& file : SourceFiles(root / "src" / "core")) {
+    const std::string text = ReadFile(file);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kCensusEntry);
+         it != std::sregex_iterator(); ++it) {
+      census.emplace((*it)[1].str(), RelPath(root, file));
+    }
+  }
+  return census;
+}
+
+}  // namespace
+
+void CheckGatePrologues(const std::string& repo_root, Report* report) {
+  const fs::path root(repo_root);
+  const std::map<std::string, std::string> census = GateCensus(root);
+  if (census.empty()) {
+    Add(report, "gate-prologue", "src/core", 0,
+        "no gate census found (no {\"name\", GateCategory::...} entries in src/core)");
+    return;
+  }
+
+  // Names entered through MX_ENTER_GATE. The second argument is either a
+  // string literal or an identifier; for identifiers, every literal assigned
+  // to that identifier in the same file counts (the seg_set_length /
+  // seg_truncate pattern: one body behind two gates).
+  static const std::regex kEnterLiteral("MX_ENTER_GATE\\(\\s*caller\\s*,\\s*\"([a-z0-9_]+)\"");
+  static const std::regex kEnterIdent(
+      "MX_ENTER_GATE\\(\\s*caller\\s*,\\s*([A-Za-z_][A-Za-z0-9_]*)\\s*[,)]");
+  std::map<std::string, std::pair<std::string, int>> prologue;  // name -> (file, line)
+  for (const fs::path& file : SourceFiles(root / "src" / "core")) {
+    const std::string rel = RelPath(root, file);
+    const std::string text = ReadFile(file);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kEnterLiteral);
+         it != std::sregex_iterator(); ++it) {
+      prologue.emplace((*it)[1].str(),
+                       std::make_pair(rel, LineOf(text, static_cast<size_t>(it->position()))));
+    }
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kEnterIdent);
+         it != std::sregex_iterator(); ++it) {
+      const std::string ident = (*it)[1].str();
+      const std::regex assign(ident + "\\s*=\\s*\"([a-z0-9_]+)\"");
+      for (auto a = std::sregex_iterator(text.begin(), text.end(), assign);
+           a != std::sregex_iterator(); ++a) {
+        prologue.emplace((*a)[1].str(),
+                         std::make_pair(rel, LineOf(text, static_cast<size_t>(a->position()))));
+      }
+    }
+  }
+
+  for (const auto& [name, file] : census) {
+    if (!prologue.contains(name)) {
+      Add(report, "gate-prologue", file, 0,
+          "gate \"" + name +
+              "\" is in the census but no gate body enters it through MX_ENTER_GATE: "
+              "an unauditable entry point");
+    }
+  }
+  for (const auto& [name, where] : prologue) {
+    if (!census.contains(name)) {
+      Add(report, "gate-prologue", where.first, where.second,
+          "MX_ENTER_GATE(\"" + name +
+              "\") names a gate missing from the census: calls through it can never be "
+              "accounted against a registered gate");
+    }
+  }
+}
+
+// --- 3. Discarded Status / Result -------------------------------------------
+
+namespace {
+
+// Does text position `pos` (start of an identifier) begin a statement? Walks
+// back over a receiver chain (`a.b->c(x)[i].`) to the statement boundary.
+bool IsStatementInitial(const std::string& text, size_t pos) {
+  size_t i = pos;
+  for (;;) {
+    while (i > 0 && std::isspace(static_cast<unsigned char>(text[i - 1]))) --i;
+    if (i == 0) return true;
+    const char prev = text[i - 1];
+    bool have_connector = false;
+    if (prev == '.') {
+      i -= 1;
+      have_connector = true;
+    } else if (prev == '>' && i >= 2 && text[i - 2] == '-') {
+      i -= 2;
+      have_connector = true;
+    } else if (prev == ':' && i >= 2 && text[i - 2] == ':') {
+      i -= 2;
+      have_connector = true;
+    }
+    if (!have_connector) {
+      return prev == ';' || prev == '{' || prev == '}';
+    }
+    // Walk back over the receiver primary: trailing ()/[] groups, then an
+    // identifier. `(f().g)->h()` style parenthesized receivers are treated
+    // as non-statement-initial (conservative: no finding).
+    while (i > 0 && std::isspace(static_cast<unsigned char>(text[i - 1]))) --i;
+    while (i > 0 && (text[i - 1] == ')' || text[i - 1] == ']')) {
+      const char close = text[i - 1];
+      const char open = close == ')' ? '(' : '[';
+      int depth = 0;
+      size_t j = i;
+      while (j > 0) {
+        --j;
+        if (text[j] == close) ++depth;
+        if (text[j] == open && --depth == 0) break;
+      }
+      if (depth != 0) return false;
+      i = j;
+      while (i > 0 && std::isspace(static_cast<unsigned char>(text[i - 1]))) --i;
+    }
+    if (i == 0 || (!std::isalnum(static_cast<unsigned char>(text[i - 1])) && text[i - 1] != '_')) {
+      return false;  // No identifier at the chain head: give up, no finding.
+    }
+    while (i > 0 &&
+           (std::isalnum(static_cast<unsigned char>(text[i - 1])) || text[i - 1] == '_')) {
+      --i;
+    }
+  }
+}
+
+// Position just past the ')' matching the '(' at `open`, or npos.
+size_t MatchParen(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+void CheckDiscardedStatus(const std::string& repo_root, Report* report) {
+  const fs::path root(repo_root);
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) return;  // CheckLayering already reported this.
+
+  // Pass 1: inventory function names by declared return type. A name is a
+  // confirmed Status/Result returner only if *every* declaration of it in
+  // the tree returns Status or Result<T>; names that also appear with other
+  // return types are ambiguous and skipped (no false positives).
+  static const std::regex kStatusDecl(
+      "^\\s*(?:virtual\\s+|static\\s+|inline\\s+|constexpr\\s+|friend\\s+)*"
+      "(?:multics::)?(?:Status|Result<[^;={}]*>)\\s+"
+      "(?:[A-Za-z_][A-Za-z0-9_]*::)?([A-Za-z_][A-Za-z0-9_]*)\\s*\\(");
+  static const std::regex kOtherDecl(
+      "^\\s*(?:virtual\\s+|static\\s+|inline\\s+|constexpr\\s+|explicit\\s+|friend\\s+)*"
+      "([A-Za-z_][A-Za-z0-9_:<>,*& ]*?)\\s+"
+      "(?:[A-Za-z_][A-Za-z0-9_]*::)?([A-Za-z_][A-Za-z0-9_]*)\\s*\\(");
+  std::set<std::string> status_names;
+  std::set<std::string> other_names;
+  std::vector<std::pair<std::string, std::string>> stripped;  // (rel, text)
+  for (const fs::path& file : SourceFiles(src)) {
+    const std::string text = StripCommentsAndStrings(ReadFile(file));
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::smatch m;
+      if (std::regex_search(line, m, kStatusDecl)) {
+        status_names.insert(m[1].str());
+      } else if (std::regex_search(line, m, kOtherDecl)) {
+        const std::string type = m[1].str();
+        if (type.find("Status") == std::string::npos &&
+            type.find("Result<") == std::string::npos) {
+          other_names.insert(m[2].str());
+        }
+      }
+    }
+    stripped.emplace_back(RelPath(root, file), text);
+  }
+  for (const std::string& name : other_names) status_names.erase(name);
+  status_names.erase("Status");  // Constructor-style uses, not calls.
+
+  // Pass 2: statement-initial calls to a confirmed name whose full statement
+  // is just the call — the returned Status/Result is dropped on the floor.
+  for (const auto& [rel, text] : stripped) {
+    static const std::regex kCall("\\b([A-Za-z_][A-Za-z0-9_]*)\\s*\\(");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kCall);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (!status_names.contains(name)) continue;
+      const size_t name_pos = static_cast<size_t>(it->position());
+      if (!IsStatementInitial(text, name_pos)) continue;
+      const size_t open = name_pos + it->str().size() - 1;  // The '('.
+      const size_t after = MatchParen(text, open);
+      if (after == std::string::npos) continue;
+      size_t j = after;
+      while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+      if (j < text.size() && text[j] == ';') {
+        Add(report, "discarded-status", rel, LineOf(text, name_pos),
+            "call to " + name + "() discards its Status/Result; consume it "
+            "(MX_RETURN_IF_ERROR, CHECK, or an explicit branch)");
+      }
+    }
+  }
+}
+
+// --- Report -----------------------------------------------------------------
+
+int Report::CountForRule(const std::string& rule) const {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+std::string Report::ToString() const {
+  std::ostringstream out;
+  out << "mx_lint: " << files_scanned << " files scanned, " << findings.size()
+      << " finding(s)\n";
+  for (const Finding& f : findings) {
+    out << "  [" << f.rule << "] " << f.file;
+    if (f.line > 0) out << ":" << f.line;
+    out << ": " << f.message << "\n";
+  }
+  return out.str();
+}
+
+std::string Report::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"mx-lint-v1\",\n  \"files_scanned\": " << files_scanned
+      << ",\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i ? "," : "") << "\n    {\"rule\": \"" << JsonEscape(f.rule)
+        << "\", \"file\": \"" << JsonEscape(f.file) << "\", \"line\": " << f.line
+        << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+Report RunLint(const std::string& repo_root) {
+  Report report;
+  CheckLayering(repo_root, &report);
+  CheckGatePrologues(repo_root, &report);
+  CheckDiscardedStatus(repo_root, &report);
+  return report;
+}
+
+}  // namespace multics::lint

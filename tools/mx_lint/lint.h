@@ -1,0 +1,66 @@
+// mx_lint: the source-level half of the static kernel certifier.
+//
+// The paper's *review* activity audits the supervisor's code so that
+// "correctness is necessary and sufficient" to enforce the security model.
+// This linter mechanizes the three code-level obligations that audit rests
+// on, without compiling or running anything:
+//
+//   1. layering        — the include graph must respect the layering DAG in
+//                        docs/ARCHITECTURE.md (src/hw never reaches up into
+//                        src/fs or src/core; src/userring never reaches
+//                        kernel internals; nothing in the kernel includes
+//                        src/inject).
+//   2. gate-prologue   — every gate name in the census (src/core/config.cc)
+//                        must be entered through the MX_ENTER_GATE prologue
+//                        in exactly the gate-surface files, and every
+//                        prologue name must be in the census: no unaudited
+//                        entry points, no phantom gates.
+//   3. discarded-status — no statement-level call that drops a Status or
+//                        Result<T> on the floor: an ignored error is how an
+//                        "undesired" event silently becomes "unauthorized".
+//
+// The library is standalone (std only) so the lint binary never links the
+// kernel it audits.
+
+#ifndef TOOLS_MX_LINT_LINT_H_
+#define TOOLS_MX_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace multics::lint {
+
+struct Finding {
+  std::string rule;     // "layering" | "gate-prologue" | "discarded-status"
+  std::string file;     // Repo-relative path.
+  int line = 0;         // 1-based; 0 when the finding is not line-anchored.
+  std::string message;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+
+  bool clean() const { return findings.empty(); }
+  int CountForRule(const std::string& rule) const;
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+// Runs all three checks over `<repo_root>/src`. The root must contain a
+// src/ directory; a missing tree produces a single "layering" finding so a
+// misconfigured CI invocation cannot pass vacuously.
+Report RunLint(const std::string& repo_root);
+
+// Individual passes, exposed for the fixture tests.
+void CheckLayering(const std::string& repo_root, Report* report);
+void CheckGatePrologues(const std::string& repo_root, Report* report);
+void CheckDiscardedStatus(const std::string& repo_root, Report* report);
+
+// Strips // and /* */ comments and the contents of string/char literals
+// (replaced with spaces, preserving line structure). Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& text);
+
+}  // namespace multics::lint
+
+#endif  // TOOLS_MX_LINT_LINT_H_
