@@ -16,6 +16,11 @@
 #                                # clang-tidy over src/base when installed.
 #   scripts/check.sh --tsan      # ThreadSanitizer build (build-tsan/) running
 #                                # the parallel page-control and stress suites.
+#   scripts/check.sh --smp       # simulated-multiprocessor suite: the full
+#                                # tier-1 ctest list re-run at MULTICS_CPUS=4
+#                                # (every test must hold on a 4-CPU machine),
+#                                # the SMP determinism/scheduler tests, and the
+#                                # bench_smp scalability table.
 #
 # The plain ctest list already includes the lint-labeled tests, so the
 # default run certifies the tree too; --lint is the quick loop.
@@ -47,6 +52,21 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake --build build-tsan -j --target mem_test stress_test
   (cd build-tsan && ctest --output-on-failure -R 'mem_test|stress_test' -j "$(nproc)")
   echo "== ok (tsan suite) =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--smp" ]]; then
+  echo "== simulated multiprocessor: tier-1 ctest at MULTICS_CPUS=4 (build/) =="
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && MULTICS_CPUS=4 ctest --output-on-failure -j "$(nproc)")
+  echo "== smp scheduler/determinism tests at 1, 2, and 6 CPUs =="
+  for n in 1 2 6; do
+    (cd build && MULTICS_CPUS=$n ctest --output-on-failure -R 'smp_test|proc_test' -j "$(nproc)")
+  done
+  echo "== bench_smp: partitioned vs global-lock scaling, 1-6 CPUs =="
+  ./build/bench/bench_harness --json=BENCH_PR5.json bench_smp
+  echo "== ok (smp suite) =="
   exit 0
 fi
 

@@ -131,7 +131,7 @@ void StaticCertifier::CheckGates(AuditReport* report) {
 // --- Claim 3: every SDW mode derivable from ACL ∧ MLS -----------------------
 
 void StaticCertifier::CheckAccessDerivation(AuditReport* report) {
-  const ReferenceMonitor& monitor = kernel_->monitor();
+  ReferenceMonitor& monitor = kernel_->monitor();
   for (Process* p : ProcessesSorted(kernel_)) {
     const bool trusted = Kernel::Trusted(*p);
     for (SegNo segno = 0; segno < kMaxSegments; ++segno) {
@@ -280,6 +280,30 @@ void StaticCertifier::CheckHierarchyReachability(AuditReport* report) {
   }
 }
 
+void StaticCertifier::CheckLockOrder(AuditReport* report) {
+  const LockTrace& trace = kernel_->machine().lock_trace();
+  // Every observed nesting must be strictly level-increasing. The trace
+  // already records outright violations as they happen; re-deriving the rule
+  // over the edge set catches any edge the runtime check would have missed
+  // (and keeps the certifier's verdict independent of the recorder's).
+  for (const auto& [names, levels] : trace.edges()) {
+    if (levels.second > levels.first) continue;
+    report->findings.push_back(
+        {AuditClaim::kLockOrder, names.first + " -> " + names.second, kInvalidUid, 0, 0,
+         "observed acquisition of `" + names.second + "` (level " +
+             std::to_string(levels.second) + ") while holding `" + names.first +
+             "` (level " + std::to_string(levels.first) +
+             "): the lock hierarchy requires strictly increasing levels"});
+  }
+  for (const LockOrderViolation& v : trace.violations()) {
+    report->findings.push_back(
+        {AuditClaim::kLockOrder, v.held + " -> " + v.acquired, kInvalidUid, 0, 0,
+         "cpu " + std::to_string(v.cpu) + " at cycle " + std::to_string(v.time) +
+             " acquired `" + v.acquired + "` (level " + std::to_string(v.acquired_level) +
+             ") while holding `" + v.held + "` (level " + std::to_string(v.held_level) + ")"});
+  }
+}
+
 AuditReport StaticCertifier::Certify() {
   AuditReport report;
   CheckRingBrackets(&report);
@@ -287,6 +311,7 @@ AuditReport StaticCertifier::Certify() {
   CheckAccessDerivation(&report);
   CheckDsegConsistency(&report);
   CheckHierarchyReachability(&report);
+  CheckLockOrder(&report);
   return report;
 }
 

@@ -13,7 +13,10 @@
 //     the lattice alone forbids is flagged separately: that is a reachable
 //     read-up / write-down);
 //   * descriptor segment ↔ KST ↔ segment store agreement;
-//   * no orphan branches, no branch catalogued under two directories.
+//   * no orphan branches, no branch catalogued under two directories;
+//   * the lock trace of the run so far respects the partitioned-lock
+//     hierarchy: every recorded acquisition edge is strictly
+//     level-increasing and no violation was observed.
 //
 // Like src/inject, this module links *against* the kernel; no kernel library
 // links it back (enforced by mx_lint's layering pass).
@@ -40,6 +43,7 @@ class StaticCertifier {
   void CheckAccessDerivation(AuditReport* report);
   void CheckDsegConsistency(AuditReport* report);
   void CheckHierarchyReachability(AuditReport* report);
+  void CheckLockOrder(AuditReport* report);
 
  private:
   Kernel* kernel_;

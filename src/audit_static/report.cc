@@ -16,6 +16,7 @@ const char* AuditClaimName(AuditClaim claim) {
     case AuditClaim::kDsegStoreConsistency: return "DSEG_STORE_CONSISTENCY";
     case AuditClaim::kOrphanSegment: return "ORPHAN_SEGMENT";
     case AuditClaim::kMultiParentSegment: return "MULTI_PARENT_SEGMENT";
+    case AuditClaim::kLockOrder: return "LOCK_ORDER";
   }
   return "UNKNOWN";
 }

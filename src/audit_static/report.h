@@ -30,6 +30,7 @@ enum class AuditClaim : uint8_t {
   kDsegStoreConsistency,    // Descriptor segment ↔ KST ↔ segment store agree.
   kOrphanSegment,           // Branch reachable from no directory.
   kMultiParentSegment,      // Branch catalogued in more than one directory.
+  kLockOrder,               // Observed lock acquisition violates the hierarchy.
 };
 
 const char* AuditClaimName(AuditClaim claim);

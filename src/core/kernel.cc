@@ -61,8 +61,7 @@ Kernel::Kernel(const KernelParams& params)
       audit_(),
       monitor_(&audit_, params_.config.mls_enforcement),
       traffic_(&machine_, params_.virtual_processors),
-      network_(&machine_, NetworkAttachment::Config{}),
-      cpu_(&machine_) {
+      network_(&machine_, NetworkAttachment::Config{}) {
   CHECK(policy_ != nullptr) << "unknown replacement policy " << params_.replacement_policy;
 
   if (params_.config.parallel_page_control) {
@@ -116,6 +115,13 @@ GateSpan::GateSpan(Kernel* kernel, Process& caller, const char* name, uint32_t a
   if (status_ != Status::kOk) {
     return;
   }
+  // In global-lock mode the whole gate body runs under the one kernel lock —
+  // the configuration the scaling benchmark uses as its strawman. (In
+  // partitioned mode each module takes its own lock instead.)
+  if (kernel_->machine_.lock_mode() == LockMode::kGlobalKernelLock) {
+    kernel_->machine_.locks().Global().Acquire();
+    locked_ = true;
+  }
   Meter& meter = kernel_->machine_.meter();
   if (meter.enabled()) {
     // Attribute the gate body to the calling process running in ring 0; the
@@ -130,6 +136,9 @@ GateSpan::GateSpan(Kernel* kernel, Process& caller, const char* name, uint32_t a
 }
 
 GateSpan::~GateSpan() {
+  if (locked_) {
+    kernel_->machine_.locks().Global().Release();
+  }
   if (status_ != Status::kOk || ctx_ == nullptr) {
     return;
   }
@@ -277,9 +286,12 @@ Status Kernel::RunAs(Process& process) {
     machine_.Charge(machine_.costs().process_switch, "scheduler");
   }
   current_ = &process;
-  cpu_.AttachAddressSpace(&process.dseg());
-  cpu_.SetFaultSink(it->second.get());
-  cpu_.SetRing(process.ring());
+  // Bind the process to whichever CPU the traffic controller made active:
+  // address space, fault sink, and ring all live in per-CPU processor state.
+  Processor& cpu = machine_.active_processor();
+  cpu.AttachAddressSpace(&process.dseg());
+  cpu.SetFaultSink(it->second.get());
+  cpu.SetRing(process.ring());
   return Status::kOk;
 }
 

@@ -99,7 +99,10 @@ class Kernel {
   TrafficController& traffic() { return traffic_; }
   NetworkAttachment& network() { return network_; }
   FlawRegistry& flaws() { return flaws_; }
-  Processor& cpu() { return cpu_; }
+  // The active CPU's processor. On a multiprocessor the binding follows the
+  // traffic controller's dispatch decision; RunAs binds the process to
+  // whichever CPU is active when it runs.
+  Processor& cpu() { return machine_.active_processor(); }
   // Paging devices, exposed for fault-injection observability (retry /
   // failed-transfer counters) in tests and benches.
   PagingDevice& bulk_store() { return bulk_; }
@@ -344,7 +347,6 @@ class Kernel {
   FlawRegistry flaws_;
   TrafficController traffic_;
   NetworkAttachment network_;
-  Processor cpu_;
 
   // Legacy device stacks (only in per_device_io configurations).
   std::vector<std::unique_ptr<TtyLine>> ttys_;
@@ -394,6 +396,7 @@ class GateSpan {
   Status status_;
   TraceContext* ctx_ = nullptr;  // Context the span opened on; null if none.
   Attribution saved_attribution_{};
+  bool locked_ = false;  // Global-lock mode: this span holds the kernel lock.
 };
 
 // Gate-body prologue: enter the gate (returning its error on refusal) and

@@ -3,7 +3,7 @@
 namespace multics {
 
 uint8_t ReferenceMonitor::SegmentModes(const Branch& branch, const Principal& principal,
-                                       const MlsLabel& clearance, bool trusted) const {
+                                       const MlsLabel& clearance, bool trusted) {
   ++checks_;
   uint8_t modes = branch.acl.EffectiveModes(principal);
   if (mls_ && !trusted) {
@@ -18,7 +18,7 @@ uint8_t ReferenceMonitor::SegmentModes(const Branch& branch, const Principal& pr
 }
 
 uint8_t ReferenceMonitor::DirectoryModes(const Branch& branch, const Principal& principal,
-                                         const MlsLabel& clearance, bool trusted) const {
+                                         const MlsLabel& clearance, bool trusted) {
   ++checks_;
   uint8_t modes = branch.acl.EffectiveModes(principal);
   if (mls_ && !trusted) {

@@ -31,11 +31,11 @@ class ReferenceMonitor {
   // restrictions — the Bell-LaPadula trusted-subject notion — but never from
   // the ACL.
   uint8_t SegmentModes(const Branch& branch, const Principal& principal,
-                       const MlsLabel& clearance, bool trusted = false) const;
+                       const MlsLabel& clearance, bool trusted = false);
 
   // Effective directory modes (status ~ observe, modify/append ~ alter).
   uint8_t DirectoryModes(const Branch& branch, const Principal& principal,
-                         const MlsLabel& clearance, bool trusted = false) const;
+                         const MlsLabel& clearance, bool trusted = false);
 
   // Checks that every bit of `wanted` is granted; audits the decision.
   // The returned status distinguishes ACL denials from lattice denials so
@@ -56,7 +56,10 @@ class ReferenceMonitor {
  private:
   AuditLog* audit_;
   bool mls_;
-  mutable uint64_t checks_ = 0;
+  // Deliberately not `mutable`: a counter mutated from const methods is
+  // invisible kernel state, and on the multiprocessor it would be an
+  // unlocked write hiding behind a const façade. mx_lint enforces this.
+  uint64_t checks_ = 0;
 };
 
 }  // namespace multics

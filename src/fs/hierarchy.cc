@@ -112,6 +112,10 @@ Result<const Directory*> Hierarchy::GetDir(Uid dir_uid) const {
 
 Result<Uid> Hierarchy::CreateSegment(Uid dir_uid, const std::string& name,
                                      const SegmentAttributes& attrs) {
+  // Each directory carries its own lock; mutations of distinct directories
+  // proceed in parallel on the multiprocessor. The AST lock nests inside
+  // (dir < ast in the certified hierarchy) when activation is involved.
+  LockGuard dir_lock(store_->machine()->locks().Dir(dir_uid));
   MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
   if (dir->Find(name) != nullptr) {
     return Status::kNameDuplication;
@@ -128,6 +132,7 @@ Result<Uid> Hierarchy::CreateSegment(Uid dir_uid, const std::string& name,
 
 Result<Uid> Hierarchy::CreateDirectory(Uid dir_uid, const std::string& name,
                                        const SegmentAttributes& attrs, uint32_t quota_pages) {
+  LockGuard dir_lock(store_->machine()->locks().Dir(dir_uid));
   MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
   if (dir->Find(name) != nullptr) {
     return Status::kNameDuplication;
@@ -147,6 +152,7 @@ Result<Uid> Hierarchy::CreateDirectory(Uid dir_uid, const std::string& name,
 
 Status Hierarchy::CreateLink(Uid dir_uid, const std::string& name,
                              const std::string& target_path) {
+  LockGuard dir_lock(store_->machine()->locks().Dir(dir_uid));
   MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
   auto parsed = Path::Parse(target_path);
   if (!parsed.ok()) {
@@ -156,6 +162,7 @@ Status Hierarchy::CreateLink(Uid dir_uid, const std::string& name,
 }
 
 Status Hierarchy::DeleteEntry(Uid dir_uid, const std::string& name) {
+  LockGuard dir_lock(store_->machine()->locks().Dir(dir_uid));
   MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
   const DirEntry* entry = dir->Find(name);
   if (entry == nullptr) {
@@ -193,6 +200,7 @@ Status Hierarchy::DeleteEntry(Uid dir_uid, const std::string& name) {
 
 Status Hierarchy::AddName(Uid dir_uid, const std::string& existing,
                           const std::string& additional) {
+  LockGuard dir_lock(store_->machine()->locks().Dir(dir_uid));
   MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
   const DirEntry* entry = dir->Find(existing);
   if (entry == nullptr) {
@@ -205,6 +213,7 @@ Status Hierarchy::AddName(Uid dir_uid, const std::string& existing,
 }
 
 Status Hierarchy::Rename(Uid dir_uid, const std::string& from, const std::string& to) {
+  LockGuard dir_lock(store_->machine()->locks().Dir(dir_uid));
   MX_ASSIGN_OR_RETURN(Directory * dir, GetDir(dir_uid));
   const DirEntry* entry = dir->Find(from);
   if (entry == nullptr) {
@@ -221,6 +230,10 @@ Status Hierarchy::Rename(Uid dir_uid, const std::string& from, const std::string
 }
 
 Result<DirEntry> Hierarchy::Lookup(Uid dir_uid, const std::string& name) const {
+  // Readers take the directory lock too (the original kernel had no
+  // reader/writer distinction on directories); path resolution locks each
+  // component in turn, never two at once.
+  LockGuard dir_lock(store_->machine()->locks().Dir(dir_uid));
   MX_ASSIGN_OR_RETURN(const Directory* dir, GetDir(dir_uid));
   const DirEntry* entry = dir->Find(name);
   if (entry == nullptr) {
@@ -254,6 +267,7 @@ Result<Uid> Hierarchy::ResolveWithDepth(const Path& path, int depth) const {
 }
 
 Result<std::vector<DirEntry>> Hierarchy::List(Uid dir_uid) const {
+  LockGuard dir_lock(store_->machine()->locks().Dir(dir_uid));
   MX_ASSIGN_OR_RETURN(const Directory* dir, GetDir(dir_uid));
   return dir->entries();
 }

@@ -70,6 +70,9 @@ Status SegmentStore::QuotaCharge(Uid parent, int64_t delta_pages) {
 }
 
 Result<ActiveSegment*> SegmentStore::Activate(Uid uid, bool wired) {
+  // Activation mutates the AST (and may evict through DeactivateNow, which
+  // re-enters this lock); the page-table lock nests inside when a flush runs.
+  LockGuard ast(machine_->locks().Ast());
   auto it = branches_.find(uid);
   if (it == branches_.end()) {
     return Status::kNoSuchSegment;
@@ -132,6 +135,7 @@ Status SegmentStore::EvictOneInactive() {
 }
 
 Status SegmentStore::DeactivateNow(Uid uid) {
+  LockGuard ast(machine_->locks().Ast());
   ActiveSegment* seg = ast_->Find(uid);
   if (seg == nullptr) {
     return Status::kNotFound;
@@ -183,6 +187,7 @@ Status SegmentStore::FreePageStorage(ActiveSegment* seg, PageNo page) {
 }
 
 Status SegmentStore::SetLength(Uid uid, uint32_t pages) {
+  LockGuard ast(machine_->locks().Ast());
   auto it = branches_.find(uid);
   if (it == branches_.end()) {
     return Status::kNoSuchSegment;
@@ -260,6 +265,7 @@ Status SegmentStore::Delete(Uid uid) {
 
 Status SegmentStore::DeactivateAll() {
   // Shutdown: everything goes home to disk, wired or not, referenced or not.
+  LockGuard ast(machine_->locks().Ast());
   std::vector<Uid> active;
   ast_->ForEach([&](ActiveSegment* seg) { active.push_back(seg->uid); });
   for (Uid uid : active) {

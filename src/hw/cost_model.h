@@ -54,6 +54,13 @@ struct CostModel {
   Cycles interrupt_entry = 50;      // Save state, enter interceptor.
   Cycles interrupt_exit = 40;
 
+  // Multiprocessor machinery. All three are charged only when the machine
+  // has more than one CPU: the uniprocessor supervisor elided its interlocks
+  // entirely, and the 1-CPU configuration stays cycle-identical to it.
+  Cycles lock_acquire = 8;          // Uncontended interlock set.
+  Cycles lock_release = 4;          // Interlock clear.
+  Cycles connect_ipi = 25;          // Interprocessor "connect" dispatch.
+
   // Fault handling overhead (entry to ring 0 fault handler).
   Cycles fault_entry = 60;
 };

@@ -1,0 +1,221 @@
+#include "src/hw/sim_lock.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/hw/machine.h"
+
+namespace multics {
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kPartitioned:
+      return "partitioned";
+    case LockMode::kGlobalKernelLock:
+      return "global";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// LockTrace
+
+void LockTrace::OnAcquire(uint32_t cpu, const SimLock* lock, Cycles at) {
+  if (cpu >= held_.size()) {
+    held_.resize(cpu + 1);
+  }
+  ++acquisitions_observed_;
+  auto& stack = held_[cpu];
+  if (!stack.empty()) {
+    const SimLock* outer = stack.back();
+    edges_[{outer->name(), lock->name()}] = {outer->level(), lock->level()};
+    // The level rule: strictly increasing against *every* held lock, not just
+    // the innermost — a same-level re-entry through a different lock object
+    // (two directory locks, say) is an inversion waiting for its partner.
+    for (const SimLock* held : stack) {
+      if (held->level() >= lock->level() && violations_.size() < kMaxViolations) {
+        violations_.push_back(LockOrderViolation{held->name(), held->level(), lock->name(),
+                                                 lock->level(), cpu, at});
+      }
+    }
+  }
+  stack.push_back(lock);
+}
+
+void LockTrace::OnRelease(uint32_t cpu, const SimLock* lock) {
+  if (cpu >= held_.size()) return;
+  auto& stack = held_[cpu];
+  // Releases are LIFO through the RAII guards, but a suspend-around-wait can
+  // release from under a later acquisition; search from the top.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (*it == lock) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockTrace::Clear() {
+  held_.clear();
+  edges_.clear();
+  violations_.clear();
+  acquisitions_observed_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// SimLock
+
+SimLock::SimLock(Machine* machine, const char* name, uint32_t level)
+    : machine_(machine), name_(name), level_(level) {}
+
+void SimLock::Acquire() {
+  const uint32_t cpu = machine_->active_cpu();
+  if (depth_ > 0 && holder_cpu_ == static_cast<int32_t>(cpu)) {
+    ++depth_;  // Reentrant hold: no charge, no trace edge.
+    return;
+  }
+  // The simulation is single-threaded: a CPU's hold is always released in
+  // program order before the scheduler runs another CPU, so an acquisition
+  // can never observe a *live* foreign hold — only its virtual tail.
+  CHECK(depth_ == 0) << "lock " << name_ << " acquired while held by CPU " << holder_cpu_;
+  const bool smp = machine_->cpu_count() > 1;
+  if (smp) {
+    machine_->Charge(machine_->costs().lock_acquire, "lock_overhead");
+    if (machine_->meter().enabled()) {
+      machine_->meter().Count(std::string("lock/acquire/") + name_);
+    }
+  }
+  ++acquisitions_;
+  depth_ = 1;
+  holder_cpu_ = static_cast<int32_t>(cpu);
+  hold_start_ = machine_->local_now();
+  machine_->lock_trace_mutable().OnAcquire(cpu, this, hold_start_);
+}
+
+void SimLock::Release() {
+  CHECK(depth_ > 0) << "release of unheld lock " << name_;
+  if (--depth_ > 0) {
+    return;
+  }
+  const uint32_t cpu = machine_->active_cpu();
+  if (machine_->cpu_count() > 1) {
+    machine_->Charge(machine_->costs().lock_release, "lock_overhead");
+    const Cycles hold = machine_->local_now() - hold_start_;
+    hold_cycles_ += hold;
+    if (machine_->meter().enabled()) {
+      machine_->meter().AddSample(std::string("lock_hold/") + name_,
+                                  static_cast<double>(hold));
+    }
+    PlaceHold(hold_start_, hold);
+  }
+  holder_cpu_ = -1;
+  machine_->lock_trace_mutable().OnRelease(cpu, this);
+}
+
+void SimLock::PlaceHold(Cycles start, Cycles len) {
+  // Prune intervals no hold can collide with anymore. A future hold starts
+  // at its acquirer's then-local clock, which is at least every CPU's
+  // current local clock; the hold being placed right now starts at `start`,
+  // which may predate that (the holder's clock ran forward during the hold),
+  // so the horizon is capped by `start` too.
+  const Cycles horizon = std::min(machine_->min_local_clock(), start);
+  while (!busy_.empty() && busy_.begin()->second <= horizon) {
+    busy_.erase(busy_.begin());
+  }
+  // First-fit the completed hold [start, start+len) into the gaps between
+  // recorded holds. The holder's own past holds all end at or before `start`,
+  // so every collision is with another CPU's hold — the shift is the
+  // serialization the lock imposes, charged to the holder as wait time.
+  Cycles placed = start;
+  for (;;) {
+    auto it = busy_.upper_bound(placed);  // First interval starting after `placed`.
+    if (it != busy_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > placed) {
+        placed = prev->second;
+        continue;
+      }
+    }
+    if (it == busy_.end() || it->first >= placed + len) {
+      break;  // [placed, placed+len) fits before the next recorded hold.
+    }
+    placed = it->second;
+  }
+  if (placed > start) {
+    const Cycles wait = placed - start;
+    ++contentions_;
+    wait_cycles_ += wait;
+    machine_->Charge(wait, "lock_wait");
+    Meter& meter = machine_->meter();
+    if (meter.enabled()) {
+      meter.Count(std::string("lock/contended/") + name_);
+      meter.AddSample(std::string("lock_wait/") + name_, static_cast<double>(wait));
+    }
+  }
+  // Record, merging with an exactly-adjacent neighbour to keep the map small.
+  Cycles end = placed + len;
+  auto next = busy_.find(end);
+  if (next != busy_.end()) {
+    end = next->second;
+    busy_.erase(next);
+  }
+  auto at = busy_.upper_bound(placed);
+  if (at != busy_.begin()) {
+    auto prev = std::prev(at);
+    if (prev->second == placed) {
+      prev->second = end;
+      return;
+    }
+  }
+  busy_[placed] = end;
+}
+
+bool SimLock::SuspendForWait() {
+  if (depth_ != 1) {
+    // Unheld (caller runs lock-free) or held reentrantly (global-lock mode:
+    // the gate span owns the outer hold, which must cover the wait).
+    return false;
+  }
+  Release();
+  return true;
+}
+
+void SimLock::ResumeFromWait(bool token) {
+  if (token) {
+    Acquire();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LockSet
+
+LockSet::LockSet(Machine* machine, LockMode mode)
+    : machine_(machine),
+      mode_(mode),
+      global_(machine, "kernel", 0),
+      page_table_(machine, "page_table", 3),
+      ast_(machine, "ast", 2),
+      traffic_(machine, "traffic", 4) {}
+
+SimLock& LockSet::Dir(uint64_t dir_uid) {
+  if (mode_ != LockMode::kPartitioned) {
+    return global_;
+  }
+  auto it = dir_.find(dir_uid);
+  if (it == dir_.end()) {
+    it = dir_.emplace(dir_uid, std::make_unique<SimLock>(machine_, "dir", 1)).first;
+  }
+  return *it->second;
+}
+
+void LockSet::ForEach(const std::function<void(const SimLock&)>& fn) const {
+  fn(global_);
+  fn(page_table_);
+  fn(ast_);
+  fn(traffic_);
+  for (const auto& [uid, lock] : dir_) {
+    fn(*lock);
+  }
+}
+
+}  // namespace multics

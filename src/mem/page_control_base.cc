@@ -14,6 +14,18 @@ void PageControlBase::ChargeStep(const char* category, Cycles cycles) {
   machine_->Charge(cycles, category);
 }
 
+Status PageControlBase::ReadSyncUnlocked(PagingDevice* device, DevAddr addr,
+                                         std::vector<Word>* out) {
+  LockWaitRegion unlock(machine_->locks().PageTable());
+  return device->ReadSync(addr, out);
+}
+
+Status PageControlBase::WriteSyncUnlocked(PagingDevice* device, DevAddr addr,
+                                          std::vector<Word> data) {
+  LockWaitRegion unlock(machine_->locks().PageTable());
+  return device->WriteSync(addr, std::move(data));
+}
+
 void PageControlBase::AddBulkResident(ActiveSegment* seg, PageNo page) {
   bulk_residents_.emplace_back(seg, page);
 }
@@ -51,7 +63,7 @@ Status PageControlBase::FetchIntoFrameSync(ActiveSegment* seg, PageNo page, Fram
     }
     case PageLevel::kBulk: {
       std::vector<Word> data;
-      MX_RETURN_IF_ERROR(bulk_->ReadSync(loc.addr, &data));
+      MX_RETURN_IF_ERROR(ReadSyncUnlocked(bulk_, loc.addr, &data));
       machine_->core().WritePage(frame, data);
       MX_RETURN_IF_ERROR(bulk_->Free(loc.addr));
       RemoveBulkResident(seg, page);
@@ -61,7 +73,7 @@ Status PageControlBase::FetchIntoFrameSync(ActiveSegment* seg, PageNo page, Fram
     }
     case PageLevel::kDisk: {
       std::vector<Word> data;
-      MX_RETURN_IF_ERROR(disk_->ReadSync(loc.addr, &data));
+      MX_RETURN_IF_ERROR(ReadSyncUnlocked(disk_, loc.addr, &data));
       machine_->core().WritePage(frame, data);
       MX_RETURN_IF_ERROR(disk_->Free(loc.addr));
       ++metrics_.fetches_from_disk;
@@ -116,7 +128,7 @@ Status PageControlBase::EvictCorePageSync(FrameIndex frame, bool* cascaded) {
   DevAddr addr = addr_or.value();
   std::vector<Word> data;
   machine_->core().ReadPage(pte.frame, data);
-  Status write_st = bulk_->WriteSync(addr, std::move(data));
+  Status write_st = WriteSyncUnlocked(bulk_, addr, std::move(data));
   if (write_st != Status::kOk) {
     // The only durable copy is still the core frame: reconnect the PTE and
     // surface the device error instead of losing the page.
@@ -144,7 +156,7 @@ Status PageControlBase::MoveOldestBulkPageToDiskSync() {
   // The bulk copy stays allocated until the disk copy is durable; freeing it
   // first would make a failed disk write lose the only copy of the page.
   std::vector<Word> data;
-  Status read_st = bulk_->ReadSync(loc.addr, &data);
+  Status read_st = ReadSyncUnlocked(bulk_, loc.addr, &data);
   if (read_st != Status::kOk) {
     AddBulkResident(seg, page);  // Still on bulk; keep it tracked.
     return read_st;
@@ -154,7 +166,7 @@ Status PageControlBase::MoveOldestBulkPageToDiskSync() {
     AddBulkResident(seg, page);
     return disk_addr.status();
   }
-  Status write_st = disk_->WriteSync(disk_addr.value(), std::move(data));
+  Status write_st = WriteSyncUnlocked(disk_, disk_addr.value(), std::move(data));
   if (write_st != Status::kOk) {
     (void)disk_->Free(disk_addr.value());
     AddBulkResident(seg, page);
@@ -178,7 +190,7 @@ Status PageControlBase::FlushPageSync(ActiveSegment* seg, PageNo page) {
       std::vector<Word> data;
       machine_->core().ReadPage(pte.frame, data);
       MX_ASSIGN_OR_RETURN(DevAddr addr, disk_->Allocate());
-      Status write_st = disk_->WriteSync(addr, std::move(data));
+      Status write_st = WriteSyncUnlocked(disk_, addr, std::move(data));
       if (write_st != Status::kOk) {
         (void)disk_->Free(addr);  // Core copy intact; just drop the slot.
         return write_st;
@@ -193,9 +205,9 @@ Status PageControlBase::FlushPageSync(ActiveSegment* seg, PageNo page) {
       // Bulk copy outlives the transfer: free it only after the disk write
       // commits, so a device fault cannot lose the page.
       std::vector<Word> data;
-      MX_RETURN_IF_ERROR(bulk_->ReadSync(loc.addr, &data));
+      MX_RETURN_IF_ERROR(ReadSyncUnlocked(bulk_, loc.addr, &data));
       MX_ASSIGN_OR_RETURN(DevAddr addr, disk_->Allocate());
-      Status write_st = disk_->WriteSync(addr, std::move(data));
+      Status write_st = WriteSyncUnlocked(disk_, addr, std::move(data));
       if (write_st != Status::kOk) {
         (void)disk_->Free(addr);
         return write_st;
@@ -213,6 +225,7 @@ Status PageControlBase::FlushPageSync(ActiveSegment* seg, PageNo page) {
 }
 
 Status PageControlBase::FlushSegment(ActiveSegment* seg) {
+  LockGuard page_table(machine_->locks().PageTable());
   for (PageNo page = 0; page < seg->pages; ++page) {
     MX_RETURN_IF_ERROR(FlushPageSync(seg, page));
   }

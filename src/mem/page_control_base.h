@@ -48,6 +48,14 @@ class PageControlBase : public PageControl {
   // Charges CPU time for a protected page-control step.
   void ChargeStep(const char* category, Cycles cycles = 40);
 
+  // Synchronous transfers with the page-table lock suspended for the wait:
+  // on the multiprocessor another CPU may enter page control while this one
+  // stalls on the device. When the lock is held reentrantly (global-lock
+  // mode: the gate span owns the outer hold) the suspend is a no-op and the
+  // giant lock covers the whole transfer.
+  Status ReadSyncUnlocked(PagingDevice* device, DevAddr addr, std::vector<Word>* out);
+  Status WriteSyncUnlocked(PagingDevice* device, DevAddr addr, std::vector<Word> data);
+
   Machine* machine_;
   CoreMap* core_map_;
   PagingDevice* bulk_;

@@ -10,6 +10,10 @@ ParallelPageControl::ParallelPageControl(Machine* machine, CoreMap* core_map, Pa
     : PageControlBase(machine, core_map, bulk, disk, policy), config_(config) {}
 
 Status ParallelPageControl::WaitFor(const bool& done) {
+  // The wait releases the page-table lock (when this CPU holds it at depth
+  // 1): other CPUs may fault while this one waits on its transfer, and the
+  // pumped callbacks re-acquire the lock for their own bookkeeping.
+  LockWaitRegion unlock(machine_->locks().PageTable());
   while (!done) {
     if (!machine_->events().RunOne()) {
       return Status::kDeviceError;  // Transfer can never complete.
@@ -28,11 +32,14 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
   }
 
   ++metrics_.faults;
+  // Bookkeeping runs under the page-table lock; WaitFor and the frame-wait
+  // pump below suspend it so transfers overlap across CPUs.
+  LockGuard page_table(machine_->locks().PageTable());
   // The causal span covers the whole fault service, including daemon work
   // pumped from WaitFor: those callbacks run within this window, so their
   // events nest under this span in the attribution profile.
   TraceSpan fault_span(&machine_->meter(), "page/fault_service", page);
-  const Cycles start = machine_->clock().now();
+  const Cycles start = machine_->local_now();
   ChargeStep("page_control_cpu", 30);  // The whole fault path: wait + initiate.
 
   // The daemons run concurrently with this fault, so the page's location can
@@ -55,7 +62,7 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
         pte.used = true;
         ++metrics_.reclaims;
         machine_->meter().Emit(TraceEventKind::kPageReclaim, "reclaim_core", page);
-        metrics_.fault_latency.Add(static_cast<double>(machine_->clock().now() - start));
+        metrics_.fault_latency.Add(static_cast<double>(machine_->local_now() - start));
         metrics_.fault_path_steps.Add(1.0);
         return Status::kOk;
       }
@@ -73,11 +80,14 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
     if (!frame.ok()) {
       ++metrics_.waits_for_frame;
       WakeCoreDaemon();
-      while (!frame.ok()) {
-        if (!machine_->events().RunOne()) {
-          return Status::kResourceExhausted;
+      {
+        LockWaitRegion unlock(machine_->locks().PageTable());
+        while (!frame.ok()) {
+          if (!machine_->events().RunOne()) {
+            return Status::kResourceExhausted;
+          }
+          frame = core_map_->AllocateFree();
         }
-        frame = core_map_->AllocateFree();
       }
       // Waiting may have let a daemon touch this page: re-examine before
       // committing to a transfer.
@@ -168,7 +178,7 @@ Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Acce
       WakeCoreDaemon();
     }
 
-    metrics_.fault_latency.Add(static_cast<double>(machine_->clock().now() - start));
+    metrics_.fault_latency.Add(static_cast<double>(machine_->local_now() - start));
     metrics_.fault_path_steps.Add(1.0);  // The fault path is one step, always.
     return Status::kOk;
   }
@@ -187,6 +197,7 @@ void ParallelPageControl::WakeCoreDaemon() {
 }
 
 void ParallelPageControl::CoreDaemonStep() {
+  LockGuard page_table(machine_->locks().PageTable());
   machine_->charges_mutable().Increment("daemon_cpu", 60);
   while (core_map_->free_count() + evictions_in_flight_ < config_.core_high_water) {
     FrameIndex victim = policy_->SelectVictim(*core_map_);
@@ -248,6 +259,7 @@ void ParallelPageControl::StartAsyncEviction(FrameIndex victim) {
   device->WriteAsync(addr.value(), std::move(data),
                      [this, seg, page, victim, target, addr = addr.value(),
                       device](Status st) {
+                       LockGuard page_table(machine_->locks().PageTable());
                        const PageLoc& loc = seg->location[page];
                        --evictions_in_flight_;
                        if (loc.level != PageLevel::kInTransit || loc.addr != addr) {
@@ -299,6 +311,7 @@ void ParallelPageControl::WakeBulkDaemon() {
 }
 
 void ParallelPageControl::BulkDaemonStep() {
+  LockGuard page_table(machine_->locks().PageTable());
   machine_->charges_mutable().Increment("daemon_cpu", 60);
   while (bulk_->free_pages() + bulk_moves_in_flight_ < config_.bulk_high_water) {
     ActiveSegment* seg = nullptr;
@@ -314,6 +327,7 @@ void ParallelPageControl::BulkDaemonStep() {
     ++metrics_.bulk_evictions;
     bulk_->ReadAsync(bulk_addr, [this, seg, page, bulk_addr](Status st,
                                                              std::vector<Word> data) {
+      LockGuard page_table(machine_->locks().PageTable());
       const PageLoc& loc = seg->location[page];
       if (loc.level != PageLevel::kInTransit || loc.addr != bulk_addr) {
         --bulk_moves_in_flight_;  // Reclaimed mid-move; the fault owns it now.
@@ -338,6 +352,7 @@ void ParallelPageControl::BulkDaemonStep() {
       disk_->WriteAsync(
           disk_addr.value(), std::move(data),
           [this, seg, page, bulk_addr, addr = disk_addr.value()](Status write_st) {
+            LockGuard page_table(machine_->locks().PageTable());
             const PageLoc& now_loc = seg->location[page];
             if (now_loc.level != PageLevel::kInTransit || now_loc.addr != bulk_addr) {
               // Reclaimed while the disk write was in flight: keep the bulk

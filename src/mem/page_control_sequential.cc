@@ -12,8 +12,12 @@ Status SequentialPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Ac
   }
 
   ++metrics_.faults;
+  // The whole fault service runs under the global page-table lock; the
+  // synchronous transfers inside suspend it (ReadSyncUnlocked) so only the
+  // bookkeeping serializes across CPUs.
+  LockGuard page_table(machine_->locks().PageTable());
   TraceSpan fault_span(&machine_->meter(), "page/fault_service", page);
-  const Cycles start = machine_->clock().now();
+  const Cycles start = machine_->local_now();
   uint32_t steps = 1;  // Fault analysis + fetch initiation.
   ChargeStep("page_control_cpu");
 
@@ -47,7 +51,7 @@ Status SequentialPageControl::EnsureResident(ActiveSegment* seg, PageNo page, Ac
     return fetch_st;
   }
 
-  metrics_.fault_latency.Add(static_cast<double>(machine_->clock().now() - start));
+  metrics_.fault_latency.Add(static_cast<double>(machine_->local_now() - start));
   metrics_.fault_path_steps.Add(steps);
   return Status::kOk;
 }

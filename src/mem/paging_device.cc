@@ -69,8 +69,8 @@ Status PagingDevice::ReadSync(DevAddr addr, std::vector<Word>* out) {
   }
   for (int attempt = 1;; ++attempt) {
     ++reads_;
-    const Cycles done = ScheduleTransfer(read_latency_, &read_busy_until_);
-    machine_->clock().AdvanceTo(done);
+    machine_->SyncTransfer(machine_->costs().io_start_overhead + read_latency_,
+                           &read_busy_until_);
     machine_->charges_mutable().Increment("page_io", read_latency_);
     Status fault = ConsultTransfer(InjectSite::kDeviceRead, addr);
     if (fault == Status::kOk) {
@@ -97,8 +97,8 @@ Status PagingDevice::WriteSync(DevAddr addr, std::vector<Word> data) {
   }
   for (int attempt = 1;; ++attempt) {
     ++writes_;
-    const Cycles done = ScheduleTransfer(write_latency_, &write_busy_until_);
-    machine_->clock().AdvanceTo(done);
+    machine_->SyncTransfer(machine_->costs().io_start_overhead + write_latency_,
+                           &write_busy_until_);
     machine_->charges_mutable().Increment("page_io", write_latency_);
     Status fault = ConsultTransfer(InjectSite::kDeviceWrite, addr);
     if (fault == Status::kOk) {

@@ -96,8 +96,8 @@ std::string ChromeTraceJson(const Meter& meter) {
     }
     std::snprintf(line, sizeof(line),
                   ",\"args\":{\"arg\":%" PRIu64 ",\"depth\":%u,\"span\":%" PRIu64
-                  ",\"parent\":%" PRIu64 "}}",
-                  ev.arg, ev.depth, ev.span, ev.parent);
+                  ",\"parent\":%" PRIu64 ",\"cpu\":%u}}",
+                  ev.arg, ev.depth, ev.span, ev.parent, ev.cpu);
     out += line;
   }
   out += "]}";

@@ -52,7 +52,7 @@ void Meter::Emit(TraceEventKind kind, const char* name, uint64_t arg) {
   const auto& stack = context_->stack;
   const uint64_t enclosing = stack.empty() ? 0 : stack.back().id;
   recorder_.Push(TraceEvent{clock_->now(), kind, static_cast<uint32_t>(stack.size()), name, arg,
-                            attribution_.pid, enclosing, 0});
+                            attribution_.pid, enclosing, 0, cpu_});
 }
 
 TraceContext* Meter::OpenSpan(const char* name, TraceEventKind kind, uint64_t arg) {
@@ -67,7 +67,7 @@ TraceContext* Meter::OpenSpan(const char* name, TraceEventKind kind, uint64_t ar
       SpanFrame{id, parent, name, clock_->now(), 0, attribution_.pid, attribution_.ring});
   ++kind_totals_[static_cast<size_t>(kind)];
   recorder_.Push(TraceEvent{clock_->now(), kind, static_cast<uint32_t>(ctx->stack.size()), name,
-                            arg, attribution_.pid, id, parent});
+                            arg, attribution_.pid, id, parent, cpu_});
   return ctx;
 }
 
@@ -82,7 +82,7 @@ Cycles Meter::CloseSpan(TraceContext* ctx, TraceEventKind kind) {
   if (enabled_) {
     ++kind_totals_[static_cast<size_t>(kind)];
     recorder_.Push(TraceEvent{clock_->now(), kind, static_cast<uint32_t>(ctx->stack.size()),
-                              frame.name, elapsed, frame.pid, frame.id, frame.parent});
+                              frame.name, elapsed, frame.pid, frame.id, frame.parent, cpu_});
   }
   ctx->stack.pop_back();
   if (!ctx->stack.empty()) {

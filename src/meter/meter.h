@@ -110,6 +110,11 @@ class Meter {
   Attribution SetAttribution(Attribution a);
   Attribution attribution() const { return attribution_; }
 
+  // Which physical CPU subsequent trace events are stamped with (the per-CPU
+  // trace lane). The Machine sets this whenever the active CPU changes.
+  void SetCpu(uint32_t cpu) { cpu_ = cpu; }
+  uint32_t cpu() const { return cpu_; }
+
   // Registers a human-readable label for a pid (exporters use it for thread
   // names and folded-stack roots). Pid 0 is pre-labeled "kernel".
   void LabelProcess(uint64_t pid, std::string_view label);
@@ -167,6 +172,7 @@ class Meter {
   TraceContext root_context_{0, 0};
   TraceContext* context_ = &root_context_;
   Attribution attribution_{};
+  uint32_t cpu_ = 0;
   uint64_t next_span_id_ = 1;
   std::map<ProfileKey, ProfileEntry> profile_;
   std::map<uint64_t, std::string> process_labels_{{0, "kernel"}};

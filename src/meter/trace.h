@@ -65,6 +65,7 @@ struct TraceEvent {
   uint64_t pid = 0;     // Process the cycles are attributed to (0 = kernel).
   uint64_t span = 0;    // Begin/end: this span's id. Instants: enclosing span id.
   uint64_t parent = 0;  // Begin/end: enclosing span's id (0 = context root).
+  uint32_t cpu = 0;     // Physical CPU lane the event was recorded on.
 };
 
 class FlightRecorder {

@@ -92,6 +92,19 @@ class Process {
   ProcessAccounting& accounting() { return accounting_; }
   const ProcessAccounting& accounting() const { return accounting_; }
 
+  // The physical CPU this process last ran on (kNoCpu before its first
+  // dispatch). The scheduler uses it for soft affinity, and a cross-CPU
+  // wakeup directs a connect interrupt at it.
+  static constexpr uint32_t kNoCpu = UINT32_MAX;
+  uint32_t last_cpu() const { return last_cpu_; }
+  void set_last_cpu(uint32_t cpu) { last_cpu_ = cpu; }
+
+  // Global-clock time this process last became ready. A CPU dispatching the
+  // process fast-forwards its local clock here first: a process woken by an
+  // event at time T cannot have run before T.
+  Cycles ready_since() const { return ready_since_; }
+  void set_ready_since(Cycles t) { ready_since_ = t; }
+
  private:
   ProcessId pid_;
   std::string name_;
@@ -105,6 +118,8 @@ class Process {
 
   TaskState state_ = TaskState::kReady;
   ChannelId blocked_on_ = 0;
+  uint32_t last_cpu_ = kNoCpu;
+  Cycles ready_since_ = 0;
   ProcessAccounting accounting_;
   TraceContext trace_context_;
 };

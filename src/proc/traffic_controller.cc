@@ -1,3 +1,4 @@
+#include <algorithm>
 #include "src/proc/traffic_controller.h"
 
 #include "src/base/log.h"
@@ -14,6 +15,8 @@ void TaskContext::Charge(Cycles n, const char* category) {
 }
 
 bool TaskContext::Await(ChannelId channel) {
+  Machine* machine = controller_->machine_;
+  LockGuard traffic(machine->locks().Traffic());
   auto message = controller_->channels_.TryReceive(channel);
   if (message.ok()) {
     last_message_ = message.value();
@@ -21,8 +24,8 @@ bool TaskContext::Await(ChannelId channel) {
   }
   (void)controller_->channels_.SetWaiter(channel, self_->pid());
   self_->set_blocked_on(channel);
-  controller_->machine_->Charge(controller_->machine_->costs().block, "ipc");
-  controller_->machine_->meter().Emit(TraceEventKind::kIpcBlock, "ipc_block", channel);
+  machine->Charge(machine->costs().block, "ipc");
+  machine->meter().Emit(TraceEventKind::kIpcBlock, "ipc_block", channel);
   return false;
 }
 
@@ -95,6 +98,9 @@ void TrafficController::MakeReady(Process* process) {
   bool was_blocked = process->state() == TaskState::kBlocked;
   process->set_state(TaskState::kReady);
   process->set_blocked_on(0);
+  // The process cannot run before the instant that readied it: a dispatching
+  // CPU pulls its local clock up to here first.
+  process->set_ready_since(machine_->clock().now());
   // Dedicated processes (two-layer mode) are polled in PickNext; everyone
   // else queues. A blocked->ready transition must requeue because blocked
   // processes are not in the queue.
@@ -105,6 +111,7 @@ void TrafficController::MakeReady(Process* process) {
 }
 
 Status TrafficController::Wakeup(ChannelId channel, EventMessage message) {
+  LockGuard traffic(machine_->locks().Traffic());
   auto waiter = channels_.Wakeup(channel, message);
   if (!waiter.ok()) {
     return waiter.status();
@@ -114,6 +121,13 @@ Status TrafficController::Wakeup(ChannelId channel, EventMessage message) {
   if (waiter.value() != kNoProcess) {
     if (Process* process = Find(waiter.value()); process != nullptr) {
       MakeReady(process);
+      // A wakeup aimed at a process whose last home is another CPU is
+      // delivered there with a connect interrupt, as on the real 6180.
+      if (machine_->cpu_count() > 1 && process->state() == TaskState::kReady &&
+          process->last_cpu() != Process::kNoCpu &&
+          process->last_cpu() != machine_->active_cpu()) {
+        machine_->PostConnect(process->last_cpu());
+      }
     }
   }
   return Status::kOk;
@@ -175,9 +189,32 @@ void TrafficController::DispatchPendingInterrupts() {
   }
 }
 
-Process* TrafficController::PickNext() {
+uint32_t TrafficController::PickCpu() const {
+  uint32_t best = 0;
+  for (uint32_t cpu = 1; cpu < machine_->cpu_count(); ++cpu) {
+    if (machine_->local_clock(cpu) < machine_->local_clock(best)) {
+      best = cpu;
+    }
+  }
+  return best;
+}
+
+Process* TrafficController::LastOn(uint32_t cpu) {
+  return cpu < last_on_cpu_.size() ? last_on_cpu_[cpu] : nullptr;
+}
+
+void TrafficController::SetLastOn(uint32_t cpu, Process* process) {
+  if (cpu >= last_on_cpu_.size()) {
+    last_on_cpu_.resize(machine_->cpu_count(), nullptr);
+  }
+  last_on_cpu_[cpu] = process;
+}
+
+Process* TrafficController::PickNextFor(uint32_t cpu) {
   if (two_layer_) {
-    // Dedicated virtual processors first: round-robin over ready ones.
+    // Dedicated virtual processors first: round-robin over ready ones. Any
+    // CPU polls them, so a dedicated kernel process never loses its virtual
+    // processor to affinity.
     const size_t n = dedicated_.size();
     for (size_t i = 0; i < n; ++i) {
       Process* candidate = dedicated_[(dedicated_cursor_ + i) % n];
@@ -187,17 +224,29 @@ Process* TrafficController::PickNext() {
       }
     }
   }
+  // Drop stale front entries exactly as the uniprocessor scheduler did.
   while (!ready_queue_.empty()) {
-    Process* candidate = ready_queue_.front();
-    ready_queue_.pop_front();
-    if (two_layer_ && IsDedicated(candidate)) {
-      continue;  // Stale entry from a single-layer phase.
+    Process* front = ready_queue_.front();
+    if ((two_layer_ && IsDedicated(front)) || front->state() != TaskState::kReady) {
+      ready_queue_.pop_front();
+      continue;
     }
-    if (candidate->state() == TaskState::kReady) {
-      return candidate;
-    }
+    break;
   }
-  return nullptr;
+  if (ready_queue_.empty()) {
+    return nullptr;
+  }
+  // Every CPU takes the queue head, exactly as on the uniprocessor. The 6180's
+  // CPUs had no caches, so there is nothing for a process to "warm up" on the
+  // CPU it last ran on; reordering the queue for affinity only lets a CPU
+  // re-run its own process past older waiters and starve them. Affinity lives
+  // where the real system put it instead: a wakeup for a process whose last
+  // home is another CPU sends the connect interrupt there (see Wakeup), and
+  // the dispatcher charges a process switch only when the CPU actually
+  // changes processes.
+  Process* candidate = ready_queue_.front();
+  ready_queue_.pop_front();
+  return candidate;
 }
 
 bool TrafficController::RunSlice() {
@@ -205,22 +254,35 @@ bool TrafficController::RunSlice() {
   machine_->events().RunUntil(machine_->clock().now());
   DispatchPendingInterrupts();
 
-  Process* next = PickNext();
+  const uint32_t cpu = PickCpu();
+  machine_->SetActiveCpu(cpu);
+  if (machine_->cpu_count() > 1) {
+    (void)machine_->TakeConnect(cpu);  // The connect got us here; consume it.
+  }
+
+  Process* next = PickNextFor(cpu);
   if (next == nullptr) {
-    // Idle: jump to the next external event if there is one.
+    // Idle: jump to the next external event if there is one. Every CPU was
+    // out of work, so all local clocks fast-forward to the event, uncharged —
+    // a blocked CPU burns no accounted cycles.
     if (machine_->events().RunOne()) {
       ++idle_jumps_;
+      machine_->FastForwardAllCpus(machine_->clock().now());
       DispatchPendingInterrupts();
       return true;
     }
     return false;
   }
+  // The wakeup that readied this process happened at global time
+  // ready_since(); this CPU cannot have run it earlier than that.
+  machine_->FastForwardActiveCpu(next->ready_since());
 
-  const bool switched = next != last_running_;
+  const bool switched = next != LastOn(cpu);
   if (switched) {
     ++context_switches_;
     machine_->Charge(machine_->costs().process_switch, "scheduler");
   }
+  SetLastOn(cpu, next);
   last_running_ = next;
 
   // Install the process's causal context (and {pid, ring} attribution) for
@@ -235,6 +297,7 @@ bool TrafficController::RunSlice() {
   TaskState state = next->program()->Step(ctx);
   meter.SetContext(previous_context);
   ++next->accounting().dispatches;
+  next->set_last_cpu(cpu);
   next->set_state(state);
   switch (state) {
     case TaskState::kReady: {

@@ -1,12 +1,20 @@
 // The two-layer process implementation and its scheduler.
 //
-// Layer 1 multiplexes the (one, simulated) physical processor into a fixed
-// number of virtual processors. "Because the number of virtual processors is
-// fixed, this first layer need not depend on the facilities for managing the
-// virtual memory. Several of the virtual processors are permanently assigned
-// to implement processes for the dedicated use of other kernel mechanisms."
-// Layer 2 multiplexes the remaining virtual processors among any number of
-// full Multics processes.
+// Layer 1 multiplexes the machine's physical processors (one to six simulated
+// CPUs) into a fixed number of virtual processors. "Because the number of
+// virtual processors is fixed, this first layer need not depend on the
+// facilities for managing the virtual memory. Several of the virtual
+// processors are permanently assigned to implement processes for the
+// dedicated use of other kernel mechanisms." Layer 2 multiplexes the
+// remaining virtual processors among any number of full Multics processes.
+//
+// On a multiprocessor the dispatcher always runs the CPU whose local clock is
+// furthest behind, giving a deterministic round-robin interleaving on the sim
+// clock. Shared processes have soft affinity for the CPU they last ran on;
+// dedicated kernel processes keep their virtual processors and are polled
+// from every CPU. A wakeup that readies a process last run on another CPU
+// posts an interprocessor "connect" interrupt at it. A CPU with nothing to
+// run fast-forwards to the next event without charging cycles.
 //
 // The controller also implements the paper's two interrupt-handling designs:
 // inline (the handler inhabits whatever process was running — stealing its
@@ -135,9 +143,14 @@ class TrafficController {
   };
 
   void DispatchPendingInterrupts();
-  Process* PickNext();
+  // The physical CPU to dispatch on: the one whose local clock is furthest
+  // behind (lowest index wins ties), so CPUs interleave deterministically.
+  uint32_t PickCpu() const;
+  Process* PickNextFor(uint32_t cpu);
   void MakeReady(Process* process);
   bool IsDedicated(const Process* process) const;
+  Process* LastOn(uint32_t cpu);
+  void SetLastOn(uint32_t cpu, Process* process);
 
   Machine* machine_;
   uint32_t vp_count_;
@@ -152,7 +165,8 @@ class TrafficController {
   InterruptStrategy interrupt_strategy_ = InterruptStrategy::kDedicatedProcesses;
   std::unordered_map<InterruptLine, HandlerSpec> handlers_;
 
-  Process* last_running_ = nullptr;
+  Process* last_running_ = nullptr;             // Most recent dispatch on any CPU.
+  std::vector<Process*> last_on_cpu_;           // Per-CPU, for switch accounting.
   ProcessId next_pid_ = 1;
 
   Distribution interrupt_latency_;

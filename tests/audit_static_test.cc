@@ -233,6 +233,23 @@ TEST_F(AuditStaticTest, DoublyMappedSegmentYieldsOneFinding) {
   ExpectSingleFinding(Certify(), AuditClaim::kMultiParentSegment);
 }
 
+// --- Lock order -------------------------------------------------------------
+
+TEST_F(AuditStaticTest, LockOrderInversionYieldsFindings) {
+  // Acquire against the hierarchy on the booted kernel's own machine. The
+  // inversion surfaces twice: once from the violation the trace recorded as
+  // it happened, and once re-derived independently from the edge set.
+  SimLock& page_table = kernel_->machine().locks().PageTable();
+  SimLock& ast = kernel_->machine().locks().Ast();
+  page_table.Acquire();
+  ast.Acquire();
+  ast.Release();
+  page_table.Release();
+  const AuditReport report = Certify();
+  EXPECT_EQ(report.findings.size(), 2u) << report.ToString();
+  EXPECT_EQ(report.CountForClaim(AuditClaim::kLockOrder), 2u) << report.ToString();
+}
+
 // --- Report formats ---------------------------------------------------------
 
 TEST_F(AuditStaticTest, JsonReportCarriesFindings) {

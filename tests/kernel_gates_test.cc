@@ -43,6 +43,22 @@ class GatesTest : public ::testing::Test {
     return uid.value();
   }
 
+  // Initiates `name` in the home directory, grows it to one page, and touches
+  // it through the processor's checked path so a real SDW is connected. On
+  // return Jones holds a valid, writable descriptor for the segment.
+  SegNo ConnectWritable(const std::string& name) {
+    MakeSeg(name);
+    auto init = kernel_->Initiate(*user_, home_, name);
+    CHECK(init.ok()) << StatusName(init.status());
+    const SegNo segno = init->segno;
+    CHECK(kernel_->SegSetLength(*user_, segno, 1) == Status::kOk);
+    CHECK(kernel_->RunAs(*user_) == Status::kOk);
+    CHECK(kernel_->cpu().Write(segno, 0, 7) == Status::kOk);
+    EXPECT_TRUE(user_->dseg().Get(segno).valid);
+    EXPECT_TRUE(user_->dseg().Get(segno).write);
+    return segno;
+  }
+
   std::unique_ptr<Kernel> kernel_;
   Process* init_ = nullptr;
   Process* user_ = nullptr;
@@ -403,6 +419,103 @@ TEST_F(LegacyGatesTest, EveryGateIsExercised) {
     }
     return out;
   }();
+}
+
+// --- Revocation sweep -------------------------------------------------------
+//
+// Every gate that rewrites an ACL or ring brackets must cut the stale SDWs
+// out of every connected descriptor segment (DisconnectSdwsFor): the paper's
+// rule is that access is revoked by invalidating descriptors, never by
+// trusting user rings to re-check. The next reference takes a segment fault
+// and re-derives access under the new terms, so a downgrade is enforced at
+// the very next touch.
+
+TEST_F(GatesTest, SetAclRevokesConnectedSdws) {
+  const SegNo segno = ConnectWritable("rev_acl");
+
+  // Downgrade Jones to read-only. The connected SDW is cut immediately.
+  ASSERT_EQ(kernel_->FsSetAcl(*user_, home_, "rev_acl",
+                              AclEntry{"Jones", "Faculty", "*", kModeRead}),
+            Status::kOk);
+  EXPECT_FALSE(user_->dseg().Get(segno).valid);
+
+  // The next write faults, reconnects under the new ACL, and is refused;
+  // reads re-derive cleanly and leave a valid read-only descriptor behind.
+  EXPECT_EQ(kernel_->cpu().Write(segno, 0, 8), Status::kAccessDenied);
+  EXPECT_EQ(kernel_->cpu().Read(segno, 0).value(), 7u);
+  EXPECT_TRUE(user_->dseg().Get(segno).valid);
+  EXPECT_FALSE(user_->dseg().Get(segno).write);
+}
+
+TEST_F(GatesTest, RemoveAclEntryRevokesConnectedSdws) {
+  const SegNo segno = ConnectWritable("rev_rm");
+
+  // Dropping Jones's own entry leaves only the *.*.* read fallback.
+  ASSERT_EQ(kernel_->FsRemoveAclEntry(*user_, home_, "rev_rm", "Jones", "Faculty", "*"),
+            Status::kOk);
+  EXPECT_FALSE(user_->dseg().Get(segno).valid);
+
+  EXPECT_EQ(kernel_->cpu().Write(segno, 0, 8), Status::kAccessDenied);
+  EXPECT_EQ(kernel_->cpu().Read(segno, 0).value(), 7u);
+  EXPECT_FALSE(user_->dseg().Get(segno).write);
+}
+
+TEST_F(GatesTest, SetRingBracketsRevokesConnectedSdws) {
+  // The brackets case needs two principals: Jones may not pull the write
+  // bracket below the user ring (that gate refuses to mint authority), and
+  // the initializer has no modify access inside Jones's home directory. So
+  // the shared segment lives in >udd, which the initializer does control.
+  UserInitiator init_initiator(kernel_.get(), init_);
+  auto init_udd = init_initiator.InitiateDirPath(">udd");
+  ASSERT_TRUE(init_udd.ok());
+  SegmentAttributes attrs;
+  attrs.acl.Set(AclEntry{"Jones", "Faculty", "*", kModeRead | kModeWrite});
+  attrs.acl.Set(AclEntry{"*", "*", "*", kModeRead});
+  attrs.label = user_->clearance();  // Writable by Jones under MLS (no write-down).
+  ASSERT_TRUE(kernel_->FsCreateSegment(*init_, init_udd.value(), "rev_rb", attrs).ok());
+
+  UserInitiator user_initiator(kernel_.get(), user_);
+  auto user_udd = user_initiator.InitiateDirPath(">udd");
+  ASSERT_TRUE(user_udd.ok());
+  auto init = kernel_->Initiate(*user_, user_udd.value(), "rev_rb");
+  ASSERT_TRUE(init.ok());
+  const SegNo segno = init->segno;
+  ASSERT_EQ(kernel_->SegSetLength(*user_, segno, 1), Status::kOk);
+  ASSERT_EQ(kernel_->RunAs(*user_), Status::kOk);
+  ASSERT_EQ(kernel_->cpu().Write(segno, 0, 7), Status::kOk);
+  ASSERT_TRUE(user_->dseg().Get(segno).valid);
+
+  ASSERT_EQ(kernel_->FsSetRingBrackets(*user_, user_udd.value(), "rev_rb",
+                                       RingBrackets{2, kRingUser, kRingUser},
+                                       /*gate=*/false, /*gate_entries=*/0),
+            Status::kRingViolation);
+  ASSERT_EQ(kernel_->FsSetRingBrackets(*init_, init_udd.value(), "rev_rb",
+                                       RingBrackets{2, kRingUser, kRingUser},
+                                       /*gate=*/false, /*gate_entries=*/0),
+            Status::kOk);
+  EXPECT_FALSE(user_->dseg().Get(segno).valid);
+
+  // Reconnection carries the new brackets: ring 4 is now outside the write
+  // bracket, and the hardware check (not the ACL) refuses the store.
+  ASSERT_EQ(kernel_->RunAs(*user_), Status::kOk);
+  EXPECT_EQ(kernel_->cpu().Write(segno, 0, 8), Status::kRingViolation);
+  EXPECT_EQ(kernel_->cpu().Read(segno, 0).value(), 7u);
+  EXPECT_TRUE(user_->dseg().Get(segno).valid);
+  EXPECT_EQ(user_->dseg().Get(segno).brackets.write_limit, 2u);
+}
+
+TEST_F(LegacyGatesTest, SetAclPathRevokesConnectedSdws) {
+  const SegNo segno = ConnectWritable("rev_path");
+
+  // The legacy pathname gate must sweep exactly like its segment-number twin.
+  ASSERT_EQ(kernel_->SetAclPath(*user_, ">udd>Faculty>Jones>rev_path",
+                                AclEntry{"Jones", "Faculty", "*", kModeRead}),
+            Status::kOk);
+  EXPECT_FALSE(user_->dseg().Get(segno).valid);
+
+  EXPECT_EQ(kernel_->cpu().Write(segno, 0, 8), Status::kAccessDenied);
+  EXPECT_EQ(kernel_->cpu().Read(segno, 0).value(), 7u);
+  EXPECT_FALSE(user_->dseg().Get(segno).write);
 }
 
 }  // namespace

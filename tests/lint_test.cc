@@ -205,6 +205,101 @@ TEST_F(LintTest, AmbiguousNameIsSkipped) {
   EXPECT_TRUE(report.clean()) << report.ToString();
 }
 
+// --- Mutable counters -------------------------------------------------------
+
+TEST_F(LintTest, MutableArithmeticMemberInCoreYieldsOneFinding) {
+  WriteFile("src/core/monitor.h",
+            "class Monitor {\n"
+            " public:\n"
+            "  uint64_t Checks() const;\n"
+            " private:\n"
+            "  mutable uint64_t checks_ = 0;\n"
+            "  mutable std::string scratch_;\n"  // Class types are left alone.
+            "  uint64_t total_ = 0;\n"
+            "};\n");
+  Report report;
+  CheckMutableCounters(Root(), &report);
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.findings[0].rule, "mutable-counter");
+  EXPECT_EQ(report.findings[0].file, "src/core/monitor.h");
+  EXPECT_EQ(report.findings[0].line, 5);
+  EXPECT_NE(report.findings[0].message.find("checks_"), std::string::npos);
+}
+
+TEST_F(LintTest, MutableCounterInCommentOrOutsideCoreIsClean) {
+  // The rule is scoped to src/core (kernel state); a cache counter in the
+  // memory layer and a mention inside a comment are both out of bounds.
+  WriteFile("src/mem/cache.h", "class C { mutable uint64_t hits_ = 0; };\n");
+  WriteFile("src/core/notes.cc", "// A `mutable uint64_t checks_` would be bad.\nint x;\n");
+  Report report;
+  CheckMutableCounters(Root(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+// --- Lock-order documentation -----------------------------------------------
+
+constexpr char kLockHeaderFixture[] =
+    "struct LockLevel { const char* name; int level; };\n"
+    "inline constexpr LockLevel kLockHierarchy[] = {\n"
+    "    {\"kernel\", 0},\n"
+    "    {\"dir\", 1},\n"
+    "};\n";
+
+constexpr char kLockDocFixture[] =
+    "# Locks\n\n"
+    "<!-- mx:lock-hierarchy:begin -->\n"
+    "| `kernel` | 0 | the giant lock |\n"
+    "| `dir` | 1 | directory locks |\n"
+    "<!-- mx:lock-hierarchy:end -->\n";
+
+TEST_F(LintTest, MatchingLockTablesAreClean) {
+  WriteFile("src/hw/sim_lock.h", kLockHeaderFixture);
+  WriteFile("docs/ARCHITECTURE.md", kLockDocFixture);
+  Report report;
+  CheckLockOrder(Root(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST_F(LintTest, LockLevelMismatchYieldsOneFinding) {
+  WriteFile("src/hw/sim_lock.h", kLockHeaderFixture);
+  WriteFile("docs/ARCHITECTURE.md",
+            "<!-- mx:lock-hierarchy:begin -->\n"
+            "| `kernel` | 0 | the giant lock |\n"
+            "| `dir` | 2 | wrong level |\n"
+            "<!-- mx:lock-hierarchy:end -->\n");
+  Report report;
+  CheckLockOrder(Root(), &report);
+  ASSERT_EQ(report.CountForRule("lock-order"), 1) << report.ToString();
+  EXPECT_NE(report.findings[0].message.find("`dir`"), std::string::npos);
+}
+
+TEST_F(LintTest, UndocumentedLockYieldsOneFinding) {
+  WriteFile("src/hw/sim_lock.h", kLockHeaderFixture);
+  WriteFile("docs/ARCHITECTURE.md",
+            "<!-- mx:lock-hierarchy:begin -->\n"
+            "| `kernel` | 0 | the giant lock |\n"
+            "<!-- mx:lock-hierarchy:end -->\n");
+  Report report;
+  CheckLockOrder(Root(), &report);
+  ASSERT_EQ(report.CountForRule("lock-order"), 1) << report.ToString();
+  EXPECT_NE(report.findings[0].message.find("missing from the documented"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, DocumentedHierarchyWithoutCodeTableYieldsOneFinding) {
+  WriteFile("docs/ARCHITECTURE.md", kLockDocFixture);
+  Report report;
+  CheckLockOrder(Root(), &report);
+  ASSERT_EQ(report.CountForRule("lock-order"), 1) << report.ToString();
+}
+
+TEST_F(LintTest, TreesWithoutLockTablesHaveNothingToCertify) {
+  WriteFile("src/hw/cpu.h", "int x;\n");
+  Report report;
+  CheckLockOrder(Root(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
 // --- Report formats ---------------------------------------------------------
 
 TEST_F(LintTest, JsonReportIsWellFormedEnough) {

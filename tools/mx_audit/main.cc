@@ -1,6 +1,7 @@
 // mx_audit — configuration-level static certifier.
 //
 //   mx_audit [--json] [--config kernelized|legacy|645] [--with-session]
+//            [--cpus N] [--lock-mode partitioned|global]
 //
 // Constructs the selected kernel configuration, runs the standard bootstrap
 // (the same one the examples and tests boot), optionally drives one user
@@ -9,6 +10,7 @@
 // 0 clean, 1 findings, 2 usage error.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -19,7 +21,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mx_audit [--json] [--config kernelized|legacy|645] [--with-session]\n");
+               "usage: mx_audit [--json] [--config kernelized|legacy|645] [--with-session]\n"
+               "                [--cpus N] [--lock-mode partitioned|global]\n");
   return 2;
 }
 
@@ -29,12 +32,28 @@ int main(int argc, char** argv) {
   using multics::KernelConfiguration;
   bool json = false;
   bool with_session = false;
+  uint32_t cpus = 0;  // 0: defer to MULTICS_CPUS, then 1.
+  multics::LockMode lock_mode = multics::LockMode::kPartitioned;
   KernelConfiguration config = KernelConfiguration::Kernelized6180();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--with-session") == 0) {
       with_session = true;
+    } else if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
+      cpus = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (cpus < 1 || cpus > multics::kMaxCpus) {
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--lock-mode") == 0 && i + 1 < argc) {
+      const std::string which = argv[++i];
+      if (which == "partitioned") {
+        lock_mode = multics::LockMode::kPartitioned;
+      } else if (which == "global") {
+        lock_mode = multics::LockMode::kGlobalKernelLock;
+      } else {
+        return Usage();
+      }
     } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
       const std::string which = argv[++i];
       if (which == "kernelized") {
@@ -53,6 +72,8 @@ int main(int argc, char** argv) {
 
   multics::KernelParams params;
   params.config = config;
+  params.machine.cpus = cpus;
+  params.machine.lock_mode = lock_mode;
   multics::Kernel kernel(params);
   auto boot = multics::Bootstrap::Run(kernel, {.users = multics::DefaultUsers()});
   if (!boot.ok()) {

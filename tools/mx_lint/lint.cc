@@ -434,6 +434,131 @@ void CheckDiscardedStatus(const std::string& repo_root, Report* report) {
   }
 }
 
+// --- 4. Mutable counters ----------------------------------------------------
+
+void CheckMutableCounters(const std::string& repo_root, Report* report) {
+  const fs::path root(repo_root);
+  const fs::path core = root / "src" / "core";
+  if (!fs::is_directory(core)) return;  // Fixture trees without src/core are fine.
+
+  // A `mutable` member of arithmetic type: state mutated from const methods.
+  // Pointers and class types are left alone (caches and handles have their
+  // own review story); plain counters and flags are categorically rejected.
+  static const std::regex kMutableArith(
+      "\\bmutable\\s+(?:u?int(?:8|16|32|64)?_t|unsigned(?:\\s+(?:int|long|char|short))?|"
+      "int|long(?:\\s+long)?|short|size_t|bool|double|float|char|Cycles)\\s+"
+      "([A-Za-z_][A-Za-z0-9_]*)");
+  for (const fs::path& file : SourceFiles(core)) {
+    const std::string rel = RelPath(root, file);
+    const std::string text = StripCommentsAndStrings(ReadFile(file));
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kMutableArith);
+         it != std::sregex_iterator(); ++it) {
+      Add(report, "mutable-counter", rel, LineOf(text, static_cast<size_t>(it->position())),
+          "mutable arithmetic member `" + (*it)[1].str() +
+              "` in src/core: a counter written from const methods is hidden kernel "
+              "state and an unlocked write on the multiprocessor; drop the const "
+              "façade instead");
+    }
+  }
+}
+
+// --- 5. Lock-order documentation --------------------------------------------
+
+namespace {
+
+// Lock table rows in docs/ARCHITECTURE.md, between the markers
+// `<!-- mx:lock-hierarchy:begin -->` and `<!-- mx:lock-hierarchy:end -->`:
+// `| `name` | level | ... |`.
+std::map<std::string, int> DocLockTable(const std::string& text, bool* found) {
+  std::map<std::string, int> table;
+  const size_t begin = text.find("mx:lock-hierarchy:begin");
+  const size_t end = text.find("mx:lock-hierarchy:end");
+  *found = begin != std::string::npos && end != std::string::npos && begin < end;
+  if (!*found) return table;
+  const std::string region = text.substr(begin, end - begin);
+  static const std::regex kRow("\\|\\s*`([a-z_]+)`\\s*\\|\\s*([0-9]+)\\s*\\|");
+  for (auto it = std::sregex_iterator(region.begin(), region.end(), kRow);
+       it != std::sregex_iterator(); ++it) {
+    table[(*it)[1].str()] = std::stoi((*it)[2].str());
+  }
+  return table;
+}
+
+// `{"name", level}` rows of kLockHierarchy in src/hw/sim_lock.h.
+std::map<std::string, int> CodeLockTable(const std::string& text, bool* found) {
+  std::map<std::string, int> table;
+  // Anchor on the array declarator, not the bare name — the header's prose
+  // comments mention kLockHierarchy well before the table itself.
+  const size_t decl = text.find("kLockHierarchy[]");
+  *found = decl != std::string::npos;
+  if (!*found) return table;
+  const size_t open = text.find('{', decl);
+  const size_t close = text.find("};", decl);
+  if (open == std::string::npos || close == std::string::npos) return table;
+  const std::string region = text.substr(open, close - open);
+  static const std::regex kRow("\\{\\s*\"([a-z_]+)\"\\s*,\\s*([0-9]+)\\s*\\}");
+  for (auto it = std::sregex_iterator(region.begin(), region.end(), kRow);
+       it != std::sregex_iterator(); ++it) {
+    table[(*it)[1].str()] = std::stoi((*it)[2].str());
+  }
+  return table;
+}
+
+}  // namespace
+
+void CheckLockOrder(const std::string& repo_root, Report* report) {
+  const fs::path root(repo_root);
+  const fs::path doc_path = root / "docs" / "ARCHITECTURE.md";
+  const fs::path code_path = root / "src" / "hw" / "sim_lock.h";
+  bool doc_found = false;
+  bool code_found = false;
+  std::map<std::string, int> doc;
+  std::map<std::string, int> code;
+  if (fs::is_regular_file(doc_path)) {
+    doc = DocLockTable(ReadFile(doc_path), &doc_found);
+  }
+  if (fs::is_regular_file(code_path)) {
+    code = CodeLockTable(ReadFile(code_path), &code_found);
+  }
+  // Trees with neither side (the lint fixtures, pre-multiprocessor checkouts)
+  // have nothing to certify. A tree with only one side is broken: the
+  // documented DAG and the enforced DAG must travel together.
+  if (!doc_found && !code_found) return;
+  const std::string doc_rel = RelPath(root, doc_path);
+  const std::string code_rel = RelPath(root, code_path);
+  if (!code_found) {
+    Add(report, "lock-order", doc_rel, 0,
+        "docs/ARCHITECTURE.md documents a lock hierarchy but src/hw/sim_lock.h has no "
+        "kLockHierarchy table to certify it against");
+    return;
+  }
+  if (!doc_found) {
+    Add(report, "lock-order", code_rel, 0,
+        "src/hw/sim_lock.h defines kLockHierarchy but docs/ARCHITECTURE.md has no "
+        "mx:lock-hierarchy table documenting it");
+    return;
+  }
+  for (const auto& [name, level] : code) {
+    auto it = doc.find(name);
+    if (it == doc.end()) {
+      Add(report, "lock-order", doc_rel, 0,
+          "lock `" + name + "` (level " + std::to_string(level) +
+              ") is in kLockHierarchy but missing from the documented hierarchy table");
+    } else if (it->second != level) {
+      Add(report, "lock-order", doc_rel, 0,
+          "lock `" + name + "` is level " + std::to_string(level) +
+              " in kLockHierarchy but documented as level " + std::to_string(it->second));
+    }
+  }
+  for (const auto& [name, level] : doc) {
+    if (!code.contains(name)) {
+      Add(report, "lock-order", doc_rel, 0,
+          "lock `" + name + "` (level " + std::to_string(level) +
+              ") is documented but absent from kLockHierarchy in src/hw/sim_lock.h");
+    }
+  }
+}
+
 // --- Report -----------------------------------------------------------------
 
 int Report::CountForRule(const std::string& rule) const {
@@ -473,6 +598,8 @@ Report RunLint(const std::string& repo_root) {
   CheckLayering(repo_root, &report);
   CheckGatePrologues(repo_root, &report);
   CheckDiscardedStatus(repo_root, &report);
+  CheckMutableCounters(repo_root, &report);
+  CheckLockOrder(repo_root, &report);
   return report;
 }
 

@@ -18,6 +18,15 @@
 //   3. discarded-status — no statement-level call that drops a Status or
 //                        Result<T> on the floor: an ignored error is how an
 //                        "undesired" event silently becomes "unauthorized".
+//   4. mutable-counter  — no `mutable` arithmetic member in src/core: a
+//                        counter bumped from const methods is hidden kernel
+//                        state, and on the simulated multiprocessor it is an
+//                        unlocked write behind a const façade.
+//   5. lock-order      — the lock hierarchy table in docs/ARCHITECTURE.md
+//                        (between the mx:lock-hierarchy markers) must match
+//                        kLockHierarchy in src/hw/sim_lock.h name-for-name
+//                        and level-for-level: the documented ordering DAG is
+//                        certified against the one the kernel enforces.
 //
 // The library is standalone (std only) so the lint binary never links the
 // kernel it audits.
@@ -31,7 +40,8 @@
 namespace multics::lint {
 
 struct Finding {
-  std::string rule;     // "layering" | "gate-prologue" | "discarded-status"
+  std::string rule;     // "layering" | "gate-prologue" | "discarded-status" |
+                        // "mutable-counter" | "lock-order"
   std::string file;     // Repo-relative path.
   int line = 0;         // 1-based; 0 when the finding is not line-anchored.
   std::string message;
@@ -47,7 +57,7 @@ struct Report {
   std::string ToJson() const;
 };
 
-// Runs all three checks over `<repo_root>/src`. The root must contain a
+// Runs all five checks over `<repo_root>/src`. The root must contain a
 // src/ directory; a missing tree produces a single "layering" finding so a
 // misconfigured CI invocation cannot pass vacuously.
 Report RunLint(const std::string& repo_root);
@@ -56,6 +66,8 @@ Report RunLint(const std::string& repo_root);
 void CheckLayering(const std::string& repo_root, Report* report);
 void CheckGatePrologues(const std::string& repo_root, Report* report);
 void CheckDiscardedStatus(const std::string& repo_root, Report* report);
+void CheckMutableCounters(const std::string& repo_root, Report* report);
+void CheckLockOrder(const std::string& repo_root, Report* report);
 
 // Strips // and /* */ comments and the contents of string/char literals
 // (replaced with spaces, preserving line structure). Exposed for tests.
