@@ -10,6 +10,12 @@ moved by more than --threshold percent (default 0, i.e. any change fails),
 1 otherwise, 2 on usage/schema errors. Wall-clock numbers are never in these
 files (the harness refuses to register them), so any delta is a real change
 in simulated behaviour.
+
+A bench present on only one side (just added, or retired) is reported as
+NEW-BENCH / REMOVED-BENCH and does not fail the diff: adding a bench must
+not invalidate the baseline for everything else. A metric missing from a
+bench both files share still fails — that is a bench silently dropping
+coverage.
 """
 
 import argparse
@@ -86,9 +92,18 @@ def main():
               "workload sizes differ, deltas are expected")
     a, b = flatten(a_doc, args.baseline), flatten(b_doc, args.current)
 
+    a_benches = set(a_doc.get("benches", {}))
+    b_benches = set(b_doc.get("benches", {}))
+    for bench in sorted(b_benches - a_benches):
+        print(f"NEW-BENCH        {bench} (no baseline entry; not a failure)")
+    for bench in sorted(a_benches - b_benches):
+        print(f"REMOVED-BENCH    {bench} (dropped from current; not a failure)")
+
     failures = 0
     for key in sorted(set(a) | set(b)):
         bench, metric = key
+        if bench not in a_benches or bench not in b_benches:
+            continue  # Whole bench one-sided: already reported above.
         if key not in a:
             print(f"ONLY-IN-CURRENT  {bench}:{metric} = {b[key][0]}")
             failures += 1

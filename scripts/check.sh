@@ -21,6 +21,12 @@
 #                                # (every test must hold on a 4-CPU machine),
 #                                # the SMP determinism/scheduler tests, and the
 #                                # bench_smp scalability table.
+#   scripts/check.sh --sessions  # session-engine suite: the scheduler and
+#                                # session tests plus the full bench_sessions
+#                                # run (100/1k/10k users, MLF-vs-FIFO, trace
+#                                # determinism) under ASan+UBSan, then the
+#                                # tier-1 ctest list with the MLF scheduler
+#                                # (the default) in the plain build.
 #
 # The plain ctest list already includes the lint-labeled tests, so the
 # default run certifies the tree too; --lint is the quick loop.
@@ -67,6 +73,21 @@ if [[ "${1:-}" == "--smp" ]]; then
   echo "== bench_smp: partitioned vs global-lock scaling, 1-6 CPUs =="
   ./build/bench/bench_harness --json=BENCH_PR5.json bench_smp
   echo "== ok (smp suite) =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--sessions" ]]; then
+  echo "== session engine + scheduler suite under ASan+UBSan (build-asan/) =="
+  cmake -B build-asan -S . -DMULTICS_SANITIZE=ON
+  cmake --build build-asan -j --target session_test sched_test bench_sessions
+  (cd build-asan && ctest --output-on-failure -R 'session_test|sched_test|bench_sessions_smoke' -j "$(nproc)")
+  echo "== bench_sessions full run under ASan (100/1k/10k sessions, MLF vs FIFO) =="
+  ./build-asan/bench/bench_sessions --json=build-asan/BENCH_SESSIONS_ASAN.json
+  echo "== tier-1 ctest with the MLF scheduler (build/) =="
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && ctest --output-on-failure -j "$(nproc)")
+  echo "== ok (sessions suite) =="
   exit 0
 fi
 

@@ -304,6 +304,73 @@ void StaticCertifier::CheckLockOrder(AuditReport* report) {
   }
 }
 
+// --- Claim 7: scheduler state is isolated from protection state -------------
+
+void StaticCertifier::CheckSchedulerIsolation(AuditReport* report) {
+  TrafficController& traffic = kernel_->traffic();
+  ReferenceMonitor& monitor = kernel_->monitor();
+  const uint32_t classes = traffic.work_class_count();
+  for (Process* p : ProcessesSorted(kernel_)) {
+    // (a) Well-formedness: the queue invariants index by these fields.
+    if (p->sched_level() >= TrafficController::kSchedLevels) {
+      report->findings.push_back(
+          {AuditClaim::kSchedulerIsolation, "pid " + std::to_string(p->pid()), kInvalidUid,
+           p->pid(), 0,
+           "feedback level " + std::to_string(p->sched_level()) + " out of range (max " +
+               std::to_string(TrafficController::kSchedLevels - 1) + ")"});
+    }
+    if (p->work_class() >= classes) {
+      report->findings.push_back(
+          {AuditClaim::kSchedulerIsolation, "pid " + std::to_string(p->pid()), kInvalidUid,
+           p->pid(), 0,
+           "work class " + std::to_string(p->work_class()) + " out of range (" +
+               std::to_string(classes) + " classes defined)"});
+      continue;  // Don't permute through an already-bogus class id.
+    }
+
+    // (b) Isolation: snapshot the modes every SDW derives, permute the
+    // process through every (work class, feedback level) pair, and demand
+    // the derivation is unchanged — scheduling may reorder, never widen.
+    const bool trusted = Kernel::Trusted(*p);
+    const uint32_t saved_class = p->work_class();
+    const uint32_t saved_level = p->sched_level();
+    auto derive = [&](SegNo segno) -> int {
+      const SegmentDescriptor& sdw = p->dseg().Get(segno);
+      if (!sdw.valid || sdw.uid == kInvalidUid || !kernel_->store().Exists(sdw.uid)) {
+        return -1;
+      }
+      const Branch& branch = **kernel_->store().Get(sdw.uid);
+      if (branch.is_directory) return -1;
+      return monitor.SegmentModes(branch, p->principal(), p->clearance(), trusted);
+    };
+    for (SegNo segno = 0; segno < kMaxSegments; ++segno) {
+      const int baseline = derive(segno);
+      if (baseline < 0) continue;
+      for (uint32_t work_class = 0; work_class < classes; ++work_class) {
+        for (uint32_t level = 0; level < TrafficController::kSchedLevels; ++level) {
+          p->set_work_class(work_class);
+          p->set_sched_level(level);
+          const int permuted = derive(segno);
+          if (permuted != baseline) {
+            report->findings.push_back(
+                {AuditClaim::kSchedulerIsolation, PidSegno(*p, segno),
+                 p->dseg().Get(segno).uid, p->pid(), segno,
+                 "derived modes changed from " +
+                     SegmentModeString(static_cast<uint8_t>(baseline)) + " to " +
+                     SegmentModeString(static_cast<uint8_t>(permuted)) + " at work class " +
+                     std::to_string(work_class) + " level " + std::to_string(level) +
+                     ": scheduler state is leaking into access derivation"});
+          }
+        }
+      }
+      p->set_work_class(saved_class);
+      p->set_sched_level(saved_level);
+    }
+    p->set_work_class(saved_class);
+    p->set_sched_level(saved_level);
+  }
+}
+
 AuditReport StaticCertifier::Certify() {
   AuditReport report;
   CheckRingBrackets(&report);
@@ -312,6 +379,7 @@ AuditReport StaticCertifier::Certify() {
   CheckDsegConsistency(&report);
   CheckHierarchyReachability(&report);
   CheckLockOrder(&report);
+  CheckSchedulerIsolation(&report);
   return report;
 }
 

@@ -16,7 +16,11 @@
 //   * no orphan branches, no branch catalogued under two directories;
 //   * the lock trace of the run so far respects the partitioned-lock
 //     hierarchy: every recorded acquisition edge is strictly
-//     level-increasing and no violation was observed.
+//     level-increasing and no violation was observed;
+//   * scheduler state is isolated from protection state: every process's
+//     work class and feedback level are well-formed, and permuting them
+//     changes no process's derivable access modes — demotion, promotion,
+//     and work-class reassignment may reorder execution, never widen it.
 //
 // Like src/inject, this module links *against* the kernel; no kernel library
 // links it back (enforced by mx_lint's layering pass).
@@ -44,6 +48,7 @@ class StaticCertifier {
   void CheckDsegConsistency(AuditReport* report);
   void CheckHierarchyReachability(AuditReport* report);
   void CheckLockOrder(AuditReport* report);
+  void CheckSchedulerIsolation(AuditReport* report);
 
  private:
   Kernel* kernel_;

@@ -17,6 +17,7 @@ const char* AuditClaimName(AuditClaim claim) {
     case AuditClaim::kOrphanSegment: return "ORPHAN_SEGMENT";
     case AuditClaim::kMultiParentSegment: return "MULTI_PARENT_SEGMENT";
     case AuditClaim::kLockOrder: return "LOCK_ORDER";
+    case AuditClaim::kSchedulerIsolation: return "SCHEDULER_ISOLATION";
   }
   return "UNKNOWN";
 }

@@ -31,6 +31,8 @@ enum class AuditClaim : uint8_t {
   kOrphanSegment,           // Branch reachable from no directory.
   kMultiParentSegment,      // Branch catalogued in more than one directory.
   kLockOrder,               // Observed lock acquisition violates the hierarchy.
+  kSchedulerIsolation,      // Scheduler state is malformed, or permuting it
+                            // changes some process's derivable access.
 };
 
 const char* AuditClaimName(AuditClaim claim);

@@ -105,6 +105,23 @@ class Process {
   Cycles ready_since() const { return ready_since_; }
   void set_ready_since(Cycles t) { ready_since_ = t; }
 
+  // --- Scheduling state (owned by the traffic controller) -------------------
+  // Work class: which share of the machine this process draws from. Class 0
+  // is the default; the traffic controller defines further classes.
+  uint32_t work_class() const { return work_class_; }
+  void set_work_class(uint32_t k) { work_class_ = k; }
+  // Multilevel-feedback level: 0 is the interactive top; deeper levels get
+  // longer quanta and run only when shallower ones are empty.
+  uint32_t sched_level() const { return sched_level_; }
+  void set_sched_level(uint32_t level) { sched_level_ = level; }
+  // Cycles consumed against the current level's quantum.
+  Cycles quantum_used() const { return quantum_used_; }
+  void set_quantum_used(Cycles used) { quantum_used_ = used; }
+  // True while this process sits in a run queue. The enqueue path CHECKs the
+  // flag, so a blocked→ready transition can never double-insert a process.
+  bool in_run_queue() const { return in_run_queue_; }
+  void set_in_run_queue(bool in) { in_run_queue_ = in; }
+
  private:
   ProcessId pid_;
   std::string name_;
@@ -120,6 +137,10 @@ class Process {
   ChannelId blocked_on_ = 0;
   uint32_t last_cpu_ = kNoCpu;
   Cycles ready_since_ = 0;
+  uint32_t work_class_ = 0;
+  uint32_t sched_level_ = 0;
+  Cycles quantum_used_ = 0;
+  bool in_run_queue_ = false;
   ProcessAccounting accounting_;
   TraceContext trace_context_;
 };

@@ -38,6 +38,134 @@ Status TaskContext::Wakeup(ChannelId channel, uint64_t data) {
 TrafficController::TrafficController(Machine* machine, uint32_t virtual_processors)
     : machine_(machine), vp_count_(virtual_processors) {
   channels_.AttachMeter(&machine_->meter());
+  classes_.push_back(WorkClass{"system", 4, 0, 0});
+  run_queues_.resize(machine_->cpu_count());
+  for (auto& per_cpu : run_queues_) {
+    per_cpu.resize(1);
+  }
+}
+
+uint32_t TrafficController::DefineWorkClass(const std::string& name, uint32_t weight) {
+  CHECK_GE(weight, 1u) << "work class " << name << " needs a positive weight";
+  classes_.push_back(WorkClass{name, weight, 0, 0});
+  for (auto& per_cpu : run_queues_) {
+    per_cpu.resize(classes_.size());
+  }
+  return static_cast<uint32_t>(classes_.size() - 1);
+}
+
+Status TrafficController::AssignWorkClass(Process* process, uint32_t work_class) {
+  if (work_class >= classes_.size()) {
+    return Status::kInvalidArgument;
+  }
+  if (process->work_class() == work_class) {
+    return Status::kOk;
+  }
+  const bool queued = process->in_run_queue();
+  if (queued) {
+    RemoveFromQueues(process);
+  }
+  process->set_work_class(work_class);
+  if (queued) {
+    Enqueue(process);
+  }
+  return Status::kOk;
+}
+
+void TrafficController::EnableDispatchTrace(size_t limit) {
+  trace_limit_ = limit;
+  dispatch_trace_.clear();
+  if (limit > 0) {
+    dispatch_trace_.reserve(limit);
+  }
+}
+
+uint32_t TrafficController::HomeCpu(Process* process) {
+  if (process->last_cpu() != Process::kNoCpu && process->last_cpu() < machine_->cpu_count()) {
+    return process->last_cpu();
+  }
+  return next_home_cpu_++ % machine_->cpu_count();
+}
+
+size_t TrafficController::CpuQueued(uint32_t cpu) const {
+  size_t total = 0;
+  for (const RunQueue& rq : run_queues_[cpu]) {
+    total += rq.count;
+  }
+  return total;
+}
+
+void TrafficController::Enqueue(Process* process) {
+  // The double-insert guard: a blocked->ready transition (or any requeue)
+  // must never insert a process that is already sitting in a run queue.
+  CHECK(!process->in_run_queue()) << "double-insert of process " << process->pid();
+  process->set_in_run_queue(true);
+  if (policy_ == SchedulerPolicy::kFifo) {
+    ready_queue_.push_back(process);
+    return;
+  }
+  const uint32_t cpu = HomeCpu(process);
+  RunQueue& rq = run_queues_[cpu][process->work_class()];
+  rq.level[process->sched_level()].push_back(process);
+  ++rq.count;
+}
+
+void TrafficController::RemoveFromQueues(Process* process) {
+  if (policy_ == SchedulerPolicy::kFifo) {
+    for (auto it = ready_queue_.begin(); it != ready_queue_.end(); ++it) {
+      if (*it == process) {
+        ready_queue_.erase(it);
+        process->set_in_run_queue(false);
+        return;
+      }
+    }
+  } else {
+    for (auto& per_cpu : run_queues_) {
+      for (RunQueue& rq : per_cpu) {
+        for (auto& level : rq.level) {
+          for (auto it = level.begin(); it != level.end(); ++it) {
+            if (*it == process) {
+              level.erase(it);
+              --rq.count;
+              process->set_in_run_queue(false);
+              return;
+            }
+          }
+        }
+      }
+    }
+  }
+  CHECK(false) << "process " << process->pid() << " flagged in_run_queue but not found";
+}
+
+void TrafficController::SetSchedulerPolicy(SchedulerPolicy policy) {
+  if (policy == policy_) {
+    return;
+  }
+  // Drain every queued process in a deterministic order (FIFO order, or CPU
+  // then class then level order), then re-enqueue under the new policy.
+  std::vector<Process*> queued;
+  if (policy_ == SchedulerPolicy::kFifo) {
+    queued.assign(ready_queue_.begin(), ready_queue_.end());
+    ready_queue_.clear();
+  } else {
+    for (auto& per_cpu : run_queues_) {
+      for (RunQueue& rq : per_cpu) {
+        for (auto& level : rq.level) {
+          queued.insert(queued.end(), level.begin(), level.end());
+          level.clear();
+        }
+        rq.count = 0;
+      }
+    }
+  }
+  for (Process* p : queued) {
+    p->set_in_run_queue(false);
+  }
+  policy_ = policy;
+  for (Process* p : queued) {
+    Enqueue(p);
+  }
 }
 
 bool TrafficController::IsDedicated(const Process* process) const {
@@ -51,10 +179,11 @@ bool TrafficController::IsDedicated(const Process* process) const {
 
 void TrafficController::set_two_layer(bool enabled) {
   if (two_layer_ && !enabled) {
-    // Collapse layer 1: dedicated processes join the common ready queue.
+    // Collapse layer 1: dedicated processes join the common run queues. The
+    // in_run_queue guard keeps a re-collapse from inserting one twice.
     for (Process* d : dedicated_) {
-      if (d->state() == TaskState::kReady) {
-        ready_queue_.push_back(d);
+      if (d->state() == TaskState::kReady && !d->in_run_queue()) {
+        Enqueue(d);
       }
     }
   }
@@ -78,10 +207,10 @@ Result<Process*> TrafficController::CreateProcess(const std::string& name,
   if (dedicated) {
     dedicated_.push_back(raw);
     if (!two_layer_) {
-      ready_queue_.push_back(raw);
+      Enqueue(raw);
     }
   } else {
-    ready_queue_.push_back(raw);
+    Enqueue(raw);
   }
   return raw;
 }
@@ -102,12 +231,21 @@ void TrafficController::MakeReady(Process* process) {
   // CPU pulls its local clock up to here first.
   process->set_ready_since(machine_->clock().now());
   // Dedicated processes (two-layer mode) are polled in PickNext; everyone
-  // else queues. A blocked->ready transition must requeue because blocked
-  // processes are not in the queue.
+  // else queues. The in_run_queue flag — not the observed state transition —
+  // decides whether to insert, so a spurious double wakeup (or a wakeup
+  // racing a requeue) can never double-insert the process.
   bool polled = two_layer_ && IsDedicated(process);
-  if (!polled && was_blocked) {
-    ready_queue_.push_back(process);
+  if (polled || process->in_run_queue()) {
+    return;
   }
+  if (was_blocked && policy_ == SchedulerPolicy::kMultilevelFeedback) {
+    // Interactive promotion: a process a wakeup just readied goes back to
+    // the top level with a fresh quantum — the terminal-response path.
+    ++promotions_;
+    process->set_sched_level(0);
+    process->set_quantum_used(0);
+  }
+  Enqueue(process);
 }
 
 Status TrafficController::Wakeup(ChannelId channel, EventMessage message) {
@@ -224,11 +362,15 @@ Process* TrafficController::PickNextFor(uint32_t cpu) {
       }
     }
   }
+  if (policy_ == SchedulerPolicy::kMultilevelFeedback) {
+    return PickMlf(cpu);
+  }
   // Drop stale front entries exactly as the uniprocessor scheduler did.
   while (!ready_queue_.empty()) {
     Process* front = ready_queue_.front();
     if ((two_layer_ && IsDedicated(front)) || front->state() != TaskState::kReady) {
       ready_queue_.pop_front();
+      front->set_in_run_queue(false);
       continue;
     }
     break;
@@ -246,7 +388,111 @@ Process* TrafficController::PickNextFor(uint32_t cpu) {
   // changes processes.
   Process* candidate = ready_queue_.front();
   ready_queue_.pop_front();
+  candidate->set_in_run_queue(false);
   return candidate;
+}
+
+void TrafficController::StealWork(uint32_t cpu) {
+  // Victim: the CPU with the most queued work (lowest index on ties).
+  uint32_t victim = cpu;
+  size_t victim_load = 0;
+  for (uint32_t other = 0; other < machine_->cpu_count(); ++other) {
+    if (other == cpu) {
+      continue;
+    }
+    const size_t load = CpuQueued(other);
+    if (load > victim_load) {
+      victim = other;
+      victim_load = load;
+    }
+  }
+  if (victim == cpu || victim_load == 0) {
+    return;
+  }
+  // Take the deeper half (rounded up): long-running work migrates, the
+  // victim keeps its interactive front. Tail-first pops keep the migrated
+  // processes behind any work already queued here at the same level.
+  size_t want = (victim_load + 1) / 2;
+  for (uint32_t k = 0; k < classes_.size() && want > 0; ++k) {
+    RunQueue& from = run_queues_[victim][k];
+    RunQueue& to = run_queues_[cpu][k];
+    for (uint32_t level = kSchedLevels; level-- > 0 && want > 0;) {
+      while (want > 0 && !from.level[level].empty()) {
+        Process* moved = from.level[level].back();
+        from.level[level].pop_back();
+        --from.count;
+        to.level[level].push_back(moved);
+        ++to.count;
+        --want;
+        ++steals_;
+      }
+    }
+  }
+}
+
+Process* TrafficController::PickMlf(uint32_t cpu) {
+  if (CpuQueued(cpu) == 0 && machine_->cpu_count() > 1) {
+    StealWork(cpu);
+  }
+  for (;;) {
+    // Work class first: among classes with ready work here, the one with the
+    // lowest virtual time (charged cycles scaled down by weight) runs. Ties
+    // go to the lowest id, so selection is deterministic.
+    uint32_t best_class = UINT32_MAX;
+    for (uint32_t k = 0; k < classes_.size(); ++k) {
+      if (run_queues_[cpu][k].count == 0) {
+        continue;
+      }
+      if (best_class == UINT32_MAX ||
+          classes_[k].charged * classes_[best_class].weight <
+              classes_[best_class].charged * classes_[k].weight) {
+        best_class = k;
+      }
+    }
+    if (best_class == UINT32_MAX) {
+      return nullptr;
+    }
+    RunQueue& rq = run_queues_[cpu][best_class];
+    // Level next: shallowest non-empty, except that every kFairnessPeriod-th
+    // dispatch serves the deepest instead — demoted work is never starved
+    // for more than a bounded number of dispatches.
+    const bool fairness_pass = dispatch_seq_ % kFairnessPeriod == kFairnessPeriod - 1;
+    uint32_t chosen = UINT32_MAX;
+    if (fairness_pass) {
+      for (uint32_t level = kSchedLevels; level-- > 0;) {
+        if (!rq.level[level].empty()) {
+          chosen = level;
+          break;
+        }
+      }
+    } else {
+      for (uint32_t level = 0; level < kSchedLevels; ++level) {
+        if (!rq.level[level].empty()) {
+          chosen = level;
+          break;
+        }
+      }
+    }
+    CHECK_NE(chosen, UINT32_MAX);
+    Process* candidate = rq.level[chosen].front();
+    rq.level[chosen].pop_front();
+    --rq.count;
+    candidate->set_in_run_queue(false);
+    // Stale entries — destroyed processes or dedicated ones after a layer
+    // toggle — are dropped, exactly as the FIFO scheduler drops them.
+    if ((two_layer_ && IsDedicated(candidate)) || candidate->state() != TaskState::kReady) {
+      continue;
+    }
+    return candidate;
+  }
+}
+
+void TrafficController::RecordDispatch(uint32_t cpu, const Process* process) {
+  ++dispatch_seq_;
+  if (trace_limit_ > 0 && dispatch_trace_.size() < trace_limit_) {
+    dispatch_trace_.push_back(DispatchRecord{machine_->clock().now(), cpu, process->pid(),
+                                             process->sched_level(), process->work_class()});
+  }
 }
 
 bool TrafficController::RunSlice() {
@@ -284,6 +530,7 @@ bool TrafficController::RunSlice() {
   }
   SetLastOn(cpu, next);
   last_running_ = next;
+  RecordDispatch(cpu, next);
 
   // Install the process's causal context (and {pid, ring} attribution) for
   // the duration of the step, so every span and event the step records is
@@ -293,16 +540,35 @@ bool TrafficController::RunSlice() {
   if (switched) {
     meter.Emit(TraceEventKind::kDispatch, "dispatch", next->pid());
   }
+  const Cycles busy_before = machine_->busy_cycles(cpu);
   TaskContext ctx(this, next);
   TaskState state = next->program()->Step(ctx);
   meter.SetContext(previous_context);
+  // Everything the step charged on this CPU — gate bodies included — counts
+  // against the process's quantum and its work class's virtual time.
+  const Cycles used = machine_->busy_cycles(cpu) - busy_before;
+  WorkClass& work_class = classes_[next->work_class()];
+  work_class.charged += used;
+  ++work_class.dispatches;
   ++next->accounting().dispatches;
   next->set_last_cpu(cpu);
   next->set_state(state);
   switch (state) {
     case TaskState::kReady: {
       if (!(two_layer_ && IsDedicated(next))) {
-        ready_queue_.push_back(next);
+        if (policy_ == SchedulerPolicy::kMultilevelFeedback) {
+          next->set_quantum_used(next->quantum_used() + used);
+          if (next->quantum_used() >= quantum_for_level(next->sched_level())) {
+            // Quantum expiry: drop a level (longer quantum, served later) —
+            // compute-bound work sinks out of the interactive levels.
+            if (next->sched_level() + 1 < kSchedLevels) {
+              next->set_sched_level(next->sched_level() + 1);
+              ++demotions_;
+            }
+            next->set_quantum_used(0);
+          }
+        }
+        Enqueue(next);
       }
       break;
     }

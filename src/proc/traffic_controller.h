@@ -8,6 +8,25 @@
 // dedicated use of other kernel mechanisms." Layer 2 multiplexes the
 // remaining virtual processors among any number of full Multics processes.
 //
+// Layer-2 dispatch runs one of two policies:
+//
+//   * kFifo — the original strict-FIFO shared ready queue, kept as the
+//     baseline the scheduler benches compare against;
+//   * kMultilevelFeedback (default) — a Multics-style work-class /
+//     multilevel-feedback scheduler. Each process belongs to a work class
+//     holding a weighted share of the machine; classes with ready work are
+//     served lowest-virtual-time first (virtual time = cycles charged divided
+//     by weight). Within a class each CPU keeps its own run queue of
+//     kSchedLevels feedback levels: a process that exhausts its level's
+//     quantum is demoted to a deeper level with a doubled quantum, and a
+//     blocked process that a wakeup readies is promoted back to level 0 —
+//     the interactive response path. Every kFairnessPeriod-th dispatch on a
+//     CPU serves the deepest non-empty level instead of the shallowest,
+//     bounding starvation. A CPU whose queues are empty steals the deeper
+//     half of the most-loaded CPU's queue (lowest index on ties). All of it
+//     runs on the simulated clock, so dispatch is byte-identical across runs
+//     at a fixed seed and CPU count.
+//
 // On a multiprocessor the dispatcher always runs the CPU whose local clock is
 // furthest behind, giving a deterministic round-robin interleaving on the sim
 // clock. Shared processes have soft affinity for the CPU they last ran on;
@@ -24,8 +43,10 @@
 #ifndef SRC_PROC_TRAFFIC_CONTROLLER_H_
 #define SRC_PROC_TRAFFIC_CONTROLLER_H_
 
+#include <array>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +90,30 @@ class TaskContext {
 enum class InterruptStrategy {
   kInlineInCurrentProcess,  // Pre-6180-redesign: handler steals the VP.
   kDedicatedProcesses,      // Paper's design: interrupt becomes a wakeup.
+};
+
+enum class SchedulerPolicy {
+  kFifo,                // One shared strict-FIFO ready queue (the old design).
+  kMultilevelFeedback,  // Work classes + per-CPU multilevel-feedback queues.
+};
+
+// A weighted share of the machine. Processes are members of exactly one work
+// class; among classes with ready work the scheduler serves the one with the
+// lowest virtual time (charged cycles scaled down by weight).
+struct WorkClass {
+  std::string name;
+  uint32_t weight = 1;
+  Cycles charged = 0;       // Total cycles charged by member dispatches.
+  uint64_t dispatches = 0;  // Member dispatch count.
+};
+
+// One dispatch decision, for determinism tests and trace hashing.
+struct DispatchRecord {
+  Cycles at = 0;       // Global clock when the dispatch was chosen.
+  uint32_t cpu = 0;    // Physical CPU that ran the slice.
+  ProcessId pid = 0;   // Process dispatched.
+  uint32_t level = 0;  // Feedback level it was taken from.
+  uint32_t work_class = 0;
 };
 
 class TrafficController {
@@ -125,10 +170,39 @@ class TrafficController {
 
   Machine* machine() const { return machine_; }
 
+  // --- Scheduler policy and work classes ------------------------------------
+  static constexpr uint32_t kSchedLevels = 4;
+  static constexpr uint32_t kFairnessPeriod = 8;
+
+  // Switching policy migrates any queued processes deterministically, so it
+  // is legal between slices (benches flip it right after boot).
+  void SetSchedulerPolicy(SchedulerPolicy policy);
+  SchedulerPolicy scheduler_policy() const { return policy_; }
+
+  // Level-0 quantum; level L gets base << L. Must be positive.
+  void set_base_quantum(Cycles q) { base_quantum_ = q; }
+  Cycles quantum_for_level(uint32_t level) const { return base_quantum_ << level; }
+
+  // Defines a new work class and returns its id. Class 0 ("system", weight 4)
+  // always exists and is every process's default.
+  uint32_t DefineWorkClass(const std::string& name, uint32_t weight);
+  uint32_t work_class_count() const { return static_cast<uint32_t>(classes_.size()); }
+  const WorkClass& work_class_info(uint32_t id) const { return classes_.at(id); }
+  // Moves a process to `work_class`, re-queueing it if it is currently ready.
+  Status AssignWorkClass(Process* process, uint32_t work_class);
+
+  // Dispatch trace for determinism tests: records the first `limit` dispatch
+  // decisions. Passing 0 disables tracing.
+  void EnableDispatchTrace(size_t limit);
+  const std::vector<DispatchRecord>& dispatch_trace() const { return dispatch_trace_; }
+
   // Metrics.
   Distribution& interrupt_latency() { return interrupt_latency_; }
   uint64_t context_switches() const { return context_switches_; }
   uint64_t idle_jumps() const { return idle_jumps_; }
+  uint64_t promotions() const { return promotions_; }
+  uint64_t demotions() const { return demotions_; }
+  uint64_t steals() const { return steals_; }
 
   // Used by TaskContext.
   void RecordInterruptLatency(Cycles asserted_at);
@@ -152,6 +226,25 @@ class TrafficController {
   Process* LastOn(uint32_t cpu);
   void SetLastOn(uint32_t cpu, Process* process);
 
+  // Per-CPU per-class multilevel run queue.
+  struct RunQueue {
+    std::array<std::deque<Process*>, kSchedLevels> level;
+    size_t count = 0;  // Total queued across levels.
+  };
+
+  // Shared enqueue path for both policies; CHECKs !in_run_queue().
+  void Enqueue(Process* process);
+  // The CPU a not-yet-placed process should queue on: its last CPU when
+  // valid, else round-robin over the machine.
+  uint32_t HomeCpu(Process* process);
+  size_t CpuQueued(uint32_t cpu) const;
+  // Moves the deeper half of the most-loaded other CPU's queue to `cpu`.
+  void StealWork(uint32_t cpu);
+  // Removes a process from whatever MLF queue holds it (linear; rare).
+  void RemoveFromQueues(Process* process);
+  Process* PickMlf(uint32_t cpu);
+  void RecordDispatch(uint32_t cpu, const Process* process);
+
   Machine* machine_;
   uint32_t vp_count_;
   bool two_layer_ = true;
@@ -159,8 +252,18 @@ class TrafficController {
   EventChannelTable channels_;
   std::unordered_map<ProcessId, std::unique_ptr<Process>> processes_;
   std::vector<Process*> dedicated_;
-  std::deque<Process*> ready_queue_;  // Shared (level-2) ready processes.
+  std::deque<Process*> ready_queue_;  // Shared (level-2) ready processes (kFifo).
   size_t dedicated_cursor_ = 0;
+
+  SchedulerPolicy policy_ = SchedulerPolicy::kMultilevelFeedback;
+  Cycles base_quantum_ = 4000;
+  std::vector<WorkClass> classes_;
+  std::vector<std::vector<RunQueue>> run_queues_;  // [cpu][work_class].
+  uint32_t next_home_cpu_ = 0;
+  uint64_t dispatch_seq_ = 0;
+
+  size_t trace_limit_ = 0;
+  std::vector<DispatchRecord> dispatch_trace_;
 
   InterruptStrategy interrupt_strategy_ = InterruptStrategy::kDedicatedProcesses;
   std::unordered_map<InterruptLine, HandlerSpec> handlers_;
@@ -172,6 +275,9 @@ class TrafficController {
   Distribution interrupt_latency_;
   uint64_t context_switches_ = 0;
   uint64_t idle_jumps_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t demotions_ = 0;
+  uint64_t steals_ = 0;
 };
 
 }  // namespace multics

@@ -54,7 +54,8 @@ Status AnsweringService::RegisterUser(const std::string& person, const std::stri
 
 Result<Process*> AnsweringService::Login(const std::string& person, const std::string& project,
                                          const std::string& password,
-                                         const MlsLabel& requested) {
+                                         const MlsLabel& requested,
+                                         std::unique_ptr<Task> program) {
   MX_RETURN_IF_ERROR(kernel_->RunAs(*service_));
   Processor& cpu = kernel_->cpu();
   const uint64_t name_hash = Fnv1a(person + "." + project);
@@ -79,9 +80,12 @@ Result<Process*> AnsweringService::Login(const std::string& person, const std::s
     }
     // Entering the user's "subsystem": an ordinary proc_create gate call,
     // legal because the service runs in ring 1.
-    auto process = kernel_->ProcCreate(
-        *service_, person + "_process", Principal{person, project, "a"}, requested,
-        std::make_unique<FnTask>([](TaskContext&) { return TaskState::kDone; }));
+    if (program == nullptr) {
+      program = std::make_unique<FnTask>([](TaskContext&) { return TaskState::kDone; });
+    }
+    auto process = kernel_->ProcCreate(*service_, person + "_process",
+                                       Principal{person, project, "a"}, requested,
+                                       std::move(program));
     if (process.ok()) {
       ++successful_logins_;
     }

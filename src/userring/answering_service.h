@@ -36,8 +36,11 @@ class AnsweringService {
                       const std::string& password, const MlsLabel& max_clearance);
 
   // Authenticates and creates the user's process at `requested` clearance.
+  // `program` is the user's initial procedure — the "subsystem" the login
+  // enters; when omitted the process is created with an empty program.
   Result<Process*> Login(const std::string& person, const std::string& project,
-                         const std::string& password, const MlsLabel& requested);
+                         const std::string& password, const MlsLabel& requested,
+                         std::unique_ptr<Task> program = nullptr);
 
   Process* service_process() const { return service_; }
   SegNo password_segno() const { return pwd_segno_; }

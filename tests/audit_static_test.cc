@@ -250,6 +250,41 @@ TEST_F(AuditStaticTest, LockOrderInversionYieldsFindings) {
   EXPECT_EQ(report.CountForClaim(AuditClaim::kLockOrder), 2u) << report.ToString();
 }
 
+// --- Claim 7: scheduler isolation -------------------------------------------
+
+TEST_F(AuditStaticTest, OutOfRangeFeedbackLevelYieldsOneFinding) {
+  Process* doe = LoginDoe();
+  ASSERT_NE(doe, nullptr);
+  doe->set_sched_level(TrafficController::kSchedLevels);  // One past the last.
+  const AuditReport report = Certify();
+  ExpectSingleFinding(report, AuditClaim::kSchedulerIsolation);
+  doe->set_sched_level(0);
+}
+
+TEST_F(AuditStaticTest, OutOfRangeWorkClassYieldsOneFinding) {
+  Process* doe = LoginDoe();
+  ASSERT_NE(doe, nullptr);
+  doe->set_work_class(kernel_->traffic().work_class_count());
+  const AuditReport report = Certify();
+  ExpectSingleFinding(report, AuditClaim::kSchedulerIsolation);
+  doe->set_work_class(0);
+}
+
+TEST_F(AuditStaticTest, SchedulerPermutationLeavesAccessFixed) {
+  // The positive half of the isolation claim on a live session: with work
+  // classes defined and a user holding segments, permuting scheduler state
+  // must change no derivable mode — the sweep runs and stays clean.
+  const Uid uid = CreateRootSegment("notebook", kModeRead | kModeWrite);
+  ASSERT_NE(uid, kInvalidUid);
+  (void)kernel_->traffic().DefineWorkClass("interactive", 4);
+  Process* doe = LoginDoe();
+  ASSERT_NE(doe, nullptr);
+  auto seg = InitiateFromRoot(doe, "notebook");
+  ASSERT_TRUE(seg.ok());
+  const AuditReport report = Certify();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
 // --- Report formats ---------------------------------------------------------
 
 TEST_F(AuditStaticTest, JsonReportCarriesFindings) {

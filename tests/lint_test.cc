@@ -86,6 +86,23 @@ TEST_F(LintTest, InjectIsNeverIncludedByKernelCode) {
   ASSERT_EQ(report.CountForRule("layering"), 1) << report.ToString();
 }
 
+TEST_F(LintTest, SessionIsConfinedToTheGateSurface) {
+  // The session engine may use the gate interface and the answering service…
+  WriteFile("src/session/engine.cc",
+            "#include \"src/core/kernel.h\"\n"
+            "#include \"src/userring/answering_service.h\"\n"
+            "#include \"src/base/random.h\"\n");
+  // …but reaching kernel internals (scheduler queues, page control) is a
+  // layering violation: the workload must go through the certified surface.
+  WriteFile("src/session/bad.cc",
+            "#include \"src/proc/traffic_controller.h\"\n"
+            "#include \"src/mem/page_control.h\"\n");
+  Report report;
+  CheckLayering(Root(), &report);
+  ASSERT_EQ(report.CountForRule("layering"), 2) << report.ToString();
+  EXPECT_EQ(report.findings[0].file, "src/session/bad.cc");
+}
+
 TEST_F(LintTest, DownwardIncludesAreClean) {
   WriteFile("src/core/kernel.cc",
             "#include \"src/core/kernel.h\"\n#include \"src/fs/branch.h\"\n"

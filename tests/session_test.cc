@@ -1,0 +1,114 @@
+// Tests for the session engine: a closed-loop multi-user workload running
+// entirely above the gate interface. Covers clean completion, work-class
+// assignment, failure accounting, and end-to-end determinism of a whole
+// booted system under session load.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/init/bootstrap.h"
+#include "src/session/engine.h"
+
+namespace multics {
+namespace {
+
+struct RunOutcome {
+  uint32_t completed = 0;
+  uint32_t failed_sessions = 0;
+  uint32_t failed_logins = 0;
+  Cycles makespan = 0;
+  uint64_t slices = 0;
+  double p99 = 0;
+  uint64_t logins = 0;
+};
+
+RunOutcome RunSessions(uint32_t sessions, uint32_t cpus, uint64_t seed) {
+  KernelParams params;
+  params.machine.cpus = cpus;
+  Kernel kernel(params);
+  auto boot = Bootstrap::Run(kernel, {.users = DefaultUsers()});
+  EXPECT_TRUE(boot.ok());
+
+  session::SessionEngineConfig config;
+  config.sessions = sessions;
+  config.seed = seed;
+  config.user_pool = 8;
+  config.project_dirs = 4;
+  config.hot_segments = 8;
+  config.mean_think = 5000;
+  config.mean_interarrival = 1500;
+  config.interactions = 3;
+  config.compile_steps = 8;
+  auto engine = session::SessionEngine::Create(&kernel, config);
+  EXPECT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value()->Run(), Status::kOk);
+
+  const session::SessionEngineStats& stats = engine.value()->stats();
+  RunOutcome outcome;
+  outcome.completed = stats.completed;
+  outcome.failed_sessions = stats.failed_sessions;
+  outcome.failed_logins = stats.failed_logins;
+  outcome.makespan = stats.makespan;
+  outcome.slices = stats.slices;
+  outcome.p99 = stats.latency.Percentile(0.99);
+  outcome.logins = engine.value()->answering().successful_logins();
+  return outcome;
+}
+
+TEST(SessionEngineTest, AllSessionsCompleteCleanly) {
+  const RunOutcome outcome = RunSessions(/*sessions=*/24, /*cpus=*/2, /*seed=*/7);
+  EXPECT_EQ(outcome.completed, 24u);
+  EXPECT_EQ(outcome.failed_sessions, 0u);
+  EXPECT_EQ(outcome.failed_logins, 0u);
+  EXPECT_EQ(outcome.logins, 24u);
+  EXPECT_GT(outcome.makespan, 0u);
+  EXPECT_GT(outcome.p99, 0.0);
+}
+
+TEST(SessionEngineTest, WholeSystemRunIsDeterministic) {
+  const RunOutcome first = RunSessions(16, 2, 3);
+  const RunOutcome second = RunSessions(16, 2, 3);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(first.slices, second.slices);
+  EXPECT_EQ(first.p99, second.p99);
+}
+
+TEST(SessionEngineTest, DifferentSeedsDiverge) {
+  const RunOutcome a = RunSessions(16, 2, 3);
+  const RunOutcome b = RunSessions(16, 2, 4);
+  // Different arrival/think streams: the runs should not be cycle-identical.
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(SessionEngineTest, WorkClassesAreDefinedOnTheController) {
+  KernelParams params;
+  Kernel kernel(params);
+  auto boot = Bootstrap::Run(kernel, {.users = DefaultUsers()});
+  ASSERT_TRUE(boot.ok());
+  session::SessionEngineConfig config;
+  config.sessions = 4;
+  auto engine = session::SessionEngine::Create(&kernel, config);
+  ASSERT_TRUE(engine.ok());
+  TrafficController& traffic = kernel.traffic();
+  ASSERT_GE(traffic.work_class_count(), 3u);
+  EXPECT_EQ(traffic.work_class_info(engine.value()->interactive_class()).name, "interactive");
+  EXPECT_EQ(traffic.work_class_info(engine.value()->batch_class()).name, "absentee");
+  EXPECT_GT(traffic.work_class_info(engine.value()->interactive_class()).weight,
+            traffic.work_class_info(engine.value()->batch_class()).weight);
+}
+
+TEST(SessionEngineTest, RejectsDegenerateConfig) {
+  KernelParams params;
+  Kernel kernel(params);
+  auto boot = Bootstrap::Run(kernel, {.users = DefaultUsers()});
+  ASSERT_TRUE(boot.ok());
+  session::SessionEngineConfig config;
+  config.sessions = 0;
+  EXPECT_FALSE(session::SessionEngine::Create(&kernel, config).ok());
+}
+
+}  // namespace
+}  // namespace multics

@@ -171,6 +171,11 @@ const std::map<std::string, std::set<std::string>>& AllowedIncludes() {
       {"core",
        {"core", "proc", "fs", "link", "net", "mem", "mls", "hw", "meter", "base"}},
       {"userring", {"userring", "core", "link", "fs", "mls", "hw", "meter", "base"}},
+      // The session engine is a pure gate-surface client: it may talk to the
+      // kernel's gate interface (src/core) and the de-privileged answering
+      // service (src/userring), never to kernel internals — the workload
+      // must exercise the certified surface, not bypass it.
+      {"session", {"session", "userring", "core", "base"}},
       {"init",
        {"init", "userring", "core", "proc", "fs", "link", "net", "mem", "mls", "hw",
         "meter", "base"}},
