@@ -66,6 +66,7 @@ SizingResult RunWithAst(uint32_t ast_capacity, uint32_t working_set, int touches
   result.segment_faults = kernel.cpu().segment_faults();
   result.monitor_checks = kernel.monitor().checks() - checks_before;
   result.cycles = kernel.machine().clock().now() - start;
+  bench::RegisterRunStats(kernel.machine());  // Last parameterisation wins.
   return result;
 }
 

@@ -181,6 +181,7 @@ StormOutcome RunStorm(double rate, int steps) {
   out.dropped_interrupts = kernel.machine().interrupts().total_dropped();
   out.recovery_clean = recovery->clean();
   out.elapsed = kernel.machine().clock().now();
+  bench::RegisterRunStats(kernel.machine());  // Last fault rate wins.
   return out;
 }
 

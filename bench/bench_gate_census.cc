@@ -96,6 +96,7 @@ void RunBench(const bench::BenchOptions& options) {
                         "fraction");
   bench::RegisterMetric("naming_projects_gate_fraction",
                         static_cast<double>(linker + naming + paths) / legacy_total, "fraction");
+  bench::RegisterRunStats(kernel.machine());
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 // The suite runner: every bench translation unit is linked in (with
 // MX_BENCH_NO_MAIN, so this file owns main) and bench_harness runs any
-// subset of them, writing the machine-readable results to BENCH_PR2.json
-// unless --json= says otherwise.
+// subset of them, writing the machine-readable results to BENCH_PR7.json
+// unless --json= says otherwise. Set MX_HOST_PROFILE=1 to populate the
+// per-subsystem host profile in each record's "host" subtree (the summary
+// table goes to stderr; stdout is byte-identical either way).
 //
 //   build/bench/bench_harness                 # all benches, full workloads
 //   build/bench/bench_harness --smoke         # tiny workloads
@@ -20,7 +22,7 @@ int main(int argc, char** argv) {
       has_json = true;
     }
   }
-  std::string default_json = "--json=BENCH_PR2.json";
+  std::string default_json = "--json=BENCH_PR7.json";
   if (!has_json) {
     args.push_back(default_json.data());
   }

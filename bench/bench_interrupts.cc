@@ -89,6 +89,7 @@ InterruptRun RunStrategy(InterruptStrategy strategy, Cycles handler_work, int in
       strategy == InterruptStrategy::kDedicatedProcesses ? handled
                                                          : tc.interrupt_latency().count();
   run.elapsed = machine.clock().now();
+  bench::RegisterRunStats(machine);  // Last strategy/workload pair wins.
   return run;
 }
 

@@ -83,6 +83,7 @@ void SessionNetwork(uint64_t* cycles) {
   kernel.machine().events().RunUntilIdle();
   CHECK(terminal_screen.size() == 1);
   *cycles = kernel.machine().clock().now() - start;
+  bench::RegisterRunStats(kernel.machine());  // The network session is the primary system.
 }
 
 void RunBench(const bench::BenchOptions& options) {

@@ -123,6 +123,7 @@ CampaignResult RunUserRingCampaign() {
     CHECK(kernel.FsDelete(*user, home.value(), "evil" + std::to_string(trial)) == Status::kOk);
   }
   result.kernel_faults = kernel.kernel_faults();
+  bench::RegisterRunStats(kernel.machine());  // The user-ring campaign is the primary system.
   return result;
 }
 

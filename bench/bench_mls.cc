@@ -118,6 +118,7 @@ void EnforcementCost(const bench::BenchOptions& options) {
     const std::string prefix = mls ? "mls_on_" : "mls_off_";
     bench::RegisterMetric(prefix + "monitor_checks", kernel.monitor().checks(), "checks");
     bench::RegisterMetric(prefix + "denials", kernel.audit().denials(), "denials");
+    bench::RegisterRunStats(kernel.machine());  // Last configuration (mls on) wins.
   }
   table.Print();
   std::printf("With the lattice off, the wide ACL alone hands a secret-cleared subject a\n"

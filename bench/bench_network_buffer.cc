@@ -128,6 +128,7 @@ void RunBench(const bench::BenchOptions& options) {
                 Fmt(kernel.network().total_lost())});
     bench::RegisterMetric(std::string(infinite ? "e2e_infinite_" : "e2e_circular_") + "lost",
                           kernel.network().total_lost(), "messages");
+    bench::RegisterRunStats(kernel.machine());  // Last configuration (infinite) wins.
   }
   e2e.Print();
 }

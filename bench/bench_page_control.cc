@@ -67,6 +67,7 @@ RunResult RunWorkload(bool parallel, uint32_t core_frames, uint32_t touched_page
   RunResult result;
   result.total_cycles = machine.clock().now() - start;
   result.metrics = pc->metrics();
+  bench::RegisterRunStats(machine);  // Last workload (parallel control) wins.
   return result;
 }
 

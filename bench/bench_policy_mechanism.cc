@@ -106,6 +106,7 @@ PolicyRun RunWith(const std::string& policy_name, RingMode ring_mode, int touche
   if (cpu.Write(5, 0, 1) == Status::kRingViolation) {
     ++run.ring_violations;
   }
+  bench::RegisterRunStats(machine);  // Last policy parameterisation wins.
   return run;
 }
 

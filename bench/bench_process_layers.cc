@@ -68,6 +68,7 @@ LayerRun RunLayers(bool two_layer, int user_count, Cycles horizon) {
     run.daemon_service_mean = service.mean();
     run.daemon_service_p99 = service.Percentile(0.99);
   }
+  bench::RegisterRunStats(machine);  // Last layering configuration wins.
   return run;
 }
 

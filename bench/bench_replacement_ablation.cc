@@ -56,6 +56,7 @@ AblationResult RunPolicy(const std::string& policy_name, double zipf_s, uint32_t
   result.faults = pc.metrics().faults;
   result.evictions = pc.metrics().core_evictions;
   result.cycles = machine.clock().now() - start;
+  bench::RegisterRunStats(machine);  // Last policy parameterisation wins.
   return result;
 }
 

@@ -104,6 +104,7 @@ void RunBench(const bench::BenchOptions& options) {
     gate_table.AddRow({config.Name(), Fmt(per_call)});
     bench::RegisterMetric(std::string(config.Name()) + "_gate_crossing_cycles_per_call",
                           per_call, "cycles");
+    bench::RegisterRunStats(kernel.machine());  // Last configuration (legacy-6180) wins.
   }
   gate_table.Print();
 

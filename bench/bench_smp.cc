@@ -134,6 +134,7 @@ RunResult RunWorkload(uint32_t cpus, LockMode mode, int refs_per_worker) {
   }
   result.connects = machine.connects_posted();
   result.lock_order_violations = machine.lock_trace().violations().size();
+  bench::RegisterRunStats(machine);  // Last parameterisation wins.
   return result;
 }
 

@@ -8,6 +8,7 @@
 
 #include "src/base/log.h"
 #include "src/hw/machine.h"
+#include "src/meter/host_profile.h"
 
 namespace multics {
 namespace bench {
@@ -23,7 +24,12 @@ struct BenchResult {
   std::map<std::string, Metric> metrics;
   std::map<std::string, uint64_t> counters;
   uint64_t cycles = 0;
+  uint64_t refs = 0;  // Simulated memory references (charges / per-ref cost).
   bool has_run_stats = false;
+  // Host-side telemetry (mx-bench-v2). Nondeterministic by nature; rendered
+  // only into the segregated "host" subtree, never into metrics.
+  uint64_t wall_ns = 0;
+  HostProfileSnapshot host_profile;
 };
 
 // The bench currently collecting metrics; null outside RunBenches.
@@ -97,6 +103,10 @@ void RegisterRunStats(const Machine& machine) {
   }
   g_active->cycles = machine.clock().now();
   g_active->has_run_stats = true;
+  const Cycles per_ref = machine.costs().memory_reference;
+  if (per_ref > 0) {
+    g_active->refs = machine.charges().Get("memory_reference") / per_ref;
+  }
   for (const auto& [name, value] : machine.charges().Snapshot()) {
     g_active->counters["charge/" + name] = value;
   }
@@ -131,18 +141,42 @@ std::string RunBenches(const std::vector<std::string>& names, const BenchOptions
   }
   std::sort(selected.begin(), selected.end());
 
+  const bool host_profile = HostProfiler::enabled();
+  HostProfileSnapshot aggregate;
   std::map<std::string, BenchResult> results;
   for (const auto& [name, fn] : selected) {
     BenchResult result;
     g_active = &result;
+    if (host_profile) {
+      HostProfiler::Reset();  // Per-bench window; deltas stay attributable.
+    }
+    const uint64_t start_ns = HostProfiler::NowNs();
     fn(options);
+    result.wall_ns = HostProfiler::NowNs() - start_ns;
+    if (host_profile) {
+      result.host_profile = HostProfiler::Snapshot();
+      for (size_t i = 0; i < kHostSubsystemCount; ++i) {
+        aggregate.subsystems[i].spans += result.host_profile.subsystems[i].spans;
+        aggregate.subsystems[i].total_ns += result.host_profile.subsystems[i].total_ns;
+        aggregate.subsystems[i].self_ns += result.host_profile.subsystems[i].self_ns;
+      }
+      aggregate.window_ns += result.host_profile.window_ns;
+    }
     g_active = nullptr;
     results[name] = std::move(result);
   }
+  if (host_profile) {
+    // Stderr, never stdout: the determinism contract keeps stdout
+    // byte-identical whether or not the profiler ran.
+    aggregate.enabled = true;
+    std::fprintf(stderr, "%s", HostProfiler::Render(aggregate).c_str());
+  }
 
   std::string out;
-  out += "{\"schema\":\"multics-bench-v1\",\"mode\":";
+  out += "{\"schema\":\"mx-bench-v2\",\"mode\":";
   AppendJsonString(&out, options.smoke ? "smoke" : "full");
+  out += ",\"host_profile\":";
+  out += host_profile ? "true" : "false";
   out += ",\"benches\":{";
   bool first_bench = true;
   for (const auto& [name, result] : results) {
@@ -169,6 +203,13 @@ std::string RunBenches(const std::vector<std::string>& names, const BenchOptions
     if (result.has_run_stats) {
       out += ",\"cycles\":";
       AppendJsonNumber(&out, static_cast<double>(result.cycles));
+      out += ",\"refs\":";
+      AppendJsonNumber(&out, static_cast<double>(result.refs));
+      // Derived from two deterministic sim values, so itself deterministic.
+      out += ",\"refs_per_mcycle\":";
+      AppendJsonNumber(&out, result.cycles > 0 ? 1e6 * static_cast<double>(result.refs) /
+                                                     static_cast<double>(result.cycles)
+                                               : 0.0);
       out += ",\"counters\":{";
       first = true;
       for (const auto& [counter_name, value] : result.counters) {
@@ -182,13 +223,44 @@ std::string RunBenches(const std::vector<std::string>& names, const BenchOptions
       }
       out += "}";
     }
-    out += "}";
+    // The host subtree is the one nondeterministic corner of the record;
+    // bench_diff.py compares it under a tolerance band, never exactly.
+    out += ",\"host\":{\"wall_ms\":";
+    AppendJsonNumber(&out, static_cast<double>(result.wall_ns) / 1e6);
+    out += ",\"host_ns_per_ref\":";
+    AppendJsonNumber(&out, result.refs > 0 ? static_cast<double>(result.wall_ns) /
+                                                 static_cast<double>(result.refs)
+                                           : 0.0);
+    out += ",\"peak_rss_kb\":";
+    AppendJsonNumber(&out, static_cast<double>(HostProfiler::PeakRssKb()));
+    if (result.host_profile.enabled) {
+      out += ",\"profile\":{";
+      for (size_t i = 0; i < kHostSubsystemCount; ++i) {
+        if (i > 0) {
+          out.push_back(',');
+        }
+        const HostSubsystemStats& s = result.host_profile.subsystems[i];
+        AppendJsonString(&out, HostSubsystemName(static_cast<HostSubsystem>(i)));
+        out += ":{\"spans\":";
+        AppendJsonNumber(&out, static_cast<double>(s.spans));
+        out += ",\"total_ms\":";
+        AppendJsonNumber(&out, static_cast<double>(s.total_ns) / 1e6);
+        out += ",\"self_ms\":";
+        AppendJsonNumber(&out, static_cast<double>(s.self_ns) / 1e6);
+        out += "}";
+      }
+      out += "}";
+    }
+    out += "}}";
   }
   out += "}}\n";
   return out;
 }
 
 int BenchStandaloneMain(int argc, char** argv) {
+  if (HostProfiler::EnabledByEnv()) {
+    HostProfiler::SetEnabled(true);
+  }
   BenchOptions options;
   std::string json_path;
   std::vector<std::string> names;

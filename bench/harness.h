@@ -7,14 +7,24 @@
 //     bench supports it), `--wallclock` (google-benchmark microbenches,
 //     nondeterministic, never part of the JSON);
 //   * the suite runner: `build/bench/bench_harness` executes any subset of
-//     the registered benches and writes one BENCH_PR2.json with every
+//     the registered benches and writes one BENCH_PR<N>.json with every
 //     bench's metrics, counter snapshot, and simulated-cycle total;
 //   * ctest: each bench's `--smoke` mode is registered as a test so benches
 //     cannot silently rot.
 //
+// Schema mx-bench-v2: each bench record carries the deterministic sim side
+// (metrics, cycles, counters, refs = simulated memory references) AND a
+// segregated "host" subtree (wall_ms, host_ns_per_ref, peak_rss_kb, and the
+// per-subsystem host profile when MX_HOST_PROFILE is set). See
+// EXPERIMENTS.md for the full schema; scripts/bench_diff.py understands
+// both v1 and v2 and gates host regressions with a tolerance band.
+//
 // Determinism contract: metrics registered from sim-clock cycles and
-// deterministic counters make the JSON byte-identical across same-seed
-// runs. Wall-clock numbers must never be registered as metrics.
+// deterministic counters make the sim side of the JSON byte-identical
+// across same-seed runs. Wall-clock numbers must never be registered as
+// metrics — they live only in the "host" subtree, and the host profile
+// report goes to stderr so stdout stays byte-identical with profiling on
+// and off.
 
 #ifndef BENCH_HARNESS_H_
 #define BENCH_HARNESS_H_

@@ -1,26 +1,55 @@
 #!/usr/bin/env python3
-"""Compare two bench-harness JSON files (multics-bench-v1 schema).
+"""Compare two bench-harness JSON files (multics-bench-v1 or mx-bench-v2).
 
 Usage:
     scripts/bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
+                          [--host-band PCT]
+    scripts/bench_diff.py --sweep [DIR] [--metric BENCH:NAME]
 
-Prints one line per metric that changed, with absolute and relative delta,
-plus metrics/benches present on only one side. Exit status: 0 when no metric
-moved by more than --threshold percent (default 0, i.e. any change fails),
-1 otherwise, 2 on usage/schema errors. Wall-clock numbers are never in these
-files (the harness refuses to register them), so any delta is a real change
-in simulated behaviour.
+Prints one line per simulated metric that changed, with absolute and
+relative delta, plus metrics/benches present on only one side. Simulated
+metrics (metric tables, counters, cycles, refs) are deterministic, so any
+delta is a real change in simulated behaviour and the default threshold is
+0. Host metrics (the "host" subtree of mx-bench-v2: wall_ms,
+host_ns_per_ref, peak_rss_kb) are nondeterministic by nature and are judged
+against the --host-band tolerance instead: only a regression (an increase)
+beyond the band fails, and it fails with its own exit code so CI can
+distinguish "the simulation changed" from "the simulator got slower".
 
 A bench present on only one side (just added, or retired) is reported as
 NEW-BENCH / REMOVED-BENCH and does not fail the diff: adding a bench must
-not invalidate the baseline for everything else. A metric missing from a
-bench both files share still fails — that is a bench silently dropping
-coverage.
+not invalidate the baseline for everything else. Its metrics are listed
+informationally as NEW-METRIC / REMOVED-METRIC lines. A metric missing from
+a bench both files share still fails (ONLY-IN-*) — that is a bench silently
+dropping coverage. Schema-derived fields (cycles, refs, refs_per_mcycle,
+shown in parentheses) are exempt from the presence check, so a v1 baseline
+diffs cleanly against a v2 current.
+
+--sweep scans DIR (default .) for BENCH_PR<N>.json files — the repo's
+naming convention: one committed file per PR, numbered by PR — orders them
+numerically, and prints the trajectory of cycles, refs and host wall time
+per bench across PRs.
 """
 
 import argparse
 import json
+import os
+import re
 import sys
+
+EPILOG = """\
+exit codes:
+  0  no differences beyond thresholds
+  1  a simulated (deterministic) metric changed beyond --threshold, or a
+     shared bench dropped/added a metric
+  2  usage or schema error (unreadable file, wrong schema, malformed record)
+  3  simulated side clean, but a host metric regressed beyond --host-band
+"""
+
+SCHEMAS = ("multics-bench-v1", "mx-bench-v2")
+
+# Host metrics gated under --host-band; only increases fail.
+HOST_GATED = ("wall_ms", "host_ns_per_ref", "peak_rss_kb")
 
 
 def fail(message):
@@ -42,14 +71,19 @@ def load(path):
         fail(f"{path}: not valid JSON ({e}); was the harness interrupted?")
     if not isinstance(doc, dict):
         fail(f"{path}: top level is {type(doc).__name__}, expected an object")
-    if doc.get("schema") != "multics-bench-v1":
+    if doc.get("schema") not in SCHEMAS:
         fail(f"{path}: unexpected schema {doc.get('schema')!r} "
-             "(expected 'multics-bench-v1')")
+             f"(expected one of {SCHEMAS})")
     return doc
 
 
 def flatten(doc, path):
-    """{(bench, metric): (value, unit)} including counters and cycle totals."""
+    """{(bench, metric): (value, unit)} for the deterministic sim side.
+
+    Schema-derived fields get parenthesised names — "(cycles)", "(refs)",
+    "(refs_per_mcycle)" — which marks them exempt from the metric-presence
+    failure (a v1 baseline simply doesn't have the v2 fields).
+    """
     out = {}
     benches = doc.get("benches", {})
     if not isinstance(benches, dict):
@@ -64,10 +98,12 @@ def flatten(doc, path):
             if not isinstance(m, dict) or not isinstance(m.get("value"), (int, float)):
                 fail(f"{path}: bench {bench!r}: metric {name!r} has no numeric 'value'")
             out[(bench, name)] = (m["value"], m.get("unit", ""))
-        if "cycles" in body:
-            if not isinstance(body["cycles"], (int, float)):
-                fail(f"{path}: bench {bench!r}: 'cycles' is not numeric")
-            out[(bench, "(cycles)")] = (body["cycles"], "cycles")
+        for derived, unit in (("cycles", "cycles"), ("refs", "refs"),
+                              ("refs_per_mcycle", "refs/Mcycle")):
+            if derived in body:
+                if not isinstance(body[derived], (int, float)):
+                    fail(f"{path}: bench {bench!r}: {derived!r} is not numeric")
+                out[(bench, f"({derived})")] = (body[derived], unit)
         counters = body.get("counters", {})
         if not isinstance(counters, dict):
             fail(f"{path}: bench {bench!r}: 'counters' is not an object")
@@ -78,14 +114,23 @@ def flatten(doc, path):
     return out
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=0.0,
-                        help="tolerated relative change in percent (default 0)")
-    args = parser.parse_args()
+def flatten_host(doc, path):
+    """{(bench, host_metric): value} for the nondeterministic host subtree."""
+    out = {}
+    for bench, body in doc.get("benches", {}).items():
+        host = body.get("host")
+        if host is None:
+            continue
+        if not isinstance(host, dict):
+            fail(f"{path}: bench {bench!r}: 'host' is not an object")
+        for name in HOST_GATED:
+            value = host.get(name)
+            if isinstance(value, (int, float)):
+                out[(bench, name)] = value
+    return out
 
+
+def diff(args):
     a_doc, b_doc = load(args.baseline), load(args.current)
     if a_doc.get("mode") != b_doc.get("mode"):
         print(f"note: comparing mode={a_doc.get('mode')} against mode={b_doc.get('mode')}; "
@@ -96,8 +141,12 @@ def main():
     b_benches = set(b_doc.get("benches", {}))
     for bench in sorted(b_benches - a_benches):
         print(f"NEW-BENCH        {bench} (no baseline entry; not a failure)")
+        for (bn, metric) in sorted(k for k in b if k[0] == bench):
+            print(f"  NEW-METRIC     {bn}:{metric} = {b[(bn, metric)][0]}")
     for bench in sorted(a_benches - b_benches):
         print(f"REMOVED-BENCH    {bench} (dropped from current; not a failure)")
+        for (bn, metric) in sorted(k for k in a if k[0] == bench):
+            print(f"  REMOVED-METRIC {bn}:{metric} = {a[(bn, metric)][0]}")
 
     failures = 0
     for key in sorted(set(a) | set(b)):
@@ -105,11 +154,15 @@ def main():
         if bench not in a_benches or bench not in b_benches:
             continue  # Whole bench one-sided: already reported above.
         if key not in a:
-            print(f"ONLY-IN-CURRENT  {bench}:{metric} = {b[key][0]}")
-            failures += 1
+            # Derived fields appear when the schema does; only hand-registered
+            # metrics/counters signal a real coverage change.
+            if not metric.startswith("("):
+                print(f"ONLY-IN-CURRENT  {bench}:{metric} = {b[key][0]}")
+                failures += 1
         elif key not in b:
-            print(f"ONLY-IN-BASELINE {bench}:{metric} = {a[key][0]}")
-            failures += 1
+            if not metric.startswith("("):
+                print(f"ONLY-IN-BASELINE {bench}:{metric} = {a[key][0]}")
+                failures += 1
         else:
             va, vb = a[key][0], b[key][0]
             if va == vb:
@@ -122,12 +175,97 @@ def main():
             print(f"{marker}{bench}:{metric}  {va} -> {vb} {unit} "
                   f"({vb - va:+g}, {rel:.2f}%)")
 
+    # Host side: tolerance band, regressions (increases) only. Improvements
+    # and missing entries (v1 baseline, profiler off) never fail.
+    host_failures = 0
+    ha, hb = flatten_host(a_doc, args.baseline), flatten_host(b_doc, args.current)
+    for key in sorted(set(ha) & set(hb)):
+        bench, metric = key
+        va, vb = ha[key], hb[key]
+        if va == vb:
+            continue
+        rel = (vb - va) / abs(va) * 100 if va else float("inf")
+        regressed = rel > args.host_band
+        marker = "!h" if regressed else " h"
+        if regressed:
+            host_failures += 1
+        print(f"{marker} {bench}:host/{metric}  {va:g} -> {vb:g} "
+              f"({rel:+.1f}%, band ±{args.host_band:g}%)")
+
     if failures:
-        print(f"bench_diff: {failures} metric(s) changed beyond {args.threshold}%")
+        print(f"bench_diff: {failures} simulated metric(s) changed beyond "
+              f"{args.threshold}%")
         return 1
-    print("bench_diff: no differences beyond threshold")
+    if host_failures:
+        print(f"bench_diff: sim side clean, but {host_failures} host metric(s) "
+              f"regressed beyond {args.host_band}%")
+        return 3
+    print("bench_diff: no differences beyond thresholds")
     return 0
 
 
+def sweep(args):
+    directory = args.baseline or "."
+    if not os.path.isdir(directory):
+        fail(f"--sweep: {directory} is not a directory")
+    found = []
+    for name in os.listdir(directory):
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", name)
+        if m:
+            found.append((int(m.group(1)), os.path.join(directory, name)))
+    if not found:
+        fail(f"--sweep: no BENCH_PR<N>.json files in {directory}")
+    found.sort()
+    print(f"sweep: {len(found)} snapshot(s): " +
+          ", ".join(f"PR{n}" for n, _ in found))
+    docs = [(n, load(path)) for n, path in found]
+    benches = sorted({b for _, doc in docs for b in doc.get("benches", {})})
+    for bench in benches:
+        rows = []
+        for n, doc in docs:
+            body = doc.get("benches", {}).get(bench)
+            if body is None:
+                continue
+            cycles = body.get("cycles", "-")
+            refs = body.get("refs", "-")
+            wall = body.get("host", {}).get("wall_ms", "-")
+            if isinstance(wall, float):
+                wall = f"{wall:.1f}"
+            rows.append(f"  PR{n}: cycles={cycles} refs={refs} wall_ms={wall}")
+        if rows:
+            print(f"{bench}:")
+            print("\n".join(rows))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline JSON (or the directory for --sweep)")
+    parser.add_argument("current", nargs="?",
+                        help="current JSON (unused with --sweep)")
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="tolerated relative change of a simulated metric "
+                             "in percent (default 0: any change fails)")
+    parser.add_argument("--host-band", type=float, default=50.0,
+                        help="tolerated host-metric regression in percent "
+                             "(default 50; only increases count)")
+    parser.add_argument("--sweep", action="store_true",
+                        help="scan for BENCH_PR<N>.json files and print the "
+                             "per-bench trajectory instead of diffing")
+    args = parser.parse_args()
+
+    if args.sweep:
+        return sweep(args)
+    if not args.baseline or not args.current:
+        parser.error("baseline and current are required unless --sweep")
+    return diff(args)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `--sweep | head`
+        os._exit(0)

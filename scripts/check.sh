@@ -27,6 +27,15 @@
 #                                # determinism) under ASan+UBSan, then the
 #                                # tier-1 ctest list with the MLF scheduler
 #                                # (the default) in the plain build.
+#   scripts/check.sh --perf      # host-performance observatory suite: the
+#                                # perf-labeled ctests (mx_top --once), the
+#                                # smoke bench harness with the host profiler
+#                                # on, bench_diff gating against the committed
+#                                # bench/smoke_baseline.json (sim metrics at
+#                                # 0% tolerance, host metrics at a wide band —
+#                                # exit 3 = "the simulator got slower"), and
+#                                # the non-perturbation stdout check (profiler
+#                                # on/off must be byte-identical on stdout).
 #
 # The plain ctest list already includes the lint-labeled tests, so the
 # default run certifies the tree too; --lint is the quick loop.
@@ -88,6 +97,33 @@ if [[ "${1:-}" == "--sessions" ]]; then
   cmake --build build -j
   (cd build && ctest --output-on-failure -j "$(nproc)")
   echo "== ok (sessions suite) =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--perf" ]]; then
+  echo "== host-performance observatory suite (build/) =="
+  cmake -B build -S .
+  cmake --build build -j --target bench_harness bench_cost_of_security mx_top hostprof_test
+  echo "== perf-labeled ctests (mx_top --once) + hostprof_test =="
+  (cd build && ctest --output-on-failure -L perf)
+  (cd build && ctest --output-on-failure -R hostprof_test)
+  echo "== smoke harness, host profiler on, pinned to 1 CPU =="
+  # Pinned CPU count: the sim metrics in the baseline are only reproducible
+  # per (seed, cpus). Host metrics vary with the machine; the wide band
+  # below only catches order-of-magnitude slowdowns, not noise.
+  MULTICS_CPUS=1 MX_HOST_PROFILE=1 \
+    ./build/bench/bench_harness --smoke --json=build/BENCH_SMOKE.json
+  echo "== bench_diff: sim metrics exact, host metrics within ±75% =="
+  ./scripts/bench_diff.py bench/smoke_baseline.json build/BENCH_SMOKE.json --host-band 75
+  echo "== non-perturbation: profiler on/off stdout must be byte-identical =="
+  # Same --json path both times: stdout must match to the byte (the host
+  # profile report goes to stderr, which is discarded here).
+  MULTICS_CPUS=1 MX_HOST_PROFILE=0 ./build/bench/bench_cost_of_security --smoke \
+    --json=build/COST_PROFILE.json > build/cost_off.stdout
+  MULTICS_CPUS=1 MX_HOST_PROFILE=1 ./build/bench/bench_cost_of_security --smoke \
+    --json=build/COST_PROFILE.json 2>/dev/null > build/cost_on.stdout
+  cmp build/cost_off.stdout build/cost_on.stdout
+  echo "== ok (perf suite) =="
   exit 0
 fi
 

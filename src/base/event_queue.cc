@@ -1,8 +1,13 @@
 #include "src/base/event_queue.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/base/log.h"
+// Host-side observatory only (std-only header, layering carve-out): the event
+// queue is the first subsystem ROADMAP item 3 names as hot, so its heap
+// operations carry host spans. The spans never touch the sim clock.
+#include "src/meter/host_profile.h"
 
 namespace multics {
 
@@ -11,6 +16,7 @@ uint64_t EventQueue::ScheduleAfter(Cycles delay, std::function<void()> fn) {
 }
 
 uint64_t EventQueue::ScheduleAt(Cycles when, std::function<void()> fn) {
+  MX_HOST_SPAN(kEventQueue);
   CHECK_GE(when, clock_->now());
   uint64_t id = next_id_++;
   heap_.push(Event{when, next_seq_++, id, std::move(fn)});
@@ -37,20 +43,31 @@ bool EventQueue::IsCancelled(uint64_t id) const {
 }
 
 bool EventQueue::RunOne() {
-  while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    if (IsCancelled(ev.id)) {
-      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.id),
-                       cancelled_.end());
-      continue;
+  // The host span covers the queue mechanics (pop, cancellation filtering,
+  // clock advance) but NOT the event body: ev.fn() is arbitrary kernel work
+  // that attributes to its own subsystems.
+  std::function<void()> fn;
+  {
+    MX_HOST_SPAN(kEventQueue);
+    for (;;) {
+      if (heap_.empty()) {
+        return false;
+      }
+      Event ev = heap_.top();
+      heap_.pop();
+      if (IsCancelled(ev.id)) {
+        cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.id),
+                         cancelled_.end());
+        continue;
+      }
+      --live_count_;
+      clock_->AdvanceTo(ev.when);
+      fn = std::move(ev.fn);
+      break;
     }
-    --live_count_;
-    clock_->AdvanceTo(ev.when);
-    ev.fn();
-    return true;
   }
-  return false;
+  fn();
+  return true;
 }
 
 uint64_t EventQueue::RunUntilIdle(uint64_t limit) {

@@ -34,6 +34,7 @@
 #include "src/link/linker.h"
 #include "src/mem/page_control_parallel.h"
 #include "src/mem/page_control_sequential.h"
+#include "src/meter/host_profile.h"
 #include "src/net/device_io.h"
 #include "src/net/network.h"
 #include "src/proc/traffic_controller.h"
@@ -391,6 +392,11 @@ class GateSpan {
   Status status() const { return status_; }
 
  private:
+  // First member: the host span opens before the gate prologue runs and
+  // closes after everything else, so kGateCall covers the whole gate —
+  // nested instrumented subsystems (page walks, locks, meter) subtract out
+  // of its self time. Host-clock only; never touches simulated state.
+  HostSpan host_span_{HostSubsystem::kGateCall};
   Kernel* kernel_;
   const char* name_;
   Status status_;

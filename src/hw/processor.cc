@@ -1,5 +1,7 @@
 #include "src/hw/processor.h"
 
+#include "src/meter/host_profile.h"
+
 namespace multics {
 namespace {
 
@@ -34,6 +36,10 @@ Status Processor::CheckPermissionBits(const SegmentDescriptor& sdw, AccessMode m
 }
 
 Result<FrameIndex> Processor::Resolve(SegNo segno, WordOffset offset, AccessMode mode) {
+  // The descriptor walk runs once per simulated memory reference — the single
+  // hottest path in the whole simulator (ROADMAP item 3). Fault handling
+  // nested below attributes to its own subsystems and subtracts from self.
+  MX_HOST_SPAN(kPageTableWalk);
   if (dseg_ == nullptr) {
     return Status::kFailedPrecondition;
   }

@@ -4,6 +4,7 @@
 
 #include "src/base/log.h"
 #include "src/hw/machine.h"
+#include "src/meter/host_profile.h"
 
 namespace multics {
 
@@ -113,6 +114,9 @@ void SimLock::Release() {
 }
 
 void SimLock::PlaceHold(Cycles start, Cycles len) {
+  // Busy-interval first-fit placement is a named hot path of the simulator
+  // itself (ROADMAP item 3); meter its host cost.
+  MX_HOST_SPAN(kLockPlacement);
   // Prune intervals no hold can collide with anymore. A future hold starts
   // at its acquirer's then-local clock, which is at least every CPU's
   // current local clock; the hold being placed right now starts at `start`,

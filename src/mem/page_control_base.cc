@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/log.h"
+#include "src/meter/host_profile.h"
 
 namespace multics {
 
@@ -52,6 +53,7 @@ bool PageControlBase::PopBulkResident(ActiveSegment** seg, PageNo* page) {
 }
 
 Status PageControlBase::FetchIntoFrameSync(ActiveSegment* seg, PageNo page, FrameIndex frame) {
+  MX_HOST_SPAN(kPageIo);
   PageLoc& loc = seg->location[page];
   switch (loc.level) {
     case PageLevel::kZero: {
@@ -97,6 +99,7 @@ Status PageControlBase::FetchIntoFrameSync(ActiveSegment* seg, PageNo page, Fram
 }
 
 Status PageControlBase::EvictCorePageSync(FrameIndex frame, bool* cascaded) {
+  MX_HOST_SPAN(kPageIo);
   const FrameInfo& fi = core_map_->info(frame);
   CHECK(!fi.free && fi.owner != nullptr);
   ActiveSegment* seg = fi.owner;

@@ -1,6 +1,7 @@
 #include "src/mem/page_control_parallel.h"
 
 #include "src/base/log.h"
+#include "src/meter/host_profile.h"
 
 namespace multics {
 
@@ -23,6 +24,7 @@ Status ParallelPageControl::WaitFor(const bool& done) {
 }
 
 Status ParallelPageControl::EnsureResident(ActiveSegment* seg, PageNo page, AccessMode mode) {
+  MX_HOST_SPAN(kPageIo);
   (void)mode;
   if (page >= seg->pages) {
     return Status::kOutOfRange;

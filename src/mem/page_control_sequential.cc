@@ -1,8 +1,11 @@
 #include "src/mem/page_control_sequential.h"
 
+#include "src/meter/host_profile.h"
+
 namespace multics {
 
 Status SequentialPageControl::EnsureResident(ActiveSegment* seg, PageNo page, AccessMode mode) {
+  MX_HOST_SPAN(kPageIo);
   (void)mode;
   if (page >= seg->pages) {
     return Status::kOutOfRange;

@@ -1,0 +1,117 @@
+#include "src/meter/host_profile.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/resource.h>
+
+namespace multics {
+
+const char* HostSubsystemName(HostSubsystem subsystem) {
+  switch (subsystem) {
+    case HostSubsystem::kEventQueue:
+      return "event_queue";
+    case HostSubsystem::kLockPlacement:
+      return "lock_placement";
+    case HostSubsystem::kMeterRecord:
+      return "meter_record";
+    case HostSubsystem::kPageTableWalk:
+      return "page_table_walk";
+    case HostSubsystem::kScheduler:
+      return "scheduler";
+    case HostSubsystem::kGateCall:
+      return "gate_call";
+    case HostSubsystem::kPageIo:
+      return "page_io";
+  }
+  return "?";
+}
+
+uint64_t HostProfileSnapshot::TotalSelfNs() const {
+  uint64_t total = 0;
+  for (const HostSubsystemStats& s : subsystems) {
+    total += s.self_ns;
+  }
+  return total;
+}
+
+HostProfileSnapshot HostProfileSnapshot::Delta(const HostProfileSnapshot& a,
+                                               const HostProfileSnapshot& b) {
+  HostProfileSnapshot d;
+  d.enabled = b.enabled;
+  d.window_ns = b.window_ns >= a.window_ns ? b.window_ns - a.window_ns : 0;
+  for (size_t i = 0; i < kHostSubsystemCount; ++i) {
+    d.subsystems[i].spans = b.subsystems[i].spans - a.subsystems[i].spans;
+    d.subsystems[i].total_ns = b.subsystems[i].total_ns - a.subsystems[i].total_ns;
+    d.subsystems[i].self_ns = b.subsystems[i].self_ns - a.subsystems[i].self_ns;
+  }
+  return d;
+}
+
+void HostProfiler::SetEnabled(bool on) {
+  Reset();
+  enabled_ = on;
+}
+
+bool HostProfiler::EnabledByEnv() {
+  const char* env = std::getenv("MX_HOST_PROFILE");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+void HostProfiler::Reset() {
+  stats_ = {};
+  depth_ = 0;
+  child_ns_ = {};
+  window_start_ns_ = NowNs();
+}
+
+HostProfileSnapshot HostProfiler::Snapshot() {
+  HostProfileSnapshot snapshot;
+  snapshot.subsystems = stats_;
+  snapshot.window_ns = NowNs() - window_start_ns_;
+  snapshot.enabled = enabled_;
+  return snapshot;
+}
+
+uint64_t HostProfiler::PeakRssKb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(usage.ru_maxrss);  // Linux: kilobytes.
+}
+
+std::string HostProfiler::Render(const HostProfileSnapshot& snapshot) {
+  std::string out;
+  char line[160];
+  const double window_ms = static_cast<double>(snapshot.window_ns) / 1e6;
+  const uint64_t self_total = snapshot.TotalSelfNs();
+  std::snprintf(line, sizeof(line),
+                "host profile: window %.1f ms, instrumented self %.1f ms (%.1f%%)%s\n",
+                window_ms, static_cast<double>(self_total) / 1e6,
+                snapshot.window_ns > 0
+                    ? 100.0 * static_cast<double>(self_total) /
+                          static_cast<double>(snapshot.window_ns)
+                    : 0.0,
+                snapshot.enabled ? "" : " [profiler disabled]");
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-16s %12s %12s %12s %7s\n", "subsystem", "spans",
+                "total ms", "self ms", "self%");
+  out += line;
+  for (size_t i = 0; i < kHostSubsystemCount; ++i) {
+    const HostSubsystemStats& s = snapshot.subsystems[i];
+    std::snprintf(line, sizeof(line), "  %-16s %12llu %12.3f %12.3f %6.1f%%\n",
+                  HostSubsystemName(static_cast<HostSubsystem>(i)),
+                  static_cast<unsigned long long>(s.spans),
+                  static_cast<double>(s.total_ns) / 1e6,
+                  static_cast<double>(s.self_ns) / 1e6,
+                  snapshot.window_ns > 0 ? 100.0 * static_cast<double>(s.self_ns) /
+                                               static_cast<double>(snapshot.window_ns)
+                                         : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace multics

@@ -1,0 +1,181 @@
+// The host-side performance observatory: where does *host* time go while the
+// deterministic simulation runs?
+//
+// The meter (src/meter/meter.h) answers "where do the simulated cycles go";
+// this profiler answers the orthogonal question ROADMAP item 3 makes binding —
+// host nanoseconds per unit of simulated work — by attributing wall time to
+// the simulator's own hot subsystems: the event queue, SimLock busy-interval
+// placement, meter recording, page-table walks, scheduler run queues, gate
+// bodies, and page I/O.
+//
+// Layering: this header is deliberately std-only (no src/ includes) and every
+// hot-path operation is inline over `inline static` storage, so any layer —
+// including src/base, which may include nothing else from the tree — can
+// carry MX_HOST_SPAN instrumentation without a link dependency. mx_lint
+// grants this one header a layering carve-out; in exchange its `host-span`
+// rule bans MX_HOST_SPAN from src/fs and src/mls, the reference-monitor
+// decision paths, where a host-clock read would be a covert signal into
+// policy code.
+//
+// The non-perturbation invariant (tests/hostprof_test.cc): enabling the
+// profiler MUST NOT change simulated state. The profiler reads the host
+// steady clock and writes its own counters; it never touches the sim clock,
+// the meter, charges, locks, or any kernel object. Dispatch traces, cycle
+// totals, and bench output are byte-identical with profiling on and off.
+//
+// The simulation is single-threaded by construction (CPUs are interleaved on
+// one sim clock), so the accumulators are plain integers, not atomics. When
+// the profiler is disabled — the default — a span is one predicted branch.
+
+#ifndef SRC_METER_HOST_PROFILE_H_
+#define SRC_METER_HOST_PROFILE_H_
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace multics {
+
+// The simulator subsystems host time is attributed to. Order is render order
+// in reports and mx_top.
+enum class HostSubsystem : uint8_t {
+  kEventQueue,     // src/base/event_queue.cc: heap insert + dispatch.
+  kLockPlacement,  // src/hw/sim_lock.cc: busy-interval first-fit placement.
+  kMeterRecord,    // src/meter/meter.cc: counters, samples, events, spans.
+  kPageTableWalk,  // src/hw/processor.cc: Resolve (SDW + PTE checks, faults).
+  kScheduler,      // src/proc/traffic_controller.cc: run-queue operations.
+  kGateCall,       // src/core/kernel.cc: gate prologue + body (self = body
+                   // minus the nested instrumented subsystems).
+  kPageIo,         // src/mem/page_control_*.cc: fetch/evict page moves.
+};
+inline constexpr size_t kHostSubsystemCount = static_cast<size_t>(HostSubsystem::kPageIo) + 1;
+
+const char* HostSubsystemName(HostSubsystem subsystem);
+
+struct HostSubsystemStats {
+  uint64_t spans = 0;     // Closed spans.
+  uint64_t total_ns = 0;  // Wall ns inside the span, children included.
+  uint64_t self_ns = 0;   // total_ns minus nested *instrumented* spans.
+};
+
+struct HostProfileSnapshot {
+  std::array<HostSubsystemStats, kHostSubsystemCount> subsystems{};
+  uint64_t window_ns = 0;  // Wall ns since the profiler was enabled/reset.
+  bool enabled = false;
+
+  const HostSubsystemStats& of(HostSubsystem s) const {
+    return subsystems[static_cast<size_t>(s)];
+  }
+  uint64_t TotalSelfNs() const;
+  // `b - a`, subsystem-wise (for per-bench windows). window_ns also subtracts.
+  static HostProfileSnapshot Delta(const HostProfileSnapshot& a, const HostProfileSnapshot& b);
+};
+
+// Static-only registry. All state is inline static so the span fast path
+// compiles to loads/stores with no function call when instrumented code sits
+// in a library that does not link mx_meter.
+class HostProfiler {
+ public:
+  // Spans deeper than this stop accumulating self-time corrections (they
+  // still count in their parent's total). 64 exceeds any real nesting: gate >
+  // scheduler > page walk > page io > lock > meter is depth 6.
+  static constexpr size_t kMaxDepth = 64;
+
+  static bool enabled() { return enabled_; }
+  // Enabling resets the accumulated profile and opens a new window. Safe to
+  // call at any span depth only at depth 0 (callers enable around whole runs).
+  static void SetEnabled(bool on);
+  // True when the MX_HOST_PROFILE environment variable is set to anything but
+  // "" or "0". The bench harness and mx_top consult this at startup.
+  static bool EnabledByEnv();
+
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now().time_since_epoch())
+                                     .count());
+  }
+
+  // Resets accumulators and restarts the window (keeps the enabled flag).
+  static void Reset();
+  static HostProfileSnapshot Snapshot();
+
+  // Peak resident set of this process in kB (ru_maxrss), 0 if unavailable.
+  // Monotone over the process lifetime — per-bench deltas are meaningless,
+  // so the harness reports the absolute peak.
+  static uint64_t PeakRssKb();
+
+  // Human-readable table of `snapshot` (used by reports and mx_top --once).
+  static std::string Render(const HostProfileSnapshot& snapshot);
+
+ private:
+  friend class HostSpan;
+
+  static inline bool enabled_ = false;
+  static inline uint64_t window_start_ns_ = 0;
+  static inline std::array<HostSubsystemStats, kHostSubsystemCount> stats_{};
+  // Open-span stack: per-depth accumulator of instrumented child time, so a
+  // closing span can compute self = elapsed - children.
+  static inline size_t depth_ = 0;
+  static inline std::array<uint64_t, kMaxDepth> child_ns_{};
+};
+
+// RAII scoped timer. Construction on a disabled profiler is a single branch;
+// the object then does nothing on destruction either.
+class HostSpan {
+ public:
+  explicit HostSpan(HostSubsystem subsystem) {
+    if (!HostProfiler::enabled_) {
+      return;
+    }
+    subsystem_ = static_cast<uint8_t>(subsystem);
+    depth_ = HostProfiler::depth_;
+    if (depth_ < HostProfiler::kMaxDepth) {
+      HostProfiler::child_ns_[depth_] = 0;
+      ++HostProfiler::depth_;
+    }
+    start_ns_ = HostProfiler::NowNs();
+  }
+
+  ~HostSpan() {
+    if (start_ns_ == 0) {
+      return;
+    }
+    const uint64_t elapsed = HostProfiler::NowNs() - start_ns_;
+    HostSubsystemStats& s = HostProfiler::stats_[subsystem_];
+    ++s.spans;
+    s.total_ns += elapsed;
+    if (depth_ < HostProfiler::kMaxDepth) {
+      --HostProfiler::depth_;
+      const uint64_t children = HostProfiler::child_ns_[depth_];
+      s.self_ns += elapsed > children ? elapsed - children : 0;
+      if (depth_ > 0) {
+        HostProfiler::child_ns_[depth_ - 1] += elapsed;
+      }
+    } else {
+      s.self_ns += elapsed;  // Beyond the stack: approximate self as total.
+    }
+  }
+
+  HostSpan(const HostSpan&) = delete;
+  HostSpan& operator=(const HostSpan&) = delete;
+
+ private:
+  uint64_t start_ns_ = 0;  // 0 = profiler was disabled at construction.
+  size_t depth_ = 0;
+  uint8_t subsystem_ = 0;
+};
+
+// Drops a scoped timer into the enclosing scope. `subsystem` is the bare
+// HostSubsystem enumerator name (kEventQueue, kScheduler, ...). Never place
+// one in src/fs or src/mls — mx_lint's host-span rule rejects it there.
+#define MX_HOST_SPAN_CAT2(a, b) a##b
+#define MX_HOST_SPAN_CAT(a, b) MX_HOST_SPAN_CAT2(a, b)
+#define MX_HOST_SPAN(subsystem)                     \
+  ::multics::HostSpan MX_HOST_SPAN_CAT(mx_host_span_, __LINE__)( \
+      ::multics::HostSubsystem::subsystem)
+
+}  // namespace multics
+
+#endif  // SRC_METER_HOST_PROFILE_H_

@@ -1,6 +1,7 @@
 #include "src/meter/meter.h"
 
 #include "src/base/log.h"
+#include "src/meter/host_profile.h"
 
 namespace multics {
 
@@ -8,6 +9,7 @@ Meter::Meter(const SimClock* clock, size_t recorder_capacity)
     : clock_(clock), recorder_(recorder_capacity) {}
 
 void Meter::Count(std::string_view name, uint64_t delta) {
+  MX_HOST_SPAN(kMeterRecord);
   if (!enabled_) {
     return;
   }
@@ -20,6 +22,7 @@ void Meter::Count(std::string_view name, uint64_t delta) {
 }
 
 void Meter::AddSample(std::string_view name, double sample) {
+  MX_HOST_SPAN(kMeterRecord);
   if (!enabled_) {
     return;
   }
@@ -44,6 +47,7 @@ void Meter::CheckName(const char* name) {
 }
 
 void Meter::Emit(TraceEventKind kind, const char* name, uint64_t arg) {
+  MX_HOST_SPAN(kMeterRecord);
   if (!enabled_) {
     return;
   }
@@ -56,6 +60,7 @@ void Meter::Emit(TraceEventKind kind, const char* name, uint64_t arg) {
 }
 
 TraceContext* Meter::OpenSpan(const char* name, TraceEventKind kind, uint64_t arg) {
+  MX_HOST_SPAN(kMeterRecord);
   if (!enabled_) {
     return nullptr;
   }
@@ -72,6 +77,7 @@ TraceContext* Meter::OpenSpan(const char* name, TraceEventKind kind, uint64_t ar
 }
 
 Cycles Meter::CloseSpan(TraceContext* ctx, TraceEventKind kind) {
+  MX_HOST_SPAN(kMeterRecord);
   if (ctx == nullptr) {
     return 0;  // Opened while the meter was disabled.
   }

@@ -2,6 +2,7 @@
 #include "src/proc/traffic_controller.h"
 
 #include "src/base/log.h"
+#include "src/meter/host_profile.h"
 
 namespace multics {
 
@@ -96,6 +97,7 @@ size_t TrafficController::CpuQueued(uint32_t cpu) const {
 }
 
 void TrafficController::Enqueue(Process* process) {
+  MX_HOST_SPAN(kScheduler);
   // The double-insert guard: a blocked->ready transition (or any requeue)
   // must never insert a process that is already sitting in a run queue.
   CHECK(!process->in_run_queue()) << "double-insert of process " << process->pid();
@@ -111,6 +113,7 @@ void TrafficController::Enqueue(Process* process) {
 }
 
 void TrafficController::RemoveFromQueues(Process* process) {
+  MX_HOST_SPAN(kScheduler);
   if (policy_ == SchedulerPolicy::kFifo) {
     for (auto it = ready_queue_.begin(); it != ready_queue_.end(); ++it) {
       if (*it == process) {
@@ -349,6 +352,10 @@ void TrafficController::SetLastOn(uint32_t cpu, Process* process) {
 }
 
 Process* TrafficController::PickNextFor(uint32_t cpu) {
+  // One span over the whole pick (dedicated poll, MLF class/level selection,
+  // work stealing): PickMlf/StealWork are not spanned separately so nested
+  // same-subsystem totals are not double-counted.
+  MX_HOST_SPAN(kScheduler);
   if (two_layer_) {
     // Dedicated virtual processors first: round-robin over ready ones. Any
     // CPU polls them, so a dedicated kernel process never loses its virtual
@@ -488,6 +495,7 @@ Process* TrafficController::PickMlf(uint32_t cpu) {
 }
 
 void TrafficController::RecordDispatch(uint32_t cpu, const Process* process) {
+  MX_HOST_SPAN(kScheduler);
   ++dispatch_seq_;
   if (trace_limit_ > 0 && dispatch_trace_.size() < trace_limit_) {
     dispatch_trace_.push_back(DispatchRecord{machine_->clock().now(), cpu, process->pid(),

@@ -197,6 +197,12 @@ class TrafficController {
   const std::vector<DispatchRecord>& dispatch_trace() const { return dispatch_trace_; }
 
   // Metrics.
+  // Ready processes queued at `cpu` across all work classes and feedback
+  // levels (kFifo keeps one shared queue, so per-CPU depths are zero there).
+  // mx_top renders these as the per-CPU run-queue depth column.
+  size_t CpuQueued(uint32_t cpu) const;
+  // Depth of the shared kFifo ready queue (unused by the MLF policy).
+  size_t SharedReadyQueued() const { return ready_queue_.size(); }
   Distribution& interrupt_latency() { return interrupt_latency_; }
   uint64_t context_switches() const { return context_switches_; }
   uint64_t idle_jumps() const { return idle_jumps_; }
@@ -237,7 +243,6 @@ class TrafficController {
   // The CPU a not-yet-placed process should queue on: its last CPU when
   // valid, else round-robin over the machine.
   uint32_t HomeCpu(Process* process);
-  size_t CpuQueued(uint32_t cpu) const;
   // Moves the deeper half of the most-loaded other CPU's queue to `cpu`.
   void StealWork(uint32_t cpu);
   // Removes a process from whatever MLF queue holds it (linear; rare).

@@ -160,6 +160,9 @@ Status SessionEngine::Run() {
       break;
     }
     ++slices;
+    if (tick_ && slices % tick_every_ == 0) {
+      tick_(slices);
+    }
   }
   stats_.slices = slices;
   stats_.makespan = last_finish_ > first_arrival_ ? last_finish_ - first_arrival_ : 0;

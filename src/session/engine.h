@@ -14,6 +14,7 @@
 #ifndef SRC_SESSION_ENGINE_H_
 #define SRC_SESSION_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +71,18 @@ class SessionEngine {
   uint32_t batch_class() const { return batch_class_; }
   AnsweringService& answering() { return *answering_; }
 
+  // Observer hook for live tooling (mx_top): `fn(slices)` is called from
+  // Run()'s dispatch loop every `every_n_slices` completed slices. The
+  // observer runs between slices, on the host only — it may read kernel
+  // state but must not mutate it, and the simulation is byte-identical
+  // whether or not an observer is installed.
+  void SetTickObserver(std::function<void(uint64_t)> fn, uint64_t every_n_slices) {
+    tick_ = std::move(fn);
+    tick_every_ = every_n_slices == 0 ? 1 : every_n_slices;
+  }
+
+  uint32_t outstanding() const { return outstanding_; }
+
  private:
   SessionEngine(Kernel* kernel, const SessionEngineConfig& config);
 
@@ -98,6 +111,8 @@ class SessionEngine {
   Cycles first_arrival_ = 0;
   Cycles last_finish_ = 0;
   SessionEngineStats stats_;
+  std::function<void(uint64_t)> tick_;  // See SetTickObserver.
+  uint64_t tick_every_ = 0;
 };
 
 }  // namespace session

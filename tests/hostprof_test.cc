@@ -1,0 +1,225 @@
+// Host profiler (src/meter/host_profile.h): span accounting semantics, and
+// the invariant the whole observability layer rests on — enabling the
+// profiler never perturbs simulated state.
+//
+// The profiler reads the host clock and writes its own counters, nothing
+// else, so a run with MX_HOST_PROFILE=1 must be *byte-identical* on the sim
+// side to the same run without it: same dispatch trace, same final clock,
+// same metering profile. The perturbation test proves it the blunt way, on
+// the full session-engine workload, at one and at four CPUs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/init/bootstrap.h"
+#include "src/meter/host_profile.h"
+#include "src/proc/traffic_controller.h"
+#include "src/session/engine.h"
+
+namespace multics {
+namespace {
+
+// Every test leaves the profiler the way it found it: disabled and clean.
+class HostProfileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { HostProfiler::SetEnabled(false); }
+};
+
+TEST_F(HostProfileTest, DisabledSpansRecordNothing) {
+  HostProfiler::SetEnabled(false);
+  {
+    MX_HOST_SPAN(kEventQueue);
+    MX_HOST_SPAN(kScheduler);
+  }
+  const HostProfileSnapshot snap = HostProfiler::Snapshot();
+  EXPECT_FALSE(snap.enabled);
+  for (const HostSubsystemStats& s : snap.subsystems) {
+    EXPECT_EQ(s.spans, 0u);
+    EXPECT_EQ(s.total_ns, 0u);
+  }
+}
+
+TEST_F(HostProfileTest, SpanCountsAndSelfTotalIdentity) {
+  HostProfiler::SetEnabled(true);
+  {
+    MX_HOST_SPAN(kGateCall);
+    {
+      MX_HOST_SPAN(kPageTableWalk);
+    }
+    {
+      MX_HOST_SPAN(kPageTableWalk);
+    }
+  }
+  const HostProfileSnapshot snap = HostProfiler::Snapshot();
+  const HostSubsystemStats& gate = snap.of(HostSubsystem::kGateCall);
+  const HostSubsystemStats& walk = snap.of(HostSubsystem::kPageTableWalk);
+  EXPECT_EQ(gate.spans, 1u);
+  EXPECT_EQ(walk.spans, 2u);
+  // Self time is elapsed minus instrumented children — with the two walks
+  // as the gate's only children the identity is exact, not approximate.
+  EXPECT_EQ(gate.self_ns, gate.total_ns - walk.total_ns);
+  EXPECT_GE(gate.total_ns, walk.total_ns);
+  EXPECT_EQ(walk.self_ns, walk.total_ns);  // Leaf spans: no children.
+}
+
+TEST_F(HostProfileTest, NestedSameSubsystemDoesNotDoubleCountSelf) {
+  HostProfiler::SetEnabled(true);
+  {
+    MX_HOST_SPAN(kScheduler);
+    {
+      MX_HOST_SPAN(kScheduler);
+    }
+  }
+  const HostProfileSnapshot snap = HostProfiler::Snapshot();
+  const HostSubsystemStats& sched = snap.of(HostSubsystem::kScheduler);
+  EXPECT_EQ(sched.spans, 2u);
+  // The inner span's elapsed is subtracted from the outer's self, so the
+  // subsystem's summed self never exceeds the outer elapsed (== total of
+  // the outer span alone is unavailable, but self <= total always holds).
+  EXPECT_LE(sched.self_ns, sched.total_ns);
+}
+
+TEST_F(HostProfileTest, EnableResetsAndSnapshotDeltaSubtracts) {
+  HostProfiler::SetEnabled(true);
+  {
+    MX_HOST_SPAN(kMeterRecord);
+  }
+  const HostProfileSnapshot first = HostProfiler::Snapshot();
+  ASSERT_EQ(first.of(HostSubsystem::kMeterRecord).spans, 1u);
+  {
+    MX_HOST_SPAN(kMeterRecord);
+  }
+  const HostProfileSnapshot second = HostProfiler::Snapshot();
+  const HostProfileSnapshot delta = HostProfileSnapshot::Delta(first, second);
+  EXPECT_EQ(delta.of(HostSubsystem::kMeterRecord).spans, 1u);
+
+  // Re-enabling starts a fresh window.
+  HostProfiler::SetEnabled(true);
+  EXPECT_EQ(HostProfiler::Snapshot().of(HostSubsystem::kMeterRecord).spans, 0u);
+}
+
+TEST_F(HostProfileTest, RenderNamesEverySubsystemItSaw) {
+  HostProfiler::SetEnabled(true);
+  {
+    MX_HOST_SPAN(kLockPlacement);
+    MX_HOST_SPAN(kPageIo);
+  }
+  const std::string table = HostProfiler::Render(HostProfiler::Snapshot());
+  EXPECT_NE(table.find("lock_placement"), std::string::npos);
+  EXPECT_NE(table.find("page_io"), std::string::npos);
+}
+
+TEST_F(HostProfileTest, PeakRssIsReported) {
+  EXPECT_GT(HostProfiler::PeakRssKb(), 0u);
+}
+
+// --- Non-perturbation --------------------------------------------------------
+
+uint64_t Fnv1a(const std::vector<DispatchRecord>& trace) {
+  uint64_t hash = 14695981039346656037ull;
+  auto mix = [&hash](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (v >> (byte * 8)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const DispatchRecord& r : trace) {
+    mix(r.at);
+    mix(r.cpu);
+    mix(r.pid);
+    mix(r.level);
+    mix(r.work_class);
+  }
+  return hash;
+}
+
+struct SimFingerprint {
+  uint64_t trace_hash = 0;
+  Cycles final_clock = 0;
+  uint64_t slices = 0;
+  uint32_t completed = 0;
+  Cycles meter_self_total = 0;  // The sim-side profile must not move either.
+};
+
+// The bench_sessions workload, shrunk: boots a kernel, runs the closed-loop
+// session engine, and fingerprints everything deterministic about the run.
+SimFingerprint RunSessionWorkload(uint32_t cpus, bool profile) {
+  HostProfiler::SetEnabled(profile);
+  KernelParams params;
+  params.machine.cpus = cpus;
+  params.machine.core_frames = 16384;
+  params.ast_capacity = 16384;
+  Kernel kernel(params);
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  EXPECT_TRUE(Bootstrap::Run(kernel, options).ok());
+
+  TrafficController& traffic = kernel.traffic();
+  traffic.EnableDispatchTrace(1u << 16);
+
+  session::SessionEngineConfig config;
+  config.sessions = 60;
+  config.seed = 20260809;
+  config.mean_interarrival = 4500;
+  auto engine = session::SessionEngine::Create(&kernel, config);
+  EXPECT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value()->Run(), Status::kOk);
+
+  SimFingerprint fp;
+  fp.trace_hash = Fnv1a(traffic.dispatch_trace());
+  fp.final_clock = kernel.machine().clock().now();
+  fp.slices = engine.value()->stats().slices;
+  fp.completed = engine.value()->stats().completed;
+  fp.meter_self_total = kernel.machine().meter().ProfileSelfTotal();
+  HostProfiler::SetEnabled(false);
+  return fp;
+}
+
+TEST_F(HostProfileTest, ProfilingDoesNotPerturbTheSimulationUniprocessor) {
+  const SimFingerprint off = RunSessionWorkload(/*cpus=*/1, /*profile=*/false);
+  const SimFingerprint on = RunSessionWorkload(/*cpus=*/1, /*profile=*/true);
+  EXPECT_EQ(off.trace_hash, on.trace_hash);
+  EXPECT_EQ(off.final_clock, on.final_clock);
+  EXPECT_EQ(off.slices, on.slices);
+  EXPECT_EQ(off.completed, on.completed);
+  EXPECT_EQ(off.meter_self_total, on.meter_self_total);
+  EXPECT_EQ(off.completed, 60u);
+}
+
+TEST_F(HostProfileTest, ProfilingDoesNotPerturbTheSimulationMultiprocessor) {
+  const SimFingerprint off = RunSessionWorkload(/*cpus=*/4, /*profile=*/false);
+  const SimFingerprint on = RunSessionWorkload(/*cpus=*/4, /*profile=*/true);
+  EXPECT_EQ(off.trace_hash, on.trace_hash);
+  EXPECT_EQ(off.final_clock, on.final_clock);
+  EXPECT_EQ(off.slices, on.slices);
+  EXPECT_EQ(off.meter_self_total, on.meter_self_total);
+}
+
+// The invariant is "no perturbation", not "no instrumentation": a profiled
+// run must actually populate every subsystem's counters.
+TEST_F(HostProfileTest, ProfiledRunPopulatesEverySubsystem) {
+  HostProfiler::SetEnabled(true);
+  KernelParams params;
+  params.machine.cpus = 2;
+  params.machine.core_frames = 16384;
+  params.ast_capacity = 16384;
+  Kernel kernel(params);
+  BootstrapOptions options;
+  options.users = DefaultUsers();
+  ASSERT_TRUE(Bootstrap::Run(kernel, options).ok());
+  session::SessionEngineConfig config;
+  config.sessions = 20;
+  config.mean_interarrival = 4500;
+  auto engine = session::SessionEngine::Create(&kernel, config);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_EQ(engine.value()->Run(), Status::kOk);
+  const HostProfileSnapshot snap = HostProfiler::Snapshot();
+  for (size_t i = 0; i < kHostSubsystemCount; ++i) {
+    EXPECT_GT(snap.subsystems[i].spans, 0u)
+        << HostSubsystemName(static_cast<HostSubsystem>(i)) << " never fired";
+  }
+}
+
+}  // namespace
+}  // namespace multics

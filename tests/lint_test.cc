@@ -103,6 +103,19 @@ TEST_F(LintTest, SessionIsConfinedToTheGateSurface) {
   EXPECT_EQ(report.findings[0].file, "src/session/bad.cc");
 }
 
+TEST_F(LintTest, HostProfileHeaderIsExemptFromTheDag) {
+  // The std-only profiler header may be included from any layer — even
+  // src/base, which otherwise includes nothing — but the rest of src/meter
+  // stays off limits from below.
+  WriteFile("src/base/event_queue.cc",
+            "#include \"src/meter/host_profile.h\"\n"
+            "#include \"src/meter/meter.h\"\n");
+  Report report;
+  CheckLayering(Root(), &report);
+  ASSERT_EQ(report.CountForRule("layering"), 1) << report.ToString();
+  EXPECT_EQ(report.findings[0].line, 2);
+}
+
 TEST_F(LintTest, DownwardIncludesAreClean) {
   WriteFile("src/core/kernel.cc",
             "#include \"src/core/kernel.h\"\n#include \"src/fs/branch.h\"\n"
@@ -314,6 +327,35 @@ TEST_F(LintTest, TreesWithoutLockTablesHaveNothingToCertify) {
   WriteFile("src/hw/cpu.h", "int x;\n");
   Report report;
   CheckLockOrder(Root(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+// --- Host spans in the reference monitor -------------------------------------
+
+TEST_F(LintTest, HostSpanInReferenceMonitorYieldsFindings) {
+  WriteFile("src/fs/acl.cc",
+            "#include \"src/meter/host_profile.h\"\n"
+            "bool Check() {\n"
+            "  MX_HOST_SPAN(kPageTableWalk);\n"
+            "  return true;\n}\n");
+  WriteFile("src/mls/label.cc", "HostSpan span(HostSubsystem::kGateCall);\n");
+  Report report;
+  CheckHostSpans(Root(), &report);
+  // acl.cc: the include plus the macro; label.cc: the raw RAII type.
+  ASSERT_EQ(report.CountForRule("host-span"), 3) << report.ToString();
+  EXPECT_EQ(report.findings[0].file, "src/fs/acl.cc");
+  EXPECT_EQ(report.findings[2].file, "src/mls/label.cc");
+}
+
+TEST_F(LintTest, HostSpansOutsideTheMonitorAndInCommentsAreClean) {
+  // Instrumentation in the paging layer is the intended use…
+  WriteFile("src/mem/page_control.cc",
+            "#include \"src/meter/host_profile.h\"\n"
+            "void F() { MX_HOST_SPAN(kPageIo); }\n");
+  // …and a comment in src/fs merely *mentioning* the macro is not a probe.
+  WriteFile("src/fs/branch.cc", "// Never add MX_HOST_SPAN here.\nint y;\n");
+  Report report;
+  CheckHostSpans(Root(), &report);
   EXPECT_TRUE(report.clean()) << report.ToString();
 }
 

@@ -223,6 +223,15 @@ void CheckLayering(const std::string& repo_root, Report* report) {
     for (auto it = std::sregex_iterator(text.begin(), text.end(), kInclude);
          it != std::sregex_iterator(); ++it) {
       const std::string target = (*it)[2].str();
+      // The one file-level exemption from the DAG: the host profiler header
+      // is std-only (no kernel types, no simulated state — host clock and
+      // its own counters only), so hot paths in every layer may carry
+      // MX_HOST_SPAN instrumentation without src/base growing a real edge
+      // to src/meter. The host-span rule compensates by banning the macro
+      // from the reference-monitor modules entirely.
+      if ((*it)[1].str() == "src/meter/host_profile.h") {
+        continue;
+      }
       if (!allowed_it->second.contains(target)) {
         Add(report, "layering", rel, LineOf(text, static_cast<size_t>(it->position())),
             "src/" + module + " must not include \"" + (*it)[1].str() +
@@ -564,6 +573,42 @@ void CheckLockOrder(const std::string& repo_root, Report* report) {
   }
 }
 
+// --- 6. Host spans in the reference monitor ---------------------------------
+
+void CheckHostSpans(const std::string& repo_root, Report* report) {
+  const fs::path root(repo_root);
+  // Host-side timing probes are banned inside the reference monitor proper:
+  // src/fs (access decisions) and src/mls (label comparisons). A wall-clock
+  // span around an access check is an observation point correlated with
+  // protected decisions that the certification argument never reviews — and
+  // the profiler's layering exemption (above) would otherwise make adding
+  // one frictionless. Paging, scheduling, and gate dispatch stay
+  // instrumentable; the policy code does not.
+  static const std::regex kSpanToken("\\b(MX_HOST_SPAN|HostSpan)\\b");
+  for (const char* module : {"fs", "mls"}) {
+    const fs::path dir = root / "src" / module;
+    if (!fs::is_directory(dir)) continue;
+    for (const fs::path& file : SourceFiles(dir)) {
+      const std::string rel = RelPath(root, file);
+      const std::string raw = ReadFile(file);
+      if (raw.find("src/meter/host_profile.h") != std::string::npos) {
+        Add(report, "host-span", rel, 0,
+            "src/" + std::string(module) +
+                " must not include the host profiler: host-time observation "
+                "inside the reference monitor is outside the review argument");
+      }
+      const std::string text = StripCommentsAndStrings(raw);
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), kSpanToken);
+           it != std::sregex_iterator(); ++it) {
+        Add(report, "host-span", rel, LineOf(text, static_cast<size_t>(it->position())),
+            (*it)[1].str() + " in src/" + module +
+                ": no host-side timing instrumentation in the reference monitor "
+                "(see the layering exemption for src/meter/host_profile.h)");
+      }
+    }
+  }
+}
+
 // --- Report -----------------------------------------------------------------
 
 int Report::CountForRule(const std::string& rule) const {
@@ -605,6 +650,7 @@ Report RunLint(const std::string& repo_root) {
   CheckDiscardedStatus(repo_root, &report);
   CheckMutableCounters(repo_root, &report);
   CheckLockOrder(repo_root, &report);
+  CheckHostSpans(repo_root, &report);
   return report;
 }
 

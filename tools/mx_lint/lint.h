@@ -27,6 +27,13 @@
 //                        kLockHierarchy in src/hw/sim_lock.h name-for-name
 //                        and level-for-level: the documented ordering DAG is
 //                        certified against the one the kernel enforces.
+//   6. host-span        — src/meter/host_profile.h is exempt from the
+//                        layering DAG (std-only, host clock only) so every
+//                        layer's hot paths can carry MX_HOST_SPAN; the
+//                        compensating rule bans the profiler entirely from
+//                        the reference-monitor modules (src/fs, src/mls),
+//                        where a host-time probe around an access decision
+//                        would sit outside the review argument.
 //
 // The library is standalone (std only) so the lint binary never links the
 // kernel it audits.
@@ -41,7 +48,7 @@ namespace multics::lint {
 
 struct Finding {
   std::string rule;     // "layering" | "gate-prologue" | "discarded-status" |
-                        // "mutable-counter" | "lock-order"
+                        // "mutable-counter" | "lock-order" | "host-span"
   std::string file;     // Repo-relative path.
   int line = 0;         // 1-based; 0 when the finding is not line-anchored.
   std::string message;
@@ -57,7 +64,7 @@ struct Report {
   std::string ToJson() const;
 };
 
-// Runs all five checks over `<repo_root>/src`. The root must contain a
+// Runs all six checks over `<repo_root>/src`. The root must contain a
 // src/ directory; a missing tree produces a single "layering" finding so a
 // misconfigured CI invocation cannot pass vacuously.
 Report RunLint(const std::string& repo_root);
@@ -68,6 +75,7 @@ void CheckGatePrologues(const std::string& repo_root, Report* report);
 void CheckDiscardedStatus(const std::string& repo_root, Report* report);
 void CheckMutableCounters(const std::string& repo_root, Report* report);
 void CheckLockOrder(const std::string& repo_root, Report* report);
+void CheckHostSpans(const std::string& repo_root, Report* report);
 
 // Strips // and /* */ comments and the contents of string/char literals
 // (replaced with spaces, preserving line structure). Exposed for tests.
