@@ -25,6 +25,12 @@ dropping coverage. Schema-derived fields (cycles, refs, refs_per_mcycle,
 shown in parentheses) are exempt from the presence check, so a v1 baseline
 diffs cleanly against a v2 current.
 
+The model checker's exploration stats (the "mc" subtree mx_mc --json emits:
+states, transitions, max_depth, alphabet, violations, fixed_point, fuzz_ops)
+are deterministic but describe the *certification* workload, not the
+simulated machine, so they are reported informationally as INFO-MC lines and
+never counted as failures or gated by --host-band.
+
 --sweep scans DIR (default .) for BENCH_PR<N>.json files — the repo's
 naming convention: one committed file per PR, numbered by PR — orders them
 numerically, and prints the trajectory of cycles, refs and host wall time
@@ -130,6 +136,19 @@ def flatten_host(doc, path):
     return out
 
 
+def flatten_mc(doc):
+    """{(bench, stat): value} for the informational model-checker subtree."""
+    out = {}
+    for bench, body in doc.get("benches", {}).items():
+        mc = body.get("mc")
+        if not isinstance(mc, dict):
+            continue
+        for name, value in mc.items():
+            if isinstance(value, (int, float, bool)):
+                out[(bench, name)] = value
+    return out
+
+
 def diff(args):
     a_doc, b_doc = load(args.baseline), load(args.current)
     if a_doc.get("mode") != b_doc.get("mode"):
@@ -191,6 +210,19 @@ def diff(args):
             host_failures += 1
         print(f"{marker} {bench}:host/{metric}  {va:g} -> {vb:g} "
               f"({rel:+.1f}%, band ±{args.host_band:g}%)")
+
+    # Model-checker exploration stats: informational only. A changed state
+    # count is worth a line in the log, but it is certification coverage, not
+    # simulated machine behaviour, so it never fails the diff.
+    ma, mb = flatten_mc(a_doc), flatten_mc(b_doc)
+    for key in sorted(set(ma) | set(mb)):
+        bench, stat = key
+        if bench not in a_benches or bench not in b_benches:
+            continue
+        va, vb = ma.get(key), mb.get(key)
+        if va != vb:
+            print(f"INFO-MC          {bench}:mc/{stat}  {va} -> {vb} "
+                  "(informational; never a failure)")
 
     if failures:
         print(f"bench_diff: {failures} simulated metric(s) changed beyond "

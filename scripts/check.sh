@@ -27,6 +27,14 @@
 #                                # determinism) under ASan+UBSan, then the
 #                                # tier-1 ctest list with the MLF scheduler
 #                                # (the default) in the plain build.
+#   scripts/check.sh --certify   # exhaustive certification suite: the
+#                                # certify-labeled ctests (mx_mc fixed-point
+#                                # run, fuzz replay, and the mutation
+#                                # kill-tests), a byte-identical determinism
+#                                # check (two mx_mc runs, stdout compared with
+#                                # cmp, JSONs compared with bench_diff), and
+#                                # the deep 3x3x3 configuration with the full
+#                                # op alphabet.
 #   scripts/check.sh --perf      # host-performance observatory suite: the
 #                                # perf-labeled ctests (mx_top --once), the
 #                                # smoke bench harness with the host profiler
@@ -97,6 +105,26 @@ if [[ "${1:-}" == "--sessions" ]]; then
   cmake --build build -j
   (cd build && ctest --output-on-failure -j "$(nproc)")
   echo "== ok (sessions suite) =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--certify" ]]; then
+  echo "== exhaustive certification suite (build/) =="
+  cmake -B build -S .
+  cmake --build build -j --target mx_mc mx_lint modelcheck_test lint_test
+  echo "== certify- and lint-labeled ctests =="
+  (cd build && ctest --output-on-failure -L 'certify|lint' -j "$(nproc)")
+  echo "== determinism: two mx_mc runs must match to the byte =="
+  # Deliberately run one of the two under a hostile environment: neither the
+  # CPU count nor the host profiler may perturb the exploration or stdout.
+  ./build/tools/mx_mc --json=build/MC_A.json > build/mc_a.stdout
+  MULTICS_CPUS=4 MX_HOST_PROFILE=1 \
+    ./build/tools/mx_mc --json=build/MC_B.json > build/mc_b.stdout
+  cmp build/mc_a.stdout build/mc_b.stdout
+  ./scripts/bench_diff.py build/MC_A.json build/MC_B.json --host-band 400
+  echo "== deep configuration: 3x3x3, full op alphabet =="
+  ./build/tools/mx_mc --deep --json=build/MC_DEEP.json
+  echo "== ok (certify suite) =="
   exit 0
 fi
 

@@ -170,12 +170,11 @@ void StaticCertifier::CheckAccessDerivation(AuditReport* report) {
           mls = true;
         }
       }
+      const AccessWitness witness{p->pid(),  p->principal().ToString(), segno, sdw.uid,
+                                  held,      derived,                   mls};
       report->findings.push_back(
           {mls ? AuditClaim::kMlsWidening : AuditClaim::kAccessDerivable,
-           PidSegno(*p, segno), sdw.uid, p->pid(), segno,
-           std::string("descriptor holds ") + SegmentModeString(held) +
-               " but ACL ∧ MLS derive " + SegmentModeString(derived) +
-               (mls ? ": reachable lattice violation" : ": not derivable from policy")});
+           PidSegno(*p, segno), sdw.uid, p->pid(), segno, FormatAccessWitness(witness)});
     }
   }
 }

@@ -22,6 +22,17 @@ const char* AuditClaimName(AuditClaim claim) {
   return "UNKNOWN";
 }
 
+std::string FormatAccessWitness(const AccessWitness& w) {
+  std::ostringstream out;
+  const uint8_t excess = static_cast<uint8_t>(w.held & ~w.derived);
+  out << "pid " << w.pid << " (" << w.principal << ") segno " << w.segno << " uid " << w.uid
+      << " holds " << SegmentModeString(w.held) << " but ACL ∧ MLS derive "
+      << SegmentModeString(w.derived) << " (excess " << SegmentModeString(excess)
+      << "): "
+      << (w.mls ? "reachable lattice violation" : "mode not derivable from the access control list");
+  return out.str();
+}
+
 uint64_t AuditReport::CountForClaim(AuditClaim claim) const {
   return static_cast<uint64_t>(
       std::count_if(findings.begin(), findings.end(),

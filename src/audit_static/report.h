@@ -46,6 +46,25 @@ struct AuditFinding {
   std::string message;
 };
 
+// A concrete (process, segment, mode) witness for a failed SDW-derivability
+// claim: WHO holds WHAT that ACL ∧ MLS do not derive. Shared between the
+// static certifier's kAccessDerivable/kMlsWidening findings and the model
+// checker's counterexample traces (src/modelcheck/), so a violation reads
+// identically whether a sampled audit or the exhaustive enumeration found it.
+struct AccessWitness {
+  ProcessId pid = 0;
+  std::string principal;   // person.project.tag of the holder.
+  SegNo segno = 0;
+  Uid uid = kInvalidUid;
+  uint8_t held = 0;        // Modes the descriptor grants.
+  uint8_t derived = 0;     // Modes ACL ∧ MLS derive.
+  bool mls = false;        // Some excess bit is one the lattice alone forbids.
+};
+
+// "pid 3 (Doe.Students.a) segno 65 uid 9 holds rw- but ACL ∧ MLS derive r--
+//  (excess -w-): reachable lattice violation"
+std::string FormatAccessWitness(const AccessWitness& witness);
+
 struct AuditReport {
   std::vector<AuditFinding> findings;
 

@@ -34,9 +34,14 @@ void LockTrace::OnAcquire(uint32_t cpu, const SimLock* lock, Cycles at) {
     // the innermost — a same-level re-entry through a different lock object
     // (two directory locks, say) is an inversion waiting for its partner.
     for (const SimLock* held : stack) {
-      if (held->level() >= lock->level() && violations_.size() < kMaxViolations) {
-        violations_.push_back(LockOrderViolation{held->name(), held->level(), lock->name(),
-                                                 lock->level(), cpu, at});
+      if (held->level() < lock->level()) continue;
+      const LockOrderViolation violation{held->name(), held->level(), lock->name(),
+                                         lock->level(), cpu, at};
+      if (violations_.size() < kMaxViolations) {
+        violations_.push_back(violation);
+      }
+      if (observer_) {
+        observer_(violation);
       }
     }
   }
@@ -60,6 +65,7 @@ void LockTrace::Clear() {
   held_.clear();
   edges_.clear();
   violations_.clear();
+  observer_ = nullptr;
   acquisitions_observed_ = 0;
 }
 

@@ -106,6 +106,16 @@ class LockTrace {
   }
   const std::vector<LockOrderViolation>& violations() const { return violations_; }
   uint64_t acquisitions_observed() const { return acquisitions_observed_; }
+
+  // Observer called on each detected ordering violation, in addition to (and
+  // unbounded by) the recorded list. The model checker (src/modelcheck/)
+  // installs one so a violation can be attributed to the exact gate call that
+  // produced it; pass an empty function to uninstall. Cleared by Clear().
+  void SetViolationObserver(std::function<void(const LockOrderViolation&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+
   size_t held_depth(uint32_t cpu) const {
     return cpu < held_.size() ? held_[cpu].size() : 0;
   }
@@ -117,6 +127,7 @@ class LockTrace {
   std::vector<std::vector<const SimLock*>> held_;  // Per-CPU stacks.
   std::map<std::pair<std::string, std::string>, std::pair<uint32_t, uint32_t>> edges_;
   std::vector<LockOrderViolation> violations_;
+  std::function<void(const LockOrderViolation&)> observer_;
   uint64_t acquisitions_observed_ = 0;
 };
 

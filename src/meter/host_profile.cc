@@ -24,6 +24,8 @@ const char* HostSubsystemName(HostSubsystem subsystem) {
       return "gate_call";
     case HostSubsystem::kPageIo:
       return "page_io";
+    case HostSubsystem::kModelCheck:
+      return "model_check";
   }
   return "?";
 }

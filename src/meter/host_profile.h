@@ -49,8 +49,10 @@ enum class HostSubsystem : uint8_t {
   kGateCall,       // src/core/kernel.cc: gate prologue + body (self = body
                    // minus the nested instrumented subsystems).
   kPageIo,         // src/mem/page_control_*.cc: fetch/evict page moves.
+  kModelCheck,     // src/modelcheck/checker.cc: state enumeration + fuzzing.
 };
-inline constexpr size_t kHostSubsystemCount = static_cast<size_t>(HostSubsystem::kPageIo) + 1;
+inline constexpr size_t kHostSubsystemCount =
+    static_cast<size_t>(HostSubsystem::kModelCheck) + 1;
 
 const char* HostSubsystemName(HostSubsystem subsystem);
 

@@ -359,6 +359,65 @@ TEST_F(LintTest, HostSpansOutsideTheMonitorAndInCommentsAreClean) {
   EXPECT_TRUE(report.clean()) << report.ToString();
 }
 
+// --- Oracle confinement ------------------------------------------------------
+
+TEST_F(LintTest, OracleIncludingKernelHeaderYieldsFinding) {
+  WriteFile("src/modelcheck/oracle.h", "#include <vector>\nstruct O {};\n");
+  WriteFile("src/modelcheck/oracle.cc",
+            "#include \"src/modelcheck/oracle.h\"\n"
+            "#include \"src/core/kernel.h\"\n"
+            "int Derive() { return 0; }\n");
+  Report report;
+  CheckOracleConfinement(Root(), &report);
+  ASSERT_EQ(report.CountForRule("oracle-confinement"), 1) << report.ToString();
+  EXPECT_EQ(report.findings[0].file, "src/modelcheck/oracle.cc");
+  EXPECT_EQ(report.findings[0].line, 2);
+  EXPECT_NE(report.findings[0].message.find("src/core/kernel.h"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, OracleAngleIncludeOfTreeHeaderYieldsFinding) {
+  // <src/...> is the same breach spelled differently.
+  WriteFile("src/modelcheck/oracle.h",
+            "#include <src/fs/acl.h>\n#include <string>\n");
+  WriteFile("src/modelcheck/oracle.cc",
+            "#include \"src/modelcheck/oracle.h\"\n");
+  Report report;
+  CheckOracleConfinement(Root(), &report);
+  ASSERT_EQ(report.CountForRule("oracle-confinement"), 1) << report.ToString();
+  EXPECT_EQ(report.findings[0].file, "src/modelcheck/oracle.h");
+}
+
+TEST_F(LintTest, StdOnlyOracleIsClean) {
+  WriteFile("src/modelcheck/oracle.h",
+            "#include <cstdint>\n#include <map>\n#include <vector>\n");
+  WriteFile("src/modelcheck/oracle.cc",
+            "#include \"src/modelcheck/oracle.h\"\n#include <algorithm>\n");
+  // The checker half of the module may include kernel headers freely.
+  WriteFile("src/modelcheck/checker.cc",
+            "#include \"src/core/kernel.h\"\n"
+            "#include \"src/modelcheck/oracle.h\"\n");
+  Report report;
+  CheckOracleConfinement(Root(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST_F(LintTest, ModelcheckWithoutOracleYieldsFinding) {
+  // The rule must not pass vacuously after a rename deletes the oracle.
+  WriteFile("src/modelcheck/checker.h", "struct C {};\n");
+  Report report;
+  CheckOracleConfinement(Root(), &report);
+  ASSERT_EQ(report.CountForRule("oracle-confinement"), 1) << report.ToString();
+  EXPECT_EQ(report.findings[0].file, "src/modelcheck");
+}
+
+TEST_F(LintTest, TreesWithoutModelcheckHaveNoOracleToConfine) {
+  WriteFile("src/fs/acl.cc", "int x;\n");
+  Report report;
+  CheckOracleConfinement(Root(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
 // --- Report formats ---------------------------------------------------------
 
 TEST_F(LintTest, JsonReportIsWellFormedEnough) {

@@ -186,6 +186,13 @@ const std::map<std::string, std::set<std::string>>& AllowedIncludes() {
       {"audit_static",
        {"audit_static", "core", "proc", "fs", "link", "net", "mem", "mls", "hw",
         "meter", "base"}},
+      // The model checker drives the kernel and reuses the certifier's passes
+      // and witness formatter; nothing may include *it*. Its oracle half is
+      // held to a far stricter rule than the layering DAG: see
+      // CheckOracleConfinement.
+      {"modelcheck",
+       {"modelcheck", "audit_static", "core", "proc", "fs", "link", "net", "mem",
+        "mls", "hw", "meter", "base"}},
   };
   return kAllowed;
 }
@@ -609,6 +616,49 @@ void CheckHostSpans(const std::string& repo_root, Report* report) {
   }
 }
 
+// --- 7. Oracle confinement --------------------------------------------------
+
+void CheckOracleConfinement(const std::string& repo_root, Report* report) {
+  const fs::path root(repo_root);
+  const fs::path dir = root / "src" / "modelcheck";
+  if (!fs::is_directory(dir)) return;  // Fixture trees without the module are fine.
+  // The differential oracle is only worth diffing against if it is
+  // *independent*: src/modelcheck/oracle.{h,cc} must re-derive the access
+  // rules from the paper, not inherit them from a kernel header. The only
+  // include the pair may share with the tree is the oracle's own header —
+  // anything else (quoted or <src/...>) is a confinement breach. A
+  // modelcheck module without the oracle fails too: the rule must not pass
+  // vacuously after a rename.
+  bool oracle_seen = false;
+  static const std::regex kAnyInclude("#include\\s+([\"<])([^\">]+)[\">]");
+  for (const char* name : {"oracle.h", "oracle.cc"}) {
+    const fs::path file = dir / name;
+    if (!fs::is_regular_file(file)) continue;
+    oracle_seen = true;
+    const std::string rel = RelPath(root, file);
+    // Raw text, like CheckLayering: the include path lives inside a string
+    // literal that StripCommentsAndStrings would blank out.
+    const std::string text = ReadFile(file);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kAnyInclude);
+         it != std::sregex_iterator(); ++it) {
+      const std::string target = (*it)[2].str();
+      if (target == "src/modelcheck/oracle.h") continue;
+      const bool quoted = (*it)[1].str() == "\"";
+      if (quoted || target.rfind("src/", 0) == 0) {
+        Add(report, "oracle-confinement", rel,
+            LineOf(text, static_cast<size_t>(it->position())),
+            "the differential oracle must stay std-only: #include \"" + target +
+                "\" could let it inherit the very kernel bug it exists to catch");
+      }
+    }
+  }
+  if (!oracle_seen) {
+    Add(report, "oracle-confinement", "src/modelcheck", 0,
+        "src/modelcheck exists but has no oracle.h/oracle.cc: the differential "
+        "oracle the confinement rule certifies is missing");
+  }
+}
+
 // --- Report -----------------------------------------------------------------
 
 int Report::CountForRule(const std::string& rule) const {
@@ -651,6 +701,7 @@ Report RunLint(const std::string& repo_root) {
   CheckMutableCounters(repo_root, &report);
   CheckLockOrder(repo_root, &report);
   CheckHostSpans(repo_root, &report);
+  CheckOracleConfinement(repo_root, &report);
   return report;
 }
 

@@ -34,6 +34,12 @@
 //                        the reference-monitor modules (src/fs, src/mls),
 //                        where a host-time probe around an access decision
 //                        would sit outside the review argument.
+//   7. oracle-confinement — src/modelcheck/oracle.{h,cc}, the model checker's
+//                        differential baseline, may include nothing from the
+//                        tree except the oracle's own header: an oracle that
+//                        shares a kernel header could inherit the very bug it
+//                        exists to catch. A modelcheck module with no oracle
+//                        files fails too (the rule must not pass vacuously).
 //
 // The library is standalone (std only) so the lint binary never links the
 // kernel it audits.
@@ -48,7 +54,8 @@ namespace multics::lint {
 
 struct Finding {
   std::string rule;     // "layering" | "gate-prologue" | "discarded-status" |
-                        // "mutable-counter" | "lock-order" | "host-span"
+                        // "mutable-counter" | "lock-order" | "host-span" |
+                        // "oracle-confinement"
   std::string file;     // Repo-relative path.
   int line = 0;         // 1-based; 0 when the finding is not line-anchored.
   std::string message;
@@ -64,7 +71,7 @@ struct Report {
   std::string ToJson() const;
 };
 
-// Runs all six checks over `<repo_root>/src`. The root must contain a
+// Runs all seven checks over `<repo_root>/src`. The root must contain a
 // src/ directory; a missing tree produces a single "layering" finding so a
 // misconfigured CI invocation cannot pass vacuously.
 Report RunLint(const std::string& repo_root);
@@ -76,6 +83,7 @@ void CheckDiscardedStatus(const std::string& repo_root, Report* report);
 void CheckMutableCounters(const std::string& repo_root, Report* report);
 void CheckLockOrder(const std::string& repo_root, Report* report);
 void CheckHostSpans(const std::string& repo_root, Report* report);
+void CheckOracleConfinement(const std::string& repo_root, Report* report);
 
 // Strips // and /* */ comments and the contents of string/char literals
 // (replaced with spaces, preserving line structure). Exposed for tests.

@@ -1,0 +1,161 @@
+// mx_mc — bounded model checker + differential gate fuzzer.
+//
+//   mx_mc [--deep] [--procs N] [--segs N] [--levels N] [--depth N]
+//         [--max-states N] [--usage-cap N] [--mutate NAME]
+//         [--fuzz] [--seed N] [--fuzz-ops N] [--json[=FILE]]
+//
+// Default mode exhaustively enumerates every reachable protection state of
+// the Fast (2-process, 2-segment, 2-level) configuration to a fixed point,
+// checking the certification claims at every state and diffing the kernel
+// against the std-only oracle at every transition. --deep switches to the
+// 3x3x3 configuration with the full op alphabet (depth-bounded). --fuzz
+// replays a long seeded random gate trace against the oracle instead.
+// --mutate seeds one monitor bug (see MutationName) and should make the run
+// fail with a counterexample trace.
+//
+// Stdout is deterministic: same flags, byte-identical output, regardless of
+// MULTICS_CPUS, MX_HOST_PROFILE, or host speed. Host-side telemetry (wall
+// time, profiler spans, peak RSS) goes only into the --json record (schema
+// mx-bench-v2, bench "mc_exhaustive" or "mc_fuzz", exploration stats in the
+// informational "mc" subtree that bench_diff.py never gates).
+//
+// Exit status: 0 clean, 1 violations found, 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/meter/host_profile.h"
+#include "src/modelcheck/checker.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mx_mc [--deep] [--procs N] [--segs N] [--levels N] [--depth N]\n"
+               "             [--max-states N] [--usage-cap N] [--mutate NAME]\n"
+               "             [--fuzz] [--seed N] [--fuzz-ops N] [--json[=FILE]]\n"
+               "mutations:");
+  for (int i = 1; i < multics::mc::kMutationCount; ++i) {
+    std::fprintf(stderr, " %s",
+                 multics::mc::MutationName(static_cast<multics::mc::Mutation>(i)));
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+std::string McJson(const multics::mc::McResult& result, bool fuzz, double wall_ms,
+                   const multics::HostProfileSnapshot& profile) {
+  char buf[512];
+  std::string out = "{\"schema\":\"mx-bench-v2\",\"mode\":\"full\",\"host_profile\":";
+  out += profile.enabled ? "true" : "false";
+  out += ",\"benches\":{\"";
+  out += fuzz ? "mc_fuzz" : "mc_exhaustive";
+  out += "\":{\"metrics\":{}";
+  std::snprintf(buf, sizeof(buf),
+                ",\"mc\":{\"states\":%llu,\"transitions\":%llu,\"max_depth\":%u,"
+                "\"alphabet\":%llu,\"violations\":%zu,\"fixed_point\":%s,\"fuzz_ops\":%llu}",
+                static_cast<unsigned long long>(result.stats.states),
+                static_cast<unsigned long long>(result.stats.transitions),
+                result.stats.max_depth,
+                static_cast<unsigned long long>(result.stats.alphabet),
+                result.violations.size(), result.stats.fixed_point ? "true" : "false",
+                static_cast<unsigned long long>(result.stats.fuzz_ops));
+  out += buf;
+  const auto& mc = profile.of(multics::HostSubsystem::kModelCheck);
+  std::snprintf(buf, sizeof(buf),
+                ",\"host\":{\"wall_ms\":%.3f,\"model_check_ms\":%.3f,\"peak_rss_kb\":%llu}",
+                wall_ms, static_cast<double>(mc.total_ns) / 1e6,
+                static_cast<unsigned long long>(multics::HostProfiler::PeakRssKb()));
+  out += buf;
+  out += "}}}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using multics::mc::McConfig;
+  using multics::mc::McResult;
+  using multics::mc::ModelChecker;
+
+  McConfig config = McConfig::Fast();
+  bool fuzz = false;
+  bool json = false;
+  std::string json_path;
+  uint64_t seed = 1;
+  uint64_t fuzz_ops = 2000;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_u64 = [&](uint64_t* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    uint64_t value = 0;
+    if (std::strcmp(arg, "--deep") == 0) {
+      config = McConfig::Deep();
+    } else if (std::strcmp(arg, "--fuzz") == 0) {
+      fuzz = true;
+    } else if (std::strcmp(arg, "--procs") == 0 && next_u64(&value) && value >= 1 &&
+               value <= 4) {
+      config.processes = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--segs") == 0 && next_u64(&value) && value >= 1 &&
+               value <= 4) {
+      config.segments = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--levels") == 0 && next_u64(&value) && value >= 1 &&
+               value <= 3) {
+      config.levels = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--depth") == 0 && next_u64(&value)) {
+      config.max_depth = static_cast<uint32_t>(value);
+    } else if (std::strcmp(arg, "--max-states") == 0 && next_u64(&value) && value >= 1) {
+      config.max_states = value;
+    } else if (std::strcmp(arg, "--usage-cap") == 0 && next_u64(&value) && value >= 1) {
+      config.usage_cap = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--seed") == 0 && next_u64(&value)) {
+      seed = value;
+    } else if (std::strcmp(arg, "--fuzz-ops") == 0 && next_u64(&value)) {
+      fuzz_ops = value;
+    } else if (std::strcmp(arg, "--mutate") == 0 && i + 1 < argc) {
+      if (!multics::mc::ParseMutation(argv[++i], &config.mutation)) {
+        return Usage();
+      }
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json = true;
+      json_path = arg + 7;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (multics::HostProfiler::EnabledByEnv()) {
+    multics::HostProfiler::SetEnabled(true);
+  }
+  const uint64_t start_ns = multics::HostProfiler::NowNs();
+  ModelChecker checker(config);
+  const McResult result = fuzz ? checker.Fuzz(seed, fuzz_ops) : checker.Explore();
+  const double wall_ms =
+      static_cast<double>(multics::HostProfiler::NowNs() - start_ns) / 1e6;
+
+  std::fputs(result.ToString().c_str(), stdout);
+  if (json) {
+    const std::string record =
+        McJson(result, fuzz, wall_ms, multics::HostProfiler::Snapshot());
+    if (json_path.empty()) {
+      std::fputs(record.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "mx_mc: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      std::fputs(record.c_str(), f);
+      std::fclose(f);
+    }
+  }
+  return result.clean() ? 0 : 1;
+}
